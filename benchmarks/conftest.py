@@ -1,0 +1,22 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's figures, times the
+computation with pytest-benchmark, prints the figure's rows/series
+(visible with ``pytest -s``), and asserts the paper's qualitative
+claims so a model regression fails loudly.
+"""
+
+import pytest
+
+from repro.core.system import paper_system
+
+
+@pytest.fixture(scope="session")
+def system():
+    """One shared system instance (its MPP cache warms across benches)."""
+    return paper_system()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block (shown under ``pytest -s``)."""
+    print(f"\n=== {title} ===\n{body}")

@@ -1,0 +1,70 @@
+"""Ablation -- the bypass decision rule across light levels.
+
+DESIGN.md calls out the regulator-bypass crossover as a design choice:
+the paper states a fixed rule ("bypass under ~25% light"); the
+holistic optimizer instead derives the decision per condition.  This
+bench sweeps irradiance and compares three rules:
+
+* always regulated,
+* always bypassed (the PVS baseline),
+* the holistic per-condition choice,
+
+showing the holistic rule dominates both fixed rules and that its
+crossover sits near the paper's quarter-sun region for the *power-curve*
+criterion while the performance criterion favours the regulator deeper.
+"""
+
+from conftest import emit
+
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.errors import InfeasibleOperatingPointError
+from repro.experiments.fig7_light_and_mep import fig7a_light_sweep
+from repro.experiments.report import format_table
+
+IRRADIANCES = (1.0, 0.7, 0.5, 0.35, 0.25, 0.15, 0.1)
+
+
+def sweep_bypass_rules(system):
+    optimizer = OperatingPointOptimizer(system)
+    rows = []
+    for irradiance in IRRADIANCES:
+        try:
+            regulated = optimizer.regulated_point("sc", irradiance).frequency_hz
+        except InfeasibleOperatingPointError:
+            regulated = 0.0
+        try:
+            raw = optimizer.unregulated_point(irradiance).frequency_hz
+        except InfeasibleOperatingPointError:
+            raw = 0.0
+        best = optimizer.best_point("sc", irradiance)
+        rows.append((irradiance, regulated, raw, best.frequency_hz,
+                     best.bypassed))
+    return rows
+
+
+def test_ablation_bypass_rule(benchmark, system):
+    rows = benchmark.pedantic(
+        sweep_bypass_rules, args=(system,), rounds=1, iterations=1
+    )
+
+    emit(
+        "Ablation -- bypass decision rule (clock in MHz per rule)",
+        format_table(
+            ["irradiance", "always regulated", "always bypass",
+             "holistic", "holistic bypasses?"],
+            [
+                (irr, reg / 1e6, raw / 1e6, best / 1e6, bypassed)
+                for irr, reg, raw, best, bypassed in rows
+            ],
+        ),
+    )
+
+    for irr, reg, raw, best, _bypassed in rows:
+        # The holistic choice never loses to either fixed rule.
+        assert best >= reg - 1.0
+        assert best >= raw - 1.0
+
+    # The power-curve criterion (Fig. 7(a)) flips at quarter sun.
+    entries = {e.irradiance: e for e in fig7a_light_sweep(system)}
+    assert entries[1.0].window_gain > 0.0
+    assert entries[0.25].window_gain < 0.0

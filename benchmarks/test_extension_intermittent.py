@@ -1,0 +1,112 @@
+"""Extension experiment -- planned duty cycling vs intermittent bursts.
+
+The paper's planned approach (know the budget, schedule within it) and
+the intermittent-computing approach its introduction cites (run till
+brownout, checkpoint, recharge, resume) are two answers to the same
+weak-light problem.  Running both on identical substrates quantifies
+what the paper's co-optimization buys over reactive checkpointing:
+
+* the planned duty-cycled MEP schedule wastes nothing (it never browns
+  out) and sustains the analytic frame rate;
+* the intermittent runtime pays re-execution waste and boot overhead
+  every burst, and its fixed operating point misses the holistic
+  optimum.
+"""
+
+from conftest import emit
+
+from repro.core.duty_cycle import DutyCycleController, DutyCycleScheduler
+from repro.core.system import paper_system
+from repro.experiments.report import format_table
+from repro.intermittent.runtime import IntermittentRuntime
+from repro.intermittent.tasks import TaskChain
+from repro.processor.workloads import image_frame_workload
+from repro.pv.traces import constant_trace
+from repro.sim.engine import SimulationConfig, TransientSimulator
+
+#: A small node capacitor so neither approach can hide inside one burst.
+CAPACITANCE_F = 22e-6
+IRRADIANCE = 0.08
+DURATION_S = 2.0
+
+
+def run_planned(system, workload):
+    scheduler = DutyCycleScheduler(system, "sc")
+    analysis = scheduler.sustainable_rate(workload, IRRADIANCE)
+    point = analysis.operating_point
+    mpp_v = system.mpp(IRRADIANCE).voltage_v
+    controller = DutyCycleController(
+        point,
+        cycles_per_job=workload.cycles,
+        start_above_v=mpp_v - 0.02,
+        abort_below_v=max(0.45, point.processor_voltage_v + 0.05),
+    )
+    simulator = TransientSimulator(
+        cell=system.cell,
+        node_capacitor=system.new_node_capacitor(mpp_v),
+        processor=system.processor,
+        regulator=system.regulator("sc"),
+        controller=controller,
+        config=SimulationConfig(
+            time_step_s=50e-6, record_every=32, stop_on_brownout=False
+        ),
+    )
+    simulator.run(constant_trace(IRRADIANCE, DURATION_S))
+    return {
+        "frames/s": controller.measured_rate(DURATION_S),
+        "waste": 0.0,
+        "analytic frames/s": analysis.jobs_per_second,
+    }
+
+
+def run_intermittent(system, workload):
+    chain = TaskChain.evenly_split("frame", workload.cycles, 24)
+    runtime = IntermittentRuntime.with_auto_thresholds(
+        system, chain, operating_voltage_v=0.5, boot_cycles=20_000
+    )
+    report = runtime.run(constant_trace(IRRADIANCE, DURATION_S))
+    frames = report.tasks_committed / len(chain)
+    return {
+        "frames/s": frames / DURATION_S,
+        "waste": report.waste_fraction,
+        "reboots": report.reboots,
+    }
+
+
+def compare(system, workload):
+    return {
+        "planned": run_planned(system, workload),
+        "intermittent": run_intermittent(system, workload),
+    }
+
+
+def test_extension_planned_vs_intermittent(benchmark):
+    system = paper_system(node_capacitance_f=CAPACITANCE_F)
+    workload = image_frame_workload(None)
+    results = benchmark.pedantic(
+        compare, args=(system, workload), rounds=1, iterations=1
+    )
+
+    planned = results["planned"]
+    intermittent = results["intermittent"]
+    emit(
+        f"Extension -- planned duty cycling vs intermittent bursts at "
+        f"{IRRADIANCE:.2f} sun, {CAPACITANCE_F * 1e6:.0f} uF node",
+        format_table(
+            ["approach", "frames/s", "re-execution waste"],
+            [
+                ("planned (holistic)", planned["frames/s"],
+                 f"{planned['waste']:.1%}"),
+                ("intermittent (checkpointed)", intermittent["frames/s"],
+                 f"{intermittent['waste']:.1%}"),
+            ],
+        ),
+    )
+
+    # Both make forward progress at 8% sun.
+    assert planned["frames/s"] > 0.0
+    assert intermittent["frames/s"] > 0.0
+    # The planned schedule sustains at least as much throughput and
+    # wastes nothing; the intermittent runtime pays for its reactivity.
+    assert planned["frames/s"] >= intermittent["frames/s"] * 0.95
+    assert intermittent["waste"] > 0.0 or intermittent["reboots"] >= 1

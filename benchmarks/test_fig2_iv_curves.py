@@ -1,0 +1,42 @@
+"""E1 -- Fig. 2: solar cell I-V curves under variable light."""
+
+from conftest import emit
+
+from repro.experiments.fig2_iv_curves import fig2_iv_curves
+from repro.experiments.report import format_table
+
+
+def test_fig2_iv_curves(benchmark, system):
+    curves = benchmark(fig2_iv_curves, system.cell)
+
+    rows = [
+        (
+            c.condition.name,
+            c.condition.irradiance,
+            c.isc_a * 1e3,
+            c.voc_v,
+            c.mpp_voltage_v,
+            c.mpp_power_w * 1e3,
+        )
+        for c in curves
+    ]
+    emit(
+        "Fig. 2 -- I-V curve family (paper: Isc scales with light, "
+        "Voc ~1.5 V full sun, knee shifts down)",
+        format_table(
+            ["condition", "irradiance", "Isc [mA]", "Voc [V]",
+             "Vmpp [V]", "Pmpp [mW]"],
+            rows,
+        ),
+    )
+
+    full, half, quarter, indoor = curves
+    # Current scales linearly with light.
+    assert half.isc_a / full.isc_a == abs(half.isc_a / full.isc_a)
+    assert 0.45 <= half.isc_a / full.isc_a <= 0.55
+    assert 0.2 <= quarter.isc_a / full.isc_a <= 0.3
+    # Voc shifts only logarithmically.
+    assert 0.8 <= indoor.voc_v / full.voc_v <= 0.95
+    # Paper scale anchors: Isc up to ~16 mA class, Voc ~1.5 V.
+    assert 10e-3 <= full.isc_a <= 18e-3
+    assert 1.35 <= full.voc_v <= 1.65

@@ -1,0 +1,29 @@
+"""E2 -- Fig. 3: LDO efficiency versus output voltage."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.fig3_ldo import fig3_ldo_efficiency
+from repro.experiments.report import format_series, paper_vs_measured
+
+
+def test_fig3_ldo_efficiency(benchmark):
+    result = benchmark(fig3_ldo_efficiency)
+
+    emit(
+        "Fig. 3 -- LDO efficiency (paper: ~45% @ 0.55 V, linear in Vout)",
+        format_series(
+            "eta(V)", result.voltage_v, result.efficiency, every=8
+        )
+        + "\n"
+        + paper_vs_measured(
+            [("efficiency @ 0.55 V", "45%", f"{result.anchor_efficiency:.1%}")]
+        ),
+    )
+
+    # Paper anchor.
+    assert abs(result.anchor_efficiency - 0.45) <= 0.02
+    # Resistive-division line: efficiency ~ Vout / Vin.
+    finite = np.isfinite(result.efficiency)
+    ratio = result.efficiency[finite] / result.voltage_v[finite]
+    assert np.nanstd(ratio) / np.nanmean(ratio) < 0.05

@@ -1,0 +1,38 @@
+"""E3 -- Fig. 4: switched-capacitor regulator efficiency."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.fig4_sc import fig4_sc_efficiency
+from repro.experiments.report import format_series, paper_vs_measured
+
+
+def test_fig4_sc_efficiency(benchmark):
+    result = benchmark(fig4_sc_efficiency)
+
+    emit(
+        "Fig. 4 -- SC regulator efficiency (paper: 67% full / 64% half "
+        "load @ 0.55 V, scalloped ratio bands)",
+        format_series(
+            "eta_full(V)", result.voltage_v, result.efficiency_full, every=8
+        )
+        + "\n"
+        + format_series(
+            "eta_half(V)", result.voltage_v, result.efficiency_half, every=8
+        )
+        + "\n"
+        + paper_vs_measured(
+            [
+                ("full load @ 0.55 V", "67%", f"{result.anchor_full:.1%}"),
+                ("half load @ 0.55 V", "64%", f"{result.anchor_half:.1%}"),
+            ]
+        ),
+    )
+
+    # Paper anchors.
+    assert abs(result.anchor_full - 0.67) <= 0.03
+    assert abs(result.anchor_half - 0.64) <= 0.03
+    assert result.anchor_full > result.anchor_half
+    # The band structure leaves visible efficiency variation.
+    finite = result.efficiency_full[np.isfinite(result.efficiency_full)]
+    assert finite.max() - finite.min() > 0.1

@@ -1,0 +1,41 @@
+"""E4 -- Fig. 5: buck regulator efficiency."""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments.fig5_buck import fig5_buck_efficiency
+from repro.experiments.report import format_series, paper_vs_measured
+
+
+def test_fig5_buck_efficiency(benchmark):
+    result = benchmark(fig5_buck_efficiency)
+
+    emit(
+        "Fig. 5 -- buck regulator efficiency (paper: 63% full / 58% half "
+        "load @ 0.55 V, 40-75% across the 0.3-0.8 V range)",
+        format_series(
+            "eta_full(V)", result.voltage_v, result.efficiency_full, every=6
+        )
+        + "\n"
+        + format_series(
+            "eta_half(V)", result.voltage_v, result.efficiency_half, every=6
+        )
+        + "\n"
+        + paper_vs_measured(
+            [
+                ("full load @ 0.55 V", "63%", f"{result.anchor_full:.1%}"),
+                ("half load @ 0.55 V", "58%", f"{result.anchor_half:.1%}"),
+            ]
+        ),
+    )
+
+    # Paper anchors.
+    assert abs(result.anchor_full - 0.63) <= 0.03
+    assert abs(result.anchor_half - 0.58) <= 0.03
+    # The chip's 40-75% envelope over the regulated range at full load.
+    window = (result.voltage_v >= 0.35) & (result.voltage_v <= 0.8)
+    full = result.efficiency_full[window]
+    assert np.nanmin(full) >= 0.35
+    assert np.nanmax(full) <= 0.78
+    # Continuous ratio: no band scallops (smooth curve).
+    assert np.all(np.diff(full) > -0.01)

@@ -1,0 +1,89 @@
+"""E5/E6 -- Fig. 6: operating points at full sun.
+
+(a) PV and processor power-voltage curves with the unregulated
+    intersection; (b) regulated output power per converter with the
+    paper's gains: SC ~+31% power / ~+18% speed over direct
+    connection, buck slightly behind, LDO worse than raw.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig6_operating_points import (
+    fig6a_power_curves,
+    fig6b_regulated_comparison,
+)
+from repro.experiments.report import format_table, paper_vs_measured
+
+
+def test_fig6a_power_curves(benchmark, system):
+    curves = benchmark(fig6a_power_curves, system)
+
+    emit(
+        "Fig. 6(a) -- PV vs processor power curves",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("MPP voltage [V]", curves.mpp_voltage_v),
+                ("MPP power [mW]", curves.mpp_power_w * 1e3),
+                (
+                    "unregulated intersection [V]",
+                    curves.unregulated.processor_voltage_v,
+                ),
+                (
+                    "unregulated power [mW]",
+                    curves.unregulated.extracted_power_w * 1e3,
+                ),
+                (
+                    "fraction of MPP extracted",
+                    curves.unregulated.extracted_power_w / curves.mpp_power_w,
+                ),
+            ],
+        ),
+    )
+
+    # The paper's qualitative claim: direct connection operates well
+    # below the MPP voltage and extracts significantly less power.
+    assert curves.unregulated.processor_voltage_v < curves.mpp_voltage_v - 0.3
+    assert (
+        curves.unregulated.extracted_power_w < 0.75 * curves.mpp_power_w
+    )
+
+
+def test_fig6b_regulated_comparison(benchmark, system):
+    comparisons = benchmark(fig6b_regulated_comparison, system)
+    by_name = {c.regulator_name: c for c in comparisons}
+
+    emit(
+        "Fig. 6(b) -- regulated vs unregulated at full sun "
+        "(paper: SC +31% power / +18% speed; buck slightly less; "
+        "LDO delivers less than raw)",
+        format_table(
+            ["regulator", "Vout [V]", "f [MHz]", "power gain", "speed gain",
+             "extraction gain"],
+            [
+                (
+                    name,
+                    c.point.processor_voltage_v,
+                    c.point.frequency_hz / 1e6,
+                    f"{c.power_gain:+.1%}",
+                    f"{c.speed_gain:+.1%}",
+                    f"{c.extraction_gain:+.1%}",
+                )
+                for name, c in sorted(by_name.items())
+            ],
+        )
+        + "\n"
+        + paper_vs_measured(
+            [
+                ("SC power gain", "+31%", f"{by_name['sc'].power_gain:+.1%}"),
+                ("SC speed gain", "+18%", f"{by_name['sc'].speed_gain:+.1%}"),
+            ]
+        ),
+    )
+
+    sc, buck, ldo = by_name["sc"], by_name["buck"], by_name["ldo"]
+    # Who wins, by roughly what factor.
+    assert 0.15 <= sc.power_gain <= 0.45
+    assert 0.05 <= sc.speed_gain <= 0.30
+    assert 0.0 < buck.speed_gain < sc.speed_gain
+    assert ldo.power_gain < 0.0 and ldo.speed_gain < 0.0

@@ -1,0 +1,92 @@
+"""E7/E8 -- Fig. 7: light sweep and the holistic minimum energy point.
+
+(a) regulated output power under 100% / 50% / 25% light against the
+    raw cell at matched voltages: positive gain at strong light,
+    ~-20% at quarter light (bypass wins);
+(b) the MEP shifts up when the converter's eta(V) is folded in,
+    saving up to ~31% versus operating at the conventional MEP.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig7_light_and_mep import (
+    fig7a_light_sweep,
+    fig7b_mep_comparison,
+)
+from repro.experiments.report import format_table, paper_vs_measured
+
+
+def test_fig7a_light_sweep(benchmark, system):
+    entries = benchmark(fig7a_light_sweep, system)
+    by_irr = {e.irradiance: e for e in entries}
+
+    emit(
+        "Fig. 7(a) -- regulated output vs raw cell power, matched "
+        "voltages 0.55-0.8 V (paper: +30-40% at 100%/50%, ~-20% at 25%)",
+        format_table(
+            ["irradiance", "window gain (regulated vs raw)"],
+            [
+                (irr, f"{e.window_gain:+.1%}")
+                for irr, e in sorted(by_irr.items(), reverse=True)
+            ],
+        ),
+    )
+
+    # Crossover: regulation helps at strong light (paper: +30-40%; we
+    # measure weaker but positive at half sun), hurts at quarter sun.
+    assert by_irr[1.0].window_gain > 0.10
+    assert by_irr[0.5].window_gain > 0.0
+    assert -0.35 <= by_irr[0.25].window_gain < 0.0
+    # Gains fall monotonically with light: the crossover structure.
+    assert (
+        by_irr[1.0].window_gain
+        > by_irr[0.5].window_gain
+        > by_irr[0.25].window_gain
+    )
+
+
+def test_fig7b_mep_comparison(benchmark, system):
+    study = benchmark(fig7b_mep_comparison, system)
+
+    rows = []
+    for name, comparison in sorted(study.comparisons.items()):
+        rows.append(
+            (
+                name,
+                comparison.conventional.voltage_v,
+                comparison.holistic.voltage_v,
+                f"{comparison.voltage_shift_v:+.3f}",
+                f"{comparison.energy_saving_fraction:+.1%}",
+            )
+        )
+    emit(
+        "Fig. 7(b) -- conventional vs holistic MEP "
+        "(paper: shift up to ~0.1 V, saving up to ~31%)",
+        format_table(
+            ["regulator", "conv MEP [V]", "holistic MEP [V]", "shift [V]",
+             "saving"],
+            rows,
+        )
+        + "\n"
+        + paper_vs_measured(
+            [
+                (
+                    "SC MEP saving",
+                    "up to 31%",
+                    f"{study.comparisons['sc'].energy_saving_fraction:.1%}",
+                ),
+                (
+                    "SC MEP voltage shift",
+                    "up to +0.1 V",
+                    f"{study.comparisons['sc'].voltage_shift_v:+.3f} V",
+                ),
+            ]
+        ),
+    )
+
+    for name in ("sc", "buck"):
+        comparison = study.comparisons[name]
+        assert comparison.voltage_shift_v > 0.03
+        assert comparison.energy_saving_fraction > 0.10
+    # The SC's saving lands in the paper's "up to ~31%" band.
+    assert 0.15 <= study.comparisons["sc"].energy_saving_fraction <= 0.50

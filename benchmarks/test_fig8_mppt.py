@@ -1,0 +1,46 @@
+"""E9 -- Fig. 8: MPP tracking from capacitor discharge timing.
+
+The dimming transient: the node falls through the comparator
+thresholds, eq. (7) recovers the new input power from the crossing
+interval, the LUT yields the new MPP, and DVFS retunes -- all inside
+the closed-loop transient simulation.
+"""
+
+from conftest import emit
+
+from repro.experiments.fig8_mppt import fig8_mppt_tracking
+from repro.experiments.report import format_table
+
+
+def test_fig8_mppt_tracking(benchmark, system):
+    result = benchmark.pedantic(
+        fig8_mppt_tracking, kwargs={"system": system}, rounds=2, iterations=1
+    )
+
+    emit(
+        "Fig. 8 -- discharge-time MPP tracking after a 1.0 -> 0.3 dim "
+        "(paper: Pin recovered from threshold-crossing time, DVFS "
+        "re-parks the node at the new MPP)",
+        format_table(
+            ["quantity", "value"],
+            [
+                ("true Pin after dim [mW]", result.true_power_w * 1e3),
+                ("estimated Pin [mW]", result.estimated_power_w * 1e3),
+                ("estimate error", f"{result.estimate_error:.1%}"),
+                (
+                    "reaction latency [ms]",
+                    (result.reaction_latency_s or float("nan")) * 1e3,
+                ),
+                ("settled node voltage [V]", result.settled_node_voltage_v),
+                ("true new MPP voltage [V]", result.true_mpp_voltage_v),
+            ],
+        ),
+    )
+
+    # The estimate must land close to the true post-dim MPP power.
+    assert result.estimate_error < 0.10
+    # Reaction within a few capacitor time constants (milliseconds).
+    assert result.reaction_latency_s is not None
+    assert result.reaction_latency_s < 10e-3
+    # The node re-parks near the new MPP voltage.
+    assert abs(result.settled_node_voltage_v - result.true_mpp_voltage_v) < 0.08

@@ -1,0 +1,52 @@
+"""E14 -- the paper's abstract/conclusion claims, aggregated.
+
+"Up to 30% savings can be achieved with a holistic view of the system"
+(MEP), "20% additional energy savings" (scheduling), the Section IV
+power/speed gains, and the low-light bypass rule -- all measured from
+the same models the per-figure benches exercise.
+"""
+
+from conftest import emit
+
+from repro.experiments.headline import headline_claims
+from repro.experiments.report import paper_vs_measured
+
+
+def test_headline_claims(benchmark, system):
+    claims = benchmark.pedantic(
+        headline_claims, kwargs={"system": system}, rounds=1, iterations=1
+    )
+
+    emit(
+        "Headline claims (abstract / conclusions)",
+        paper_vs_measured(
+            [
+                ("SC delivered-power gain vs raw", "+31%",
+                 f"{claims.sc_power_gain:+.1%}"),
+                ("SC speedup vs raw", "+18%", f"{claims.sc_speed_gain:+.1%}"),
+                ("SC extraction gain vs raw", "(implied > power gain)",
+                 f"{claims.sc_extraction_gain:+.1%}"),
+                ("quarter-sun regulated vs raw", "~-20% (bypass wins)",
+                 f"{claims.quarter_sun_window_gain:+.1%}"),
+                ("holistic-MEP saving", "up to 30%",
+                 f"{claims.mep_saving:+.1%}"),
+                ("MEP voltage shift", "up to +0.1 V",
+                 f"{claims.mep_voltage_shift_v:+.3f} V"),
+                ("sprint intake gain (eq. 12)", "~+10%",
+                 f"{claims.sprint_energy_gain:+.1%}"),
+                ("bypass operation extension", "~+20%",
+                 f"{claims.bypass_extension_fraction:+.1%}"),
+            ]
+        ),
+    )
+
+    # Every claim holds in direction; factors stay within the bands
+    # recorded in EXPERIMENTS.md.
+    assert claims.sc_power_gain > 0.15
+    assert claims.sc_speed_gain > 0.05
+    assert claims.sc_extraction_gain > claims.sc_power_gain
+    assert claims.quarter_sun_window_gain < 0.0
+    assert 0.15 <= claims.mep_saving <= 0.50
+    assert claims.mep_voltage_shift_v > 0.03
+    assert claims.sprint_energy_gain > 0.03
+    assert claims.bypass_extension_fraction > 0.10

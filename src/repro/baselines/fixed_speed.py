@@ -1,0 +1,67 @@
+"""Constant-speed deadline execution (no sprinting, no bypass).
+
+The baseline of Figs. 9(b) and 11(b): a deadline workload is run at the
+constant average frequency ``N / T`` through the regulator, which stays
+engaged until it can no longer hold its output -- at which point the
+job browns out if unfinished.  The sprint scheduler's gains are
+measured against this design.
+"""
+
+from __future__ import annotations
+
+from repro.core.sprint import min_input_voltage_for_output
+from repro.core.system import EnergyHarvestingSoC
+from repro.errors import InfeasibleOperatingPointError, ModelParameterError
+from repro.processor.workloads import Workload
+from repro.sim.dvfs import ConstantSpeedController, DvfsController
+
+
+class FixedSpeedBaseline:
+    """Deadline execution at constant ``N / T`` speed, regulator always on."""
+
+    name = "fixed-speed"
+
+    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "buck"):
+        self.system = system
+        self.regulator_name = regulator_name
+
+    def setpoint(self, workload: Workload) -> "tuple[float, float]":
+        """(output voltage, frequency) meeting the deadline on average."""
+        if workload.deadline_s is None:
+            raise ModelParameterError(
+                "fixed-speed baseline needs a workload with a deadline"
+            )
+        processor = self.system.processor
+        regulator = self.system.regulator(self.regulator_name)
+        frequency = workload.cycles / workload.deadline_s
+        voltage = max(
+            processor.voltage_for_frequency(frequency),
+            regulator.min_output_v,
+        )
+        if voltage > regulator.max_output_v:
+            raise InfeasibleOperatingPointError(
+                f"deadline needs {voltage:.3f} V, above the "
+                f"{self.regulator_name} output range"
+            )
+        return voltage, frequency
+
+    def minimum_node_voltage(self, workload: Workload) -> float:
+        """Node voltage below which this design stops delivering.
+
+        Without the bypass switch, the capacitor energy below this
+        point is stranded -- the gap eq. (13)'s bypass extension
+        recovers.
+        """
+        voltage, _ = self.setpoint(workload)
+        return min_input_voltage_for_output(
+            self.system.regulator(self.regulator_name), voltage
+        )
+
+    def controller(self, workload: Workload) -> DvfsController:
+        """A simulator controller executing the constant-speed schedule."""
+        voltage, frequency = self.setpoint(workload)
+        return ConstantSpeedController(
+            output_voltage_v=voltage,
+            frequency_hz=frequency,
+            total_cycles=workload.cycles,
+        )

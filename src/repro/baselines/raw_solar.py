@@ -1,0 +1,47 @@
+"""Direct solar-to-processor connection (no converter).
+
+The passive-voltage-scaling design the paper cites ([17-18]): the
+processor sits straight on the solar cell, eliminating converter losses
+entirely -- at the cost of operating wherever the I-V curves intersect
+instead of at the cell's maximum power point (Fig. 6(a)'s "Maximum
+Performance (unregulated)" marker).
+"""
+
+from __future__ import annotations
+
+from repro.core.operating_point import OperatingPoint, OperatingPointOptimizer
+from repro.core.system import EnergyHarvestingSoC
+from repro.sim.dvfs import BypassController, DvfsController
+
+
+class RawSolarBaseline:
+    """Best-effort direct connection with DVFS throttling."""
+
+    name = "raw-solar"
+
+    def __init__(self, system: EnergyHarvestingSoC):
+        self.system = system
+        self._optimizer = OperatingPointOptimizer(system)
+
+    def operating_point(self, irradiance: float) -> OperatingPoint:
+        """The intersection-constrained optimum (Fig. 6(a))."""
+        return self._optimizer.unregulated_point(irradiance)
+
+    def extraction_fraction(self, irradiance: float) -> float:
+        """Fraction of the cell's MPP power this design extracts.
+
+        The quantity the paper's "31% more power" claim is relative to:
+        direct connection leaves ``1 - fraction`` of the harvestable
+        power on the table.
+        """
+        point = self.operating_point(irradiance)
+        mpp = self.system.mpp(irradiance)
+        if mpp.power_w <= 0.0:
+            return 0.0
+        return point.extracted_power_w / mpp.power_w
+
+    def controller(self, irradiance: float) -> DvfsController:
+        """A simulator controller holding the intersection point's clock."""
+        point = self.operating_point(irradiance)
+        frequency = point.frequency_hz
+        return BypassController(lambda v_node, _f=frequency: _f)

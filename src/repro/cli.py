@@ -1,0 +1,344 @@
+"""Command-line interface.
+
+Exposes the library's main entry points to a terminal user::
+
+    python -m repro info
+    python -m repro plan --policy holistic-performance --irradiance 0.5
+    python -m repro mep --regulator sc
+    python -m repro throughput --irradiances 1.0 0.5 0.25 0.1
+    python -m repro track --dim-to 0.3
+    python -m repro sprint --deadline-ms 10 --dim-to 0.35
+
+Every command builds the paper's demonstration system and prints plain
+text tables, so the paper's results are reachable without writing any
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.duty_cycle import DutyCycleScheduler
+from repro.core.mep import HolisticMepOptimizer
+from repro.core.policies import Policy
+from repro.core.scheduler import HolisticEnergyManager
+from repro.core.system import paper_system
+from repro.errors import ReproError
+from repro.experiments.report import format_table
+from repro.processor.workloads import image_frame_workload
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    system = paper_system()
+    mpp = system.mpp(args.irradiance)
+    voc = system.cell.open_circuit_voltage(args.irradiance)
+    isc = system.cell.short_circuit_current(args.irradiance)
+    rows = [
+        ("irradiance (1.0 = full sun)", args.irradiance),
+        ("cell Isc [mA]", isc * 1e3),
+        ("cell Voc [V]", voc),
+        ("cell MPP [mW @ V]", f"{mpp.power_w * 1e3:.2f} @ {mpp.voltage_v:.2f}"),
+        ("node capacitance [uF]", system.node_capacitance_f * 1e6),
+        ("converters", ", ".join(system.converter_names)),
+        (
+            "comparator thresholds [V]",
+            ", ".join(f"{t:.2f}" for t in system.comparator_thresholds_v),
+        ),
+        (
+            "processor window [V]",
+            f"{system.processor.min_operating_v:.2f}-"
+            f"{system.processor.max_operating_v:.2f}",
+        ),
+        (
+            "conventional MEP [V]",
+            system.processor.conventional_mep().voltage_v,
+        ),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    system = paper_system()
+    manager = HolisticEnergyManager(system, regulator_name=args.regulator)
+    policies = (
+        list(Policy) if args.policy == "all" else [Policy(args.policy)]
+    )
+    workload = image_frame_workload(args.deadline_ms * 1e-3)
+    rows = []
+    for policy in policies:
+        plan = manager.plan(policy, args.irradiance, workload=workload)
+        if plan.sprint_plan is not None:
+            sprint = plan.sprint_plan
+            rows.append(
+                (
+                    policy.value,
+                    f"{sprint.output_voltage_v:.3f}",
+                    f"{sprint.slow_frequency_hz / 1e6:.0f}-"
+                    f"{sprint.fast_frequency_hz / 1e6:.0f}",
+                    "(sprint)",
+                    f"bypass<{sprint.bypass_below_v:.2f}V",
+                )
+            )
+            continue
+        point = plan.operating_point
+        rows.append(
+            (
+                policy.value,
+                f"{point.processor_voltage_v:.3f}",
+                f"{point.frequency_hz / 1e6:.0f}",
+                f"{point.delivered_power_w * 1e3:.2f}",
+                "bypass" if point.bypassed else plan.regulator_name,
+            )
+        )
+    print(
+        format_table(
+            ["policy", "Vdd [V]", "clock [MHz]", "P core [mW]", "path"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_mep(args: argparse.Namespace) -> int:
+    system = paper_system()
+    optimizer = HolisticMepOptimizer(system)
+    comparison = optimizer.compare(args.regulator)
+    rows = [
+        ("conventional MEP [V]", comparison.conventional.voltage_v),
+        (
+            "conventional energy/cycle [pJ]",
+            comparison.conventional.energy_per_cycle_j * 1e12,
+        ),
+        ("holistic MEP [V]", comparison.holistic.voltage_v),
+        (
+            "holistic source energy/cycle [pJ]",
+            comparison.holistic.energy_per_cycle_j * 1e12,
+        ),
+        (
+            "conventional MEP through regulator [pJ]",
+            comparison.conventional_through_regulator_j * 1e12,
+        ),
+        ("voltage shift [V]", comparison.voltage_shift_v),
+        ("energy saving", f"{comparison.energy_saving_fraction:.1%}"),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_throughput(args: argparse.Namespace) -> int:
+    system = paper_system()
+    scheduler = DutyCycleScheduler(system, args.regulator)
+    workload = image_frame_workload(None)
+    rows = []
+    for irradiance in args.irradiances:
+        try:
+            rate = scheduler.sustainable_rate(workload, irradiance)
+            rows.append(
+                (
+                    irradiance,
+                    f"{rate.jobs_per_second:.1f}",
+                    f"{rate.duty_fraction:.2f}",
+                    f"{rate.operating_point.processor_voltage_v:.2f}",
+                    "bypass" if rate.operating_point.bypassed else args.regulator,
+                )
+            )
+        except ReproError:
+            rows.append((irradiance, "0.0", "-", "-", "infeasible"))
+    print(
+        format_table(
+            ["irradiance", "frames/s", "duty", "Vdd [V]", "path"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    from repro.experiments.fig8_mppt import fig8_mppt_tracking
+
+    result = fig8_mppt_tracking(before=args.from_irr, after=args.dim_to)
+    rows = [
+        ("true Pin after dim [mW]", result.true_power_w * 1e3),
+        ("estimated Pin [mW]", result.estimated_power_w * 1e3),
+        ("estimate error", f"{result.estimate_error:.1%}"),
+        (
+            "reaction latency [ms]",
+            (result.reaction_latency_s or float("nan")) * 1e3,
+        ),
+        ("settled node voltage [V]", result.settled_node_voltage_v),
+        ("true MPP voltage [V]", result.true_mpp_voltage_v),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_sprint(args: argparse.Namespace) -> int:
+    from repro.experiments.fig11_demo import fig11b_sprint_waveform
+
+    demo = fig11b_sprint_waveform(
+        deadline_s=args.deadline_ms * 1e-3, dim_to=args.dim_to
+    )
+    rows = [
+        ("bypass extension [ms]", demo.bypass_extension_s * 1e3),
+        ("bypass extension", f"{demo.bypass_extension_fraction:+.1%}"),
+        ("completed with bypass", demo.completed_with_bypass),
+        (
+            "completed regulated-only",
+            demo.completed_without_bypass_before_stall,
+        ),
+        (
+            "sprint intake gain (first-order)",
+            f"{demo.analytic_sprint_energy_gain:+.1%}",
+        ),
+        (
+            "sprint intake gain (closed loop)",
+            f"{demo.simulated_sprint_energy_gain:+.1%}",
+        ),
+    ]
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_admit(args: argparse.Namespace) -> int:
+    from repro.core.admission import AdmissionController, PeriodicTask
+
+    system = paper_system()
+    controller = AdmissionController(system, args.regulator, margin=args.margin)
+    tasks = [
+        PeriodicTask(
+            workload=image_frame_workload(None),
+            period_s=1.0 / args.frame_rate,
+            max_latency_s=min(args.latency_ms * 1e-3, 1.0 / args.frame_rate),
+        )
+    ]
+    report = controller.evaluate(tasks, args.irradiance)
+    rows = [
+        ("irradiance", args.irradiance),
+        ("harvest budget [mW]", report.harvest_power_w * 1e3),
+        ("frame rate [1/s]", args.frame_rate),
+        ("utilisation", f"{report.total_utilisation:.1%}"),
+        ("admitted", report.admitted),
+        ("headroom [mW]", report.headroom_w * 1e3),
+    ]
+    try:
+        rows.append(
+            ("minimum irradiance", f"{controller.minimum_irradiance(tasks):.3f}")
+        )
+    except ReproError:
+        rows.append(("minimum irradiance", "infeasible at any light"))
+    print(format_table(["quantity", "value"], rows))
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.export import FAST_FIGURES, FIGURE_DRIVERS, export_all
+
+    figures = tuple(args.figures) if args.figures else FAST_FIGURES
+    unknown = [f for f in figures if f not in FIGURE_DRIVERS]
+    if unknown:
+        print(
+            f"error: unknown figures {unknown}; available: "
+            f"{sorted(FIGURE_DRIVERS)}",
+            file=sys.stderr,
+        )
+        return 1
+    written = export_all(args.out, figures=figures)
+    for path in written:
+        print(path)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Holistic energy management for battery-less "
+            "energy-harvesting SoCs (SOCC 2018 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="system summary at an irradiance")
+    p_info.add_argument("--irradiance", type=float, default=1.0)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_plan = sub.add_parser("plan", help="operating plan for a policy")
+    p_plan.add_argument(
+        "--policy",
+        default="all",
+        choices=["all"] + [p.value for p in Policy],
+    )
+    p_plan.add_argument("--irradiance", type=float, default=1.0)
+    p_plan.add_argument("--regulator", default="sc",
+                        choices=["sc", "buck", "ldo"])
+    p_plan.add_argument("--deadline-ms", type=float, default=15.0)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_mep = sub.add_parser("mep", help="conventional vs holistic MEP")
+    p_mep.add_argument("--regulator", default="sc",
+                       choices=["sc", "buck", "ldo"])
+    p_mep.set_defaults(func=_cmd_mep)
+
+    p_tp = sub.add_parser(
+        "throughput", help="sustainable frame rate per irradiance"
+    )
+    p_tp.add_argument(
+        "--irradiances", type=float, nargs="+",
+        default=[1.0, 0.5, 0.25, 0.1],
+    )
+    p_tp.add_argument("--regulator", default="sc",
+                      choices=["sc", "buck", "ldo"])
+    p_tp.set_defaults(func=_cmd_throughput)
+
+    p_track = sub.add_parser(
+        "track", help="run the Fig. 8 MPP-tracking scenario"
+    )
+    p_track.add_argument("--from-irr", type=float, default=1.0)
+    p_track.add_argument("--dim-to", type=float, default=0.3)
+    p_track.set_defaults(func=_cmd_track)
+
+    p_sprint = sub.add_parser(
+        "sprint", help="run the Fig. 11(b) sprint/bypass scenario"
+    )
+    p_sprint.add_argument("--deadline-ms", type=float, default=10.0)
+    p_sprint.add_argument("--dim-to", type=float, default=0.35)
+    p_sprint.set_defaults(func=_cmd_sprint)
+
+    p_admit = sub.add_parser(
+        "admit", help="energy admission test for a periodic frame rate"
+    )
+    p_admit.add_argument("--frame-rate", type=float, default=10.0)
+    p_admit.add_argument("--latency-ms", type=float, default=25.0)
+    p_admit.add_argument("--irradiance", type=float, default=0.5)
+    p_admit.add_argument("--margin", type=float, default=0.1)
+    p_admit.add_argument("--regulator", default="sc",
+                         choices=["sc", "buck", "ldo"])
+    p_admit.set_defaults(func=_cmd_admit)
+
+    p_figures = sub.add_parser(
+        "figures", help="export figure data as JSON for plotting"
+    )
+    p_figures.add_argument("--out", default="figures-json")
+    p_figures.add_argument(
+        "--figures", nargs="*",
+        help="figure ids (default: all non-transient figures)",
+    )
+    p_figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

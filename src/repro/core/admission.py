@@ -1,0 +1,214 @@
+"""Energy admission control for periodic task sets.
+
+A deployed node rarely runs one job: it mixes periodic work (sense,
+classify, transmit, housekeeping).  Whether a task set is sustainable
+at a light level is an energy-bandwidth question, the harvesting
+analogue of classical utilisation-based schedulability:
+
+    sum over tasks of  E_source(task) * rate(task)  <=  P_mpp(s)
+
+where each task's source energy is evaluated at its own best operating
+point (the duty-cycle scheduler's machinery, honouring per-task
+activity factors and latency constraints).  :class:`AdmissionController`
+answers admit/reject, reports the utilisation breakdown, and finds the
+dimmest light that still carries the set -- the number a deployment
+survey actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.duty_cycle import DutyCycleScheduler
+from repro.core.system import EnergyHarvestingSoC
+from repro.errors import (
+    InfeasibleOperatingPointError,
+    ModelParameterError,
+    OperatingRangeError,
+)
+from repro.processor.workloads import Workload
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A workload released every ``period_s`` seconds."""
+
+    workload: Workload
+    period_s: float
+    #: Per-job latency bound; defaults to the workload's deadline, or
+    #: the period itself when neither is given.
+    max_latency_s: "float | None" = None
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0.0:
+            raise ModelParameterError(
+                f"period must be positive, got {self.period_s}"
+            )
+        latency = self.effective_latency_s
+        if latency > self.period_s:
+            raise ModelParameterError(
+                f"latency bound {latency} exceeds the period {self.period_s}"
+            )
+
+    @property
+    def effective_latency_s(self) -> float:
+        """The binding per-job completion bound."""
+        if self.max_latency_s is not None:
+            return self.max_latency_s
+        if self.workload.deadline_s is not None:
+            return self.workload.deadline_s
+        return self.period_s
+
+    @property
+    def rate_hz(self) -> float:
+        """Job release rate."""
+        return 1.0 / self.period_s
+
+
+@dataclass(frozen=True)
+class TaskAdmission:
+    """Per-task admission accounting."""
+
+    task: PeriodicTask
+    job_energy_j: float
+    power_demand_w: float  # job_energy * rate
+    utilisation: float  # share of the harvest budget
+
+
+@dataclass(frozen=True)
+class AdmissionReport:
+    """Outcome of one admission test."""
+
+    irradiance: float
+    harvest_power_w: float
+    admitted: bool
+    total_utilisation: float
+    tasks: "tuple[TaskAdmission, ...]"
+
+    @property
+    def headroom_w(self) -> float:
+        """Unclaimed harvest power (negative when over-subscribed)."""
+        return self.harvest_power_w * (1.0 - self.total_utilisation)
+
+
+class AdmissionController:
+    """Energy schedulability analysis for periodic task sets.
+
+    Parameters
+    ----------
+    system / regulator_name:
+        The platform; per-task operating points come from the
+        duty-cycle scheduler (holistic MEP or latency-constrained).
+    margin:
+        Safety factor on the harvest budget (0.1 reserves 10% for
+        tracking overhead, comparators and estimation error).
+    """
+
+    def __init__(
+        self,
+        system: EnergyHarvestingSoC,
+        regulator_name: str = "sc",
+        margin: float = 0.1,
+    ):
+        if not 0.0 <= margin < 1.0:
+            raise ModelParameterError(
+                f"margin must be in [0, 1), got {margin}"
+            )
+        self.system = system
+        self.scheduler = DutyCycleScheduler(system, regulator_name)
+        self.margin = margin
+
+    def _job_energy(self, task: PeriodicTask, irradiance: float) -> float:
+        """Source energy for one job at its best feasible point."""
+        processor = self.system.processor
+        scaled_system = self.system
+        workload = task.workload
+        # Honour the workload's activity factor by swapping the
+        # processor model for the analysis.
+        if workload.activity != processor.dynamic.activity:
+            from dataclasses import replace as dc_replace
+
+            scaled_system = dc_replace(
+                self.system, processor=processor.with_activity(workload.activity)
+            )
+        scheduler = DutyCycleScheduler(
+            scaled_system, self.scheduler.regulator_name
+        )
+        rate = scheduler.sustainable_rate_with_latency(
+            workload, irradiance, task.effective_latency_s
+        )
+        return rate.job_source_energy_j
+
+    def evaluate(
+        self, tasks: Sequence[PeriodicTask], irradiance: float
+    ) -> AdmissionReport:
+        """Admit or reject a task set at one light level."""
+        if not tasks:
+            raise ModelParameterError("task set must not be empty")
+        budget = self.system.mpp(irradiance).power_w * (1.0 - self.margin)
+        if budget <= 0.0:
+            raise InfeasibleOperatingPointError(
+                f"no harvest budget at irradiance {irradiance}"
+            )
+        admissions = []
+        total = 0.0
+        for task in tasks:
+            try:
+                energy = self._job_energy(task, irradiance)
+            except (InfeasibleOperatingPointError, OperatingRangeError):
+                # The task has no feasible operating point at this
+                # light (too dim, or the latency bound is beyond the
+                # chip): it cannot be admitted, full stop.
+                energy = float("inf")
+            demand = energy * task.rate_hz
+            utilisation = demand / budget
+            total += utilisation
+            admissions.append(
+                TaskAdmission(
+                    task=task,
+                    job_energy_j=energy,
+                    power_demand_w=demand,
+                    utilisation=utilisation,
+                )
+            )
+        return AdmissionReport(
+            irradiance=irradiance,
+            harvest_power_w=budget,
+            admitted=total <= 1.0,
+            total_utilisation=total,
+            tasks=tuple(admissions),
+        )
+
+    def minimum_irradiance(
+        self,
+        tasks: Sequence[PeriodicTask],
+        low: float = 0.02,
+        high: float = 1.2,
+        tolerance: float = 1e-3,
+    ) -> float:
+        """Dimmest light at which the set is still admitted (bisection).
+
+        Raises :class:`InfeasibleOperatingPointError` when even ``high``
+        cannot carry the set.
+        """
+        def admitted(irradiance: float) -> bool:
+            try:
+                return self.evaluate(tasks, irradiance).admitted
+            except (InfeasibleOperatingPointError, ModelParameterError):
+                return False
+
+        if not admitted(high):
+            raise InfeasibleOperatingPointError(
+                f"task set infeasible even at irradiance {high}"
+            )
+        if admitted(low):
+            return low
+        lo, hi = low, high
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if admitted(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi

@@ -1,0 +1,332 @@
+"""MPP tracking from capacitor discharge timing (Section VI-A).
+
+The scheme, per the paper's Fig. 8: the solar node is watched by a few
+sub-microwatt comparators (V0 > V1 > V2).  In steady state the node
+sits near the MPP voltage, above all thresholds.  When the light dims,
+the node discharges; the time it takes to fall from V1 to V2, together
+with the known converter draw, yields the new input power by eq. (7):
+
+    Pin = Pdraw - C (V1^2 - V2^2) / (2 t)
+
+A pre-characterised lookup table maps that power to the new MPP
+voltage and irradiance, and DVFS is retuned so the converter draws
+exactly the new maximum power -- parking the node at the new MPP.
+"No additional circuitry or software" beyond the comparators.
+
+:class:`DischargeTimeMppTracker` is the estimation + lookup + retune
+logic; :class:`MppTrackingController` wraps it as a simulator
+controller for the Fig. 8 waveform reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.operating_point import OperatingPoint, OperatingPointOptimizer
+from repro.core.system import EnergyHarvestingSoC
+from repro.errors import InfeasibleOperatingPointError, ModelParameterError
+from repro.monitor.estimator import DischargeTimePowerEstimator, PowerEstimate
+from repro.monitor.lut import MppLookupTable
+from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
+from repro.storage.capacitor import Capacitor
+
+
+@dataclass(frozen=True)
+class RetuneRecord:
+    """One completed track-and-retune action (for analysis/tests).
+
+    ``estimate`` is None for probe retunes (surplus-driven upward
+    steps), which are not backed by an eq. (7) measurement.
+    """
+
+    time_s: float
+    estimate: "PowerEstimate | None"
+    estimated_irradiance: float
+    new_point: OperatingPoint
+
+
+class DischargeTimeMppTracker:
+    """Estimation, lookup and operating-point retuning.
+
+    Parameters
+    ----------
+    system:
+        The composed SoC.
+    regulator_name:
+        Converter the operating points are computed for.
+    lut:
+        Pre-characterised power-to-MPP table (built offline via
+        :meth:`EnergyHarvestingSoC.build_mpp_lut`).
+    """
+
+    def __init__(
+        self,
+        system: EnergyHarvestingSoC,
+        regulator_name: str,
+        lut: "MppLookupTable | None" = None,
+    ):
+        self.system = system
+        self.regulator_name = regulator_name
+        self.lut = lut or system.build_mpp_lut()
+        self.optimizer = OperatingPointOptimizer(system)
+        self.estimator = DischargeTimePowerEstimator(
+            Capacitor(system.node_capacitance_f)
+        )
+
+    def operating_point_for(self, irradiance: float) -> OperatingPoint:
+        """The holistic operating point for an (estimated) irradiance.
+
+        When the estimated light cannot sustain any operation at all
+        (deep darkness: leakage alone exceeds the harvest), returns a
+        *survival point* -- clock gated, zero draw -- so the controller
+        parks the system instead of browning it out.
+        """
+        try:
+            return self.optimizer.best_point(self.regulator_name, irradiance)
+        except InfeasibleOperatingPointError:
+            floor_v = self.system.processor.min_operating_v
+            return OperatingPoint(
+                processor_voltage_v=floor_v,
+                frequency_hz=0.0,
+                delivered_power_w=0.0,
+                extracted_power_w=0.0,
+                node_voltage_v=floor_v,
+                regulator_name="bypass",
+                bypassed=True,
+            )
+
+    def track(
+        self,
+        upper_v: float,
+        lower_v: float,
+        interval_s: float,
+        node_draw_power_w: float,
+        time_s: float = 0.0,
+    ) -> RetuneRecord:
+        """One full eq. (7) measurement -> LUT -> retune step."""
+        estimate = self.estimator.estimate(
+            upper_v, lower_v, interval_s, node_draw_power_w
+        )
+        entry = self.lut.interpolate(estimate.input_power_w)
+        new_point = self.operating_point_for(entry.irradiance)
+        return RetuneRecord(
+            time_s=time_s,
+            estimate=estimate,
+            estimated_irradiance=entry.irradiance,
+            new_point=new_point,
+        )
+
+
+class MppTrackingController(DvfsController):
+    """Closed-loop discharge-time MPP tracking for the simulator.
+
+    Starts at the operating point for ``initial_irradiance`` and
+    retunes whenever the comparator bank reports the node falling (or
+    rising) through two consecutive thresholds: falling pairs trigger
+    the eq. (7) estimate; rising pairs use the charging-time analogue
+    ``Pin = Pdraw + C (V_hi^2 - V_lo^2) / (2 t)``.  Pairs are only
+    trusted when the two crossings happened within
+    ``max_interval_s`` of each other -- crossings from different light
+    epochs would otherwise combine into a bogus measurement.
+
+    When the node rides *above* the top comparator (harvest surplus
+    with no measurable discharge), the controller probes upward: it
+    scales its irradiance estimate by ``probe_factor`` each settle
+    period until the load again parks the node inside the threshold
+    window -- a comparator-driven hill climb for brightening light.
+    """
+
+    def __init__(
+        self,
+        tracker: DischargeTimeMppTracker,
+        initial_irradiance: float,
+        settle_time_s: float = 2e-3,
+        max_interval_s: float = 10e-3,
+        probe_factor: float = 1.4,
+        probe_margin_v: float = 0.03,
+    ):
+        if settle_time_s < 0.0:
+            raise ModelParameterError(
+                f"settle time must be >= 0, got {settle_time_s}"
+            )
+        if max_interval_s <= 0.0:
+            raise ModelParameterError(
+                f"max interval must be positive, got {max_interval_s}"
+            )
+        if probe_factor <= 1.0:
+            raise ModelParameterError(
+                f"probe factor must exceed 1, got {probe_factor}"
+            )
+        self.tracker = tracker
+        self.initial_irradiance = initial_irradiance
+        self.settle_time_s = settle_time_s
+        self.max_interval_s = max_interval_s
+        self.probe_factor = probe_factor
+        self.probe_margin_v = probe_margin_v
+        self.retunes: "list[RetuneRecord]" = []
+        self._point = tracker.operating_point_for(initial_irradiance)
+        self._irradiance_estimate = initial_irradiance
+        self._crossings: "dict[tuple[float, str], float]" = {}
+        self._last_retune_s = -float("inf")
+        self._last_node_v: "float | None" = None
+
+    def reset(self) -> None:
+        self.retunes.clear()
+        self._point = self.tracker.operating_point_for(self.initial_irradiance)
+        self._irradiance_estimate = self.initial_irradiance
+        self._crossings.clear()
+        self._last_retune_s = -float("inf")
+        self._last_node_v = None
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        """The currently commanded operating point."""
+        return self._point
+
+    def _node_draw_power(self, v_node: float) -> float:
+        """Converter input power at the commanded point (eq. 6's Pout/eta)."""
+        point = self._point
+        if point.bypassed:
+            return point.delivered_power_w
+        regulator = self.tracker.system.regulator(self.tracker.regulator_name)
+        try:
+            return regulator.input_power(
+                point.processor_voltage_v,
+                point.delivered_power_w,
+                v_in=max(v_node, point.processor_voltage_v + 1e-3),
+            )
+        except Exception:
+            return point.extracted_power_w
+
+    def _maybe_retune(self, view: ControllerView) -> None:
+        thresholds = self.tracker.system.comparator_thresholds_v
+        for event in view.comparator_events:
+            self._crossings[(event.threshold_v, event.direction)] = event.time_s
+        if view.time_s - self._last_retune_s < self.settle_time_s:
+            return
+        # Look for a fresh adjacent-threshold pair, preferring the
+        # lowest (latest-crossed) pair for falling, highest for rising.
+        for upper, lower in zip(thresholds, thresholds[1:]):
+            t_upper = self._crossings.get((upper, "falling"))
+            t_lower = self._crossings.get((lower, "falling"))
+            if (
+                t_upper is not None
+                and t_lower is not None
+                and t_lower > t_upper
+                and t_lower > self._last_retune_s
+                and t_lower - t_upper <= self.max_interval_s
+            ):
+                # Evaluate the known draw at the mid-threshold voltage,
+                # the average node voltage during the measurement.
+                draw = self._node_draw_power(0.5 * (upper + lower))
+                record = self.tracker.track(
+                    upper, lower, t_lower - t_upper, draw, time_s=view.time_s
+                )
+                self._apply(record, view.time_s)
+                return
+        for upper, lower in zip(thresholds, thresholds[1:]):
+            t_lower = self._crossings.get((lower, "rising"))
+            t_upper = self._crossings.get((upper, "rising"))
+            if (
+                t_lower is not None
+                and t_upper is not None
+                and t_upper > t_lower
+                and t_upper > self._last_retune_s
+                and t_upper - t_lower <= self.max_interval_s
+            ):
+                draw = self._node_draw_power(0.5 * (upper + lower))
+                released = self.tracker.estimator.capacitor.energy_between(
+                    upper, lower
+                )
+                interval = t_upper - t_lower
+                estimate = PowerEstimate(
+                    input_power_w=draw + released / interval,
+                    interval_s=interval,
+                    upper_v=upper,
+                    lower_v=lower,
+                )
+                entry = self.tracker.lut.interpolate(estimate.input_power_w)
+                record = RetuneRecord(
+                    time_s=view.time_s,
+                    estimate=estimate,
+                    estimated_irradiance=entry.irradiance,
+                    new_point=self.tracker.operating_point_for(entry.irradiance),
+                )
+                self._apply(record, view.time_s)
+                return
+        self._maybe_probe_upward(view)
+        self._maybe_probe_downward(view)
+
+    def _maybe_probe_upward(self, view: ControllerView) -> None:
+        """Hill-climb when the node rides above the top comparator."""
+        # A surplus shows as the node riding above both the top
+        # comparator and the MPP voltage the current estimate predicts
+        # (at the true estimate, MPPT parks the node at that voltage).
+        top = self.tracker.system.comparator_thresholds_v[0]
+        expected = max(top, self._point.node_voltage_v)
+        if view.node_voltage_v <= expected + self.probe_margin_v:
+            return
+        lut_max = max(e.irradiance for e in self.tracker.lut.entries)
+        if self._irradiance_estimate >= lut_max:
+            return
+        probed = min(self._irradiance_estimate * self.probe_factor, lut_max)
+        record = RetuneRecord(
+            time_s=view.time_s,
+            estimate=None,
+            estimated_irradiance=probed,
+            new_point=self.tracker.operating_point_for(probed),
+        )
+        self._apply(record, view.time_s)
+
+    def _maybe_probe_downward(self, view: ControllerView) -> None:
+        """Back off when the node is pinned below the bottom comparator.
+
+        The mirror of the surplus probe: a node parked below every
+        threshold means the estimate is definitely too optimistic
+        (the retune equation had no usable crossing pair -- e.g. the
+        pair straddled two light epochs and was rejected), so the
+        estimate is scaled down until the node recovers into the
+        comparator window.
+        """
+        bottom = self.tracker.system.comparator_thresholds_v[-1]
+        if view.node_voltage_v >= bottom - self.probe_margin_v:
+            return
+        # Only back off while the node is still falling: once a probe
+        # has opened enough headroom for recovery, let it climb back
+        # into the window instead of racing the recovery downward.
+        if (
+            self._last_node_v is not None
+            and view.node_voltage_v > self._last_node_v + 1e-6
+        ):
+            return
+        lut_min = min(e.irradiance for e in self.tracker.lut.entries)
+        if self._irradiance_estimate <= lut_min:
+            return
+        probed = max(self._irradiance_estimate / self.probe_factor, lut_min)
+        record = RetuneRecord(
+            time_s=view.time_s,
+            estimate=None,
+            estimated_irradiance=probed,
+            new_point=self.tracker.operating_point_for(probed),
+        )
+        self._apply(record, view.time_s)
+
+    def _apply(self, record: RetuneRecord, time_s: float) -> None:
+        self.retunes.append(record)
+        self._point = record.new_point
+        self._irradiance_estimate = record.estimated_irradiance
+        self._last_retune_s = time_s
+
+    def decide(self, view: ControllerView) -> ControlDecision:
+        self._maybe_retune(view)
+        self._last_node_v = view.node_voltage_v
+        point = self._point
+        if point.bypassed:
+            return ControlDecision(
+                mode="bypass", frequency_hz=point.frequency_hz
+            )
+        return ControlDecision(
+            mode="regulated",
+            frequency_hz=point.frequency_hz,
+            output_voltage_v=point.processor_voltage_v,
+        )

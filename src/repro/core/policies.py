@@ -1,0 +1,65 @@
+"""Named energy-management policies.
+
+The experiments compare the paper's holistic schemes against the
+conventional module-local strategies.  :class:`Policy` names each one;
+:mod:`repro.core.scheduler` and :mod:`repro.baselines` implement them.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Policy(enum.Enum):
+    """Energy-management strategies the experiments compare.
+
+    The first three are the baselines the paper argues against; the
+    last three are the paper's contributions.
+    """
+
+    #: Direct solar-to-processor connection, no converter (the PVS-style
+    #: setup): the system operates at the I-V intersection of Fig. 6(a).
+    RAW_SOLAR = "raw-solar"
+
+    #: Regulator always on, cell held at MPP, processor voltage chosen
+    #: by the conventional module-local rule (its own best point or its
+    #: own MEP), converter efficiency ignored in the choice.
+    CONVENTIONAL_REGULATED = "conventional-regulated"
+
+    #: Run at the processor's conventional minimum energy point through
+    #: the regulator (the Section V strawman).
+    CONVENTIONAL_MEP = "conventional-mep"
+
+    #: The holistic optimal voltage point of Section IV: regulator
+    #: efficiency folded into the choice, bypass engaged when it wins.
+    HOLISTIC_PERFORMANCE = "holistic-performance"
+
+    #: The holistic minimum energy point of Section V (eq. 5).
+    HOLISTIC_MEP = "holistic-mep"
+
+    #: Section VI: sprint scheduling with end-of-discharge bypass for
+    #: deadline workloads.
+    HOLISTIC_SPRINT = "holistic-sprint"
+
+    @property
+    def is_holistic(self) -> bool:
+        """True for the paper's schemes, False for baselines."""
+        return self in (
+            Policy.HOLISTIC_PERFORMANCE,
+            Policy.HOLISTIC_MEP,
+            Policy.HOLISTIC_SPRINT,
+        )
+
+    @classmethod
+    def baselines(cls) -> "tuple[Policy, ...]":
+        """The conventional strategies."""
+        return (cls.RAW_SOLAR, cls.CONVENTIONAL_REGULATED, cls.CONVENTIONAL_MEP)
+
+    @classmethod
+    def holistic(cls) -> "tuple[Policy, ...]":
+        """The paper's strategies."""
+        return (
+            cls.HOLISTIC_PERFORMANCE,
+            cls.HOLISTIC_MEP,
+            cls.HOLISTIC_SPRINT,
+        )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError` so callers can catch the whole family with one
+``except`` clause while still discriminating the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ModelParameterError(ReproError, ValueError):
+    """A model was constructed with physically meaningless parameters.
+
+    Examples: a negative capacitance, a conversion efficiency above 1,
+    a threshold voltage above the supply range.
+    """
+
+
+class OperatingRangeError(ReproError, ValueError):
+    """A component was asked to operate outside its valid range.
+
+    Examples: requesting a regulator output above its input voltage,
+    evaluating processor frequency at a negative supply.
+    """
+
+
+class InfeasibleOperatingPointError(ReproError):
+    """No operating point satisfies the requested constraints.
+
+    Raised by the optimizers when, e.g., the harvested power cannot
+    sustain even the minimum-voltage / minimum-frequency setting, or a
+    deadline is shorter than the fastest possible execution.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """A numerical solver failed to converge within its iteration budget."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The transient simulator entered an invalid state.
+
+    Examples: non-finite node voltage, event queue corruption, a step
+    size that collapsed to zero.
+    """
+
+
+class BrownoutError(SimulationError):
+    """The supply voltage fell below the minimum operating voltage.
+
+    Carries the simulation time at which the brownout occurred so
+    schedulers and tests can reason about how far execution got.
+    """
+
+    def __init__(self, message: str, time_s: float):
+        super().__init__(message)
+        self.time_s = time_s
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """Raised by the intermittent-computing runtime on checkpoint misuse."""

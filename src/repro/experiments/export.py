@@ -1,0 +1,129 @@
+"""Serialize experiment results to JSON.
+
+The benches print text; downstream users who want to *plot* the figures
+need the raw series.  :func:`export_figure` runs one figure driver and
+returns a plain JSON-serialisable dict (numpy arrays become lists,
+dataclasses become dicts); :func:`export_all` writes every figure to a
+directory, one ``figN.json`` each.  The CLI's ``figures`` command wraps
+this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.system import EnergyHarvestingSoC, paper_system
+from repro.errors import ModelParameterError
+
+#: Figure id -> (driver import path, callable name).  Heavy transient
+#: figures (8, 9b, 11b) are included; expect seconds per figure.
+FIGURE_DRIVERS = {
+    "fig2": ("repro.experiments.fig2_iv_curves", "fig2_iv_curves"),
+    "fig3": ("repro.experiments.fig3_ldo", "fig3_ldo_efficiency"),
+    "fig4": ("repro.experiments.fig4_sc", "fig4_sc_efficiency"),
+    "fig5": ("repro.experiments.fig5_buck", "fig5_buck_efficiency"),
+    "fig6a": ("repro.experiments.fig6_operating_points", "fig6a_power_curves"),
+    "fig6b": (
+        "repro.experiments.fig6_operating_points",
+        "fig6b_regulated_comparison",
+    ),
+    "fig7a": ("repro.experiments.fig7_light_and_mep", "fig7a_light_sweep"),
+    "fig7b": ("repro.experiments.fig7_light_and_mep", "fig7b_mep_comparison"),
+    "fig8": ("repro.experiments.fig8_mppt", "fig8_mppt_tracking"),
+    "fig9a": ("repro.experiments.fig9_sprint", "fig9a_completion_time"),
+    "fig9b": ("repro.experiments.fig9_sprint", "fig9b_sprint_gains"),
+    "fig11a": ("repro.experiments.fig11_demo", "fig11a_chip_characteristics"),
+    "fig11b": ("repro.experiments.fig11_demo", "fig11b_sprint_waveform"),
+}
+
+#: Figures light enough for interactive use (no transient simulation).
+FAST_FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7a",
+                "fig7b", "fig9a")
+
+
+def to_jsonable(value, max_array: int = 100_000):
+    """Recursively convert experiment results to JSON-serialisable data.
+
+    Handles dataclasses, numpy arrays/scalars, dicts, sequences, and
+    non-finite floats (encoded as strings, since JSON has no inf/nan).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name), max_array)
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        if value.size > max_array:
+            raise ModelParameterError(
+                f"array of {value.size} elements exceeds export cap"
+            )
+        return [to_jsonable(v, max_array) for v in value.tolist()]
+    if isinstance(value, (np.floating, np.integer)):
+        return to_jsonable(value.item(), max_array)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v, max_array) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v, max_array) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "__dict__") and not callable(value):
+        return {
+            k: to_jsonable(v, max_array)
+            for k, v in vars(value).items()
+            if not k.startswith("_")
+        }
+    return str(value)
+
+
+def export_figure(
+    figure_id: str, system: "EnergyHarvestingSoC | None" = None
+) -> dict:
+    """Run one figure driver and return its JSON-ready payload."""
+    if figure_id not in FIGURE_DRIVERS:
+        raise ModelParameterError(
+            f"unknown figure {figure_id!r}; available: "
+            f"{sorted(FIGURE_DRIVERS)}"
+        )
+    module_path, function_name = FIGURE_DRIVERS[figure_id]
+    module = __import__(module_path, fromlist=[function_name])
+    driver = getattr(module, function_name)
+    if system is None:
+        system = paper_system()
+    # Drivers take either the system or (for fig2/3/4/5) a component.
+    if figure_id == "fig2":
+        result = driver(system.cell)
+    elif figure_id in ("fig3", "fig4", "fig5"):
+        result = driver()
+    else:
+        result = driver(system)
+    return {"figure": figure_id, "data": to_jsonable(result)}
+
+
+def export_all(
+    directory: "str | Path",
+    figures=FAST_FIGURES,
+    system: "EnergyHarvestingSoC | None" = None,
+) -> "list[Path]":
+    """Write each requested figure to ``<directory>/<fig>.json``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    if system is None:
+        system = paper_system()
+    written = []
+    for figure_id in figures:
+        payload = export_figure(figure_id, system)
+        path = target / f"{figure_id}.json"
+        path.write_text(json.dumps(payload, indent=2))
+        written.append(path)
+    return written

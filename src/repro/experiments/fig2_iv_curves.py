@@ -1,0 +1,63 @@
+"""Fig. 2 -- solar cell I-V curves under variable light.
+
+The paper measures the KXOB22 cell with a variable load while moving it
+between outdoor and indoor areas; the curves scale in current with the
+quantity of light.  This driver sweeps the calibrated cell model over
+the standard condition set and reports the curve family plus the
+scalar anchors (Isc, Voc, MPP per condition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pv.cell import SingleDiodeCell, kxob22_cell
+from repro.pv.environment import STANDARD_CONDITIONS, LightCondition
+from repro.pv.mpp import find_mpp
+
+
+@dataclass(frozen=True)
+class IvCurve:
+    """One condition's curve and anchors."""
+
+    condition: LightCondition
+    voltage_v: np.ndarray
+    current_a: np.ndarray
+    isc_a: float
+    voc_v: float
+    mpp_voltage_v: float
+    mpp_power_w: float
+
+
+def fig2_iv_curves(
+    cell: "SingleDiodeCell | None" = None,
+    conditions: "tuple[LightCondition, ...]" = STANDARD_CONDITIONS,
+    points: int = 80,
+) -> "list[IvCurve]":
+    """Compute the Fig. 2 curve family, strongest condition first."""
+    if cell is None:
+        cell = kxob22_cell()
+    curves = []
+    for condition in conditions:
+        voc = cell.open_circuit_voltage(condition.irradiance)
+        voltages = np.linspace(0.0, max(voc, 1e-3), points)
+        currents = (
+            cell.current(voltages, condition.irradiance)
+            if voc > 0.0
+            else np.zeros(points)
+        )
+        mpp = find_mpp(cell, condition.irradiance)
+        curves.append(
+            IvCurve(
+                condition=condition,
+                voltage_v=voltages,
+                current_a=np.asarray(currents),
+                isc_a=cell.short_circuit_current(condition.irradiance),
+                voc_v=voc,
+                mpp_voltage_v=mpp.voltage_v,
+                mpp_power_w=mpp.power_w,
+            )
+        )
+    return curves

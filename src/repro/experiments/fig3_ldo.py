@@ -1,0 +1,55 @@
+"""Fig. 3 -- LDO efficiency versus output voltage.
+
+The paper's 65 nm LDO shows the textbook resistive-division line:
+efficiency proportional to output voltage, ~45% at 0.55 V, essentially
+load-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OperatingRangeError
+from repro.regulators.ldo import LinearRegulator, paper_ldo
+
+#: The paper's full-load anchor: ~10 mW delivered.
+FULL_LOAD_W = 10e-3
+
+
+@dataclass(frozen=True)
+class LdoEfficiencyCurve:
+    """The Fig. 3 sweep plus the quoted anchor."""
+
+    voltage_v: np.ndarray
+    efficiency: np.ndarray
+    anchor_voltage_v: float
+    anchor_efficiency: float
+
+
+def fig3_ldo_efficiency(
+    regulator: "LinearRegulator | None" = None,
+    load_w: float = FULL_LOAD_W,
+    points: int = 60,
+) -> LdoEfficiencyCurve:
+    """Sweep the LDO efficiency across its output range."""
+    if regulator is None:
+        regulator = paper_ldo()
+    voltages = np.linspace(
+        regulator.min_output_v,
+        min(regulator.max_output_v, regulator.nominal_input_v - regulator.dropout_v),
+        points,
+    )
+    efficiencies = np.empty(points)
+    for i, v in enumerate(voltages):
+        try:
+            efficiencies[i] = regulator.efficiency(float(v), load_w)
+        except OperatingRangeError:
+            efficiencies[i] = np.nan
+    return LdoEfficiencyCurve(
+        voltage_v=voltages,
+        efficiency=efficiencies,
+        anchor_voltage_v=0.55,
+        anchor_efficiency=regulator.efficiency(0.55, load_w),
+    )

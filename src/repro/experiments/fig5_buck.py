@@ -1,0 +1,57 @@
+"""Fig. 5 -- buck regulator efficiency, full and half load.
+
+The paper's on-chip buck: 63% at 0.55 V full load, 58% at half load,
+40-75% across its 0.3-0.8 V output range -- better than the SC at high
+output power, equal or worse at light load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OperatingRangeError
+from repro.regulators.buck import BuckRegulator, paper_buck
+
+#: The paper's load anchors at 0.55 V.
+FULL_LOAD_W = 10e-3
+HALF_LOAD_W = 5e-3
+
+
+@dataclass(frozen=True)
+class BuckEfficiencyCurves:
+    """Full- and half-load sweeps plus the 0.55 V anchors."""
+
+    voltage_v: np.ndarray
+    efficiency_full: np.ndarray
+    efficiency_half: np.ndarray
+    anchor_full: float
+    anchor_half: float
+
+
+def fig5_buck_efficiency(
+    regulator: "BuckRegulator | None" = None,
+    points: int = 60,
+) -> BuckEfficiencyCurves:
+    """Sweep buck efficiency across output voltage at both load anchors."""
+    if regulator is None:
+        regulator = paper_buck()
+    voltages = np.linspace(regulator.min_output_v, regulator.max_output_v, points)
+
+    def sweep(load_w: float) -> np.ndarray:
+        out = np.empty(points)
+        for i, v in enumerate(voltages):
+            try:
+                out[i] = regulator.efficiency(float(v), load_w)
+            except OperatingRangeError:
+                out[i] = np.nan
+        return out
+
+    return BuckEfficiencyCurves(
+        voltage_v=voltages,
+        efficiency_full=sweep(FULL_LOAD_W),
+        efficiency_half=sweep(HALF_LOAD_W),
+        anchor_full=regulator.efficiency(0.55, FULL_LOAD_W),
+        anchor_half=regulator.efficiency(0.55, HALF_LOAD_W),
+    )

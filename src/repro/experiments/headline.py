@@ -1,0 +1,68 @@
+"""The paper's headline claims, aggregated (abstract / conclusions).
+
+* "up to 30% savings can be achieved with a holistic view of the
+  system compared with conventional rule of thumb" -- the holistic-MEP
+  saving over operating at the conventional MEP;
+* "20% additional energy savings" / "up to 20% boost of the available
+  energy" -- the scheduling schemes (sprint + bypass) against
+  constant-speed regulated operation;
+* the Section IV gains: more extracted power and speedup with the SC
+  regulator at strong light, bypass preferred at low light.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mep import HolisticMepOptimizer
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.core.system import EnergyHarvestingSoC, paper_system
+from repro.experiments.fig7_light_and_mep import fig7a_light_sweep
+from repro.experiments.fig11_demo import fig11b_sprint_waveform
+
+
+@dataclass(frozen=True)
+class HeadlineClaims:
+    """Measured values for every abstract-level claim."""
+
+    #: Fig. 6(b): delivered-power and speed gain of the best SC point
+    #: over direct connection at full sun.
+    sc_power_gain: float
+    sc_speed_gain: float
+    #: Extracted-from-cell gain (the MPP story).
+    sc_extraction_gain: float
+    #: Fig. 7(a): matched-voltage regulated/raw gain at quarter sun
+    #: (negative = bypass wins).
+    quarter_sun_window_gain: float
+    #: Fig. 7(b): holistic-MEP saving over conventional MEP (SC).
+    mep_saving: float
+    mep_voltage_shift_v: float
+    #: Section VI/VII: sprint solar-energy gain and bypass extension.
+    sprint_energy_gain: float
+    bypass_extension_fraction: float
+
+
+def headline_claims(
+    system: "EnergyHarvestingSoC | None" = None,
+) -> HeadlineClaims:
+    """Compute every headline metric from the public API."""
+    if system is None:
+        system = paper_system()
+    optimizer = OperatingPointOptimizer(system)
+    raw = optimizer.unregulated_point(1.0)
+    sc = optimizer.regulated_point("sc", 1.0)
+    mep = HolisticMepOptimizer(system).compare("sc")
+    quarter = [
+        e for e in fig7a_light_sweep(system) if abs(e.irradiance - 0.25) < 1e-9
+    ][0]
+    demo = fig11b_sprint_waveform(system)
+    return HeadlineClaims(
+        sc_power_gain=sc.delivered_power_w / raw.delivered_power_w - 1.0,
+        sc_speed_gain=sc.frequency_hz / raw.frequency_hz - 1.0,
+        sc_extraction_gain=sc.extracted_power_w / raw.extracted_power_w - 1.0,
+        quarter_sun_window_gain=quarter.window_gain,
+        mep_saving=mep.energy_saving_fraction,
+        mep_voltage_shift_v=mep.voltage_shift_v,
+        sprint_energy_gain=demo.analytic_sprint_energy_gain,
+        bypass_extension_fraction=demo.bypass_extension_fraction,
+    )

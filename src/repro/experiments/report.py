@@ -1,0 +1,66 @@
+"""Plain-text table/series formatting shared by the benches.
+
+The paper reports its results as figures; the benches print the same
+data as aligned text tables so a terminal run of the benchmark suite
+reads like the evaluation section.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ModelParameterError
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], precision: int = 3
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are fixed to ``precision`` digits; everything else is
+    ``str()``-ed.  Column widths adapt to content.
+    """
+    if not headers:
+        raise ModelParameterError("a table needs at least one header")
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ModelParameterError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  every: int = 1, precision: int = 4) -> str:
+    """Render an (x, y) series compactly, decimated by ``every``."""
+    if every < 1:
+        raise ModelParameterError(f"every must be >= 1, got {every}")
+    pairs = [
+        f"({x:.{precision}g}, {y:.{precision}g})"
+        for x, y in list(zip(xs, ys))[::every]
+    ]
+    return f"{name}: " + " ".join(pairs)
+
+
+def paper_vs_measured(
+    claims: "Iterable[tuple[str, str, str]]",
+) -> str:
+    """Render (claim, paper value, measured value) triples."""
+    return format_table(["claim", "paper", "measured"], claims)

@@ -1,0 +1,34 @@
+"""The harvester interface the energy machinery consumes.
+
+Defined as a :class:`typing.Protocol` (structural typing): any object
+with these methods works everywhere a
+:class:`~repro.pv.cell.SingleDiodeCell` does -- the optimizers, the
+MPP solver (:func:`repro.pv.mpp.find_mpp` accepts any harvester), the
+lookup-table builder and the transient simulator.
+
+The ``intensity`` argument generalises the solar code's ``irradiance``:
+relative environmental strength on [0, ~1.2], where 1.0 is the
+reference condition (full sun for a cell, nominal temperature gradient
+for a TEG).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Harvester(Protocol):
+    """Structural interface of an energy harvester."""
+
+    def current(self, voltage, irradiance: float = 1.0):
+        """Terminal current at the given voltage(s) [A]."""
+
+    def power(self, voltage, irradiance: float = 1.0):
+        """Delivered power ``V * I(V)`` [W]."""
+
+    def open_circuit_voltage(self, irradiance: float = 1.0) -> float:
+        """Voltage at zero terminal current [V]."""
+
+    def short_circuit_current(self, irradiance: float = 1.0) -> float:
+        """Current at zero terminal voltage [A]."""

@@ -1,0 +1,94 @@
+"""Two-phase non-volatile checkpoint store.
+
+Models the double-buffered commit discipline of intermittent runtimes
+(the paper's refs [14], [16]): non-volatile memory holds two snapshot
+slots plus a validity flag; a commit writes the inactive slot first and
+flips the flag last, so a power failure at *any* instant leaves one
+complete, consistent snapshot.  :meth:`CheckpointStore.crash_during_commit`
+exercises exactly that failure window for the tests.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from repro.errors import CheckpointError
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One committed snapshot: progress index plus application state."""
+
+    task_index: int
+    state: dict
+    commit_count: int
+
+    def __post_init__(self) -> None:
+        if self.task_index < 0:
+            raise CheckpointError(
+                f"task index must be >= 0, got {self.task_index}"
+            )
+
+
+class CheckpointStore:
+    """Double-buffered snapshot storage with atomic flag flip."""
+
+    def __init__(self):
+        self._slots: "list[Checkpoint | None]" = [None, None]
+        self._active: int = 0
+        self._commits: int = 0
+        # The initial state: nothing done, empty application state.
+        self._slots[0] = Checkpoint(task_index=0, state={}, commit_count=0)
+
+    @property
+    def commit_count(self) -> int:
+        """Number of successful commits so far."""
+        return self._commits
+
+    def restore(self) -> Checkpoint:
+        """The snapshot a reboot resumes from (always consistent)."""
+        snapshot = self._slots[self._active]
+        if snapshot is None:
+            raise CheckpointError("no valid checkpoint slot (store corrupt)")
+        return snapshot
+
+    def commit(self, task_index: int, state: dict) -> Checkpoint:
+        """Atomically commit progress.
+
+        The inactive slot is written completely before the active-slot
+        flag flips; only then does the new snapshot become the restore
+        target.
+        """
+        if task_index < self.restore().task_index:
+            raise CheckpointError(
+                f"commit would move progress backwards: "
+                f"{task_index} < {self.restore().task_index}"
+            )
+        inactive = 1 - self._active
+        self._commits += 1
+        snapshot = Checkpoint(
+            task_index=task_index,
+            state=copy.deepcopy(state),
+            commit_count=self._commits,
+        )
+        self._slots[inactive] = snapshot
+        # The atomic flag flip: everything before this line is invisible
+        # to restore(); everything after it is durable.
+        self._active = inactive
+        return snapshot
+
+    def crash_during_commit(self, task_index: int, state: dict) -> None:
+        """Simulate power failing after the slot write, before the flip.
+
+        The inactive slot holds the half-committed snapshot but the
+        flag still points at the old one -- restore() must return the
+        previous consistent state.  Used by failure-injection tests.
+        """
+        inactive = 1 - self._active
+        self._slots[inactive] = Checkpoint(
+            task_index=task_index,
+            state=copy.deepcopy(state),
+            commit_count=self._commits + 1,
+        )
+        # No flag flip: the crash hit between the two phases.

@@ -1,0 +1,127 @@
+"""Energy-aligned atomic tasks.
+
+The task decomposition of intermittent computing (the paper's ref [16],
+Alpaca): an application is rewritten as a chain of tasks, each small
+enough to complete on a realistic energy packet and each *atomic* --
+its effects commit only at the task boundary, so a power failure
+mid-task is equivalent to the task never having started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class Task:
+    """One atomic unit of computation.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    cycles:
+        Clock cycles the task needs (its energy cost follows from the
+        operating point it runs at).
+    action:
+        Optional side-effect run when the task *commits* -- it receives
+        and returns the runtime's state dict.  Because it runs at
+        commit time only, a mid-task power failure never half-applies
+        it: exactly the task-atomicity contract.
+    """
+
+    name: str
+    cycles: int
+    action: "Callable[[dict], dict] | None" = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelParameterError("task needs a non-empty name")
+        if self.cycles <= 0:
+            raise ModelParameterError(
+                f"task cycle count must be positive, got {self.cycles}"
+            )
+
+    def commit(self, state: dict) -> dict:
+        """Apply the task's committed effect to the state."""
+        if self.action is None:
+            return state
+        result = self.action(dict(state))
+        if not isinstance(result, dict):
+            raise ModelParameterError(
+                f"task {self.name!r} action must return a state dict"
+            )
+        return result
+
+
+@dataclass(frozen=True)
+class TaskChain:
+    """An ordered chain of atomic tasks (the rewritten application)."""
+
+    tasks: "tuple[Task, ...]"
+    name: str = "chain"
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ModelParameterError("a task chain needs at least one task")
+        names = [t.name for t in self.tasks]
+        if len(set(names)) != len(names):
+            raise ModelParameterError(
+                f"task names must be unique, got duplicates in {names}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self.tasks[index]
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles to execute the whole chain once, failure-free."""
+        return sum(t.cycles for t in self.tasks)
+
+    @property
+    def largest_task_cycles(self) -> int:
+        """The chain's atomicity granularity.
+
+        A task larger than the energy packet one capacitor charge can
+        fund will *never* complete -- the non-termination hazard task
+        decomposition exists to avoid.  The runtime checks this bound.
+        """
+        return max(t.cycles for t in self.tasks)
+
+    @staticmethod
+    def evenly_split(
+        name: str, total_cycles: int, task_count: int,
+        action: "Callable[[dict], dict] | None" = None,
+    ) -> "TaskChain":
+        """Split a monolithic workload into ``task_count`` equal tasks."""
+        if task_count < 1:
+            raise ModelParameterError(
+                f"task count must be >= 1, got {task_count}"
+            )
+        if total_cycles < task_count:
+            raise ModelParameterError(
+                f"cannot split {total_cycles} cycles into {task_count} tasks"
+            )
+        base = total_cycles // task_count
+        remainder = total_cycles - base * task_count
+        tasks = []
+        for i in range(task_count):
+            cycles = base + (1 if i < remainder else 0)
+            tasks.append(Task(f"{name}-{i}", cycles, action))
+        return TaskChain(tuple(tasks), name=name)
+
+
+def chain_from_cycle_counts(
+    name: str, cycle_counts: Sequence[int]
+) -> TaskChain:
+    """Build a chain from explicit per-task cycle counts."""
+    tasks = tuple(
+        Task(f"{name}-{i}", cycles) for i, cycles in enumerate(cycle_counts)
+    )
+    return TaskChain(tasks, name=name)

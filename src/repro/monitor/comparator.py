@@ -1,0 +1,155 @@
+"""Threshold comparators with hysteresis.
+
+Models the sub-microwatt comparators on the paper's test PCB (Fig. 10):
+each watches the solar-node voltage against one threshold (the V0, V1,
+V2 levels of Fig. 8) and timestamps crossings.  Hysteresis prevents
+chatter from simulation noise and converter ripple, exactly as a
+physical comparator's built-in hysteresis does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class CrossingEvent:
+    """One timestamped threshold crossing."""
+
+    time_s: float
+    threshold_v: float
+    direction: str  # "falling" or "rising"
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("falling", "rising"):
+            raise ModelParameterError(
+                f"direction must be 'falling' or 'rising', got {self.direction!r}"
+            )
+
+
+class ThresholdComparator:
+    """A single comparator watching one threshold.
+
+    Feed it samples via :meth:`observe`; it returns a
+    :class:`CrossingEvent` when the monitored voltage crosses the
+    threshold (with hysteresis), else ``None``.
+
+    Parameters
+    ----------
+    threshold_v:
+        Nominal comparison level.
+    hysteresis_v:
+        Total hysteresis width: after a falling trip, the input must
+        rise above ``threshold + hysteresis`` before a rising trip can
+        occur, and vice versa.
+    power_w:
+        The comparator's own draw (the paper's are < 0.1 uW); exposed so
+        system accounting can include monitor overhead.
+    """
+
+    def __init__(
+        self,
+        threshold_v: float,
+        hysteresis_v: float = 5e-3,
+        power_w: float = 0.1e-6,
+    ):
+        if threshold_v <= 0.0:
+            raise ModelParameterError(
+                f"threshold must be positive, got {threshold_v}"
+            )
+        if hysteresis_v < 0.0:
+            raise ModelParameterError(
+                f"hysteresis must be >= 0, got {hysteresis_v}"
+            )
+        if power_w < 0.0:
+            raise ModelParameterError(f"power must be >= 0, got {power_w}")
+        self.threshold_v = threshold_v
+        self.hysteresis_v = hysteresis_v
+        self.power_w = power_w
+        self._state: "bool | None" = None  # True = input above threshold
+
+    def reset(self) -> None:
+        """Forget the input state (e.g. at simulation restart)."""
+        self._state = None
+
+    def observe(self, time_s: float, voltage_v: float) -> "CrossingEvent | None":
+        """Feed one sample; report a crossing if one occurred."""
+        if self._state is None:
+            self._state = voltage_v >= self.threshold_v
+            return None
+        if self._state and voltage_v < self.threshold_v - 0.5 * self.hysteresis_v:
+            self._state = False
+            return CrossingEvent(time_s, self.threshold_v, "falling")
+        if not self._state and voltage_v > self.threshold_v + 0.5 * self.hysteresis_v:
+            self._state = True
+            return CrossingEvent(time_s, self.threshold_v, "rising")
+        return None
+
+
+class ComparatorBank:
+    """The PCB's set of comparators observed together.
+
+    Observing the bank fans one sample out to every comparator and
+    collects all crossings, maintaining a bounded history for the
+    estimator to consume.
+    """
+
+    def __init__(self, thresholds_v: Sequence[float], hysteresis_v: float = 5e-3):
+        if not thresholds_v:
+            raise ModelParameterError("comparator bank needs at least one threshold")
+        if len(set(thresholds_v)) != len(thresholds_v):
+            raise ModelParameterError("comparator thresholds must be distinct")
+        self.comparators = [
+            ThresholdComparator(t, hysteresis_v) for t in sorted(thresholds_v, reverse=True)
+        ]
+        self.history: List[CrossingEvent] = []
+
+    @property
+    def thresholds_v(self) -> "tuple[float, ...]":
+        """Thresholds, highest first (the paper's V0 > V1 > V2 order)."""
+        return tuple(c.threshold_v for c in self.comparators)
+
+    @property
+    def total_power_w(self) -> float:
+        """Aggregate comparator draw for system accounting."""
+        return sum(c.power_w for c in self.comparators)
+
+    def reset(self) -> None:
+        """Clear input states and crossing history."""
+        for comparator in self.comparators:
+            comparator.reset()
+        self.history.clear()
+
+    def observe(self, time_s: float, voltage_v: float) -> "list[CrossingEvent]":
+        """Feed one sample to every comparator; return new crossings."""
+        events = []
+        for comparator in self.comparators:
+            event = comparator.observe(time_s, voltage_v)
+            if event is not None:
+                events.append(event)
+                self.history.append(event)
+        return events
+
+    def last_falling_interval(
+        self, upper_v: float, lower_v: float
+    ) -> "tuple[float, float] | None":
+        """Times of the most recent falling crossings of two thresholds.
+
+        Returns ``(t_upper, t_lower)`` for the latest falling crossing
+        of ``lower_v`` preceded by a falling crossing of ``upper_v``, or
+        ``None`` if that pair has not happened yet.  This is the ``t``
+        measurement of the paper's eq. (7).
+        """
+        t_lower = None
+        for event in reversed(self.history):
+            if event.direction != "falling":
+                continue
+            if t_lower is None and event.threshold_v == lower_v:
+                t_lower = event.time_s
+                continue
+            if t_lower is not None and event.threshold_v == upper_v:
+                return (event.time_s, t_lower)
+        return None

@@ -1,0 +1,113 @@
+"""Input-power estimation from capacitor discharge timing.
+
+The paper's Section VI-A scheme (eqs. 6-7): when the light changes, the
+solar-node capacitor charges or discharges toward the new equilibrium.
+While the node falls from comparator threshold ``V1`` to ``V2`` over a
+measured time ``t``, energy balance gives
+
+    (Pin - Pdraw) * t = -C/2 * (V1^2 - V2^2)
+
+so the unknown harvest power is
+
+    Pin = Pdraw - C * (V1^2 - V2^2) / (2 t)          (eq. 7)
+
+where ``Pdraw`` is the power the regulator pulls from the node --
+"a known function of voltage and clock speed of the microprocessor".
+No current sensing is needed; that is the scheme's selling point over
+prior MPPT hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError, OperatingRangeError
+from repro.storage.capacitor import Capacitor
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Result of one discharge-time measurement."""
+
+    input_power_w: float
+    interval_s: float
+    upper_v: float
+    lower_v: float
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0.0:
+            raise ModelParameterError(
+                f"measurement interval must be positive, got {self.interval_s}"
+            )
+
+
+class DischargeTimePowerEstimator:
+    """Implements eq. (7) for a given node capacitor.
+
+    Parameters
+    ----------
+    capacitor:
+        The solar-node capacitor (only its capacitance is used; the
+        estimator never mutates it).
+    """
+
+    def __init__(self, capacitor: Capacitor):
+        self.capacitor = capacitor
+
+    def estimate(
+        self,
+        upper_v: float,
+        lower_v: float,
+        interval_s: float,
+        node_draw_power_w: float,
+    ) -> PowerEstimate:
+        """Estimate harvest power from one V-upper -> V-lower traversal.
+
+        Parameters
+        ----------
+        upper_v / lower_v:
+            The comparator thresholds crossed (``V1 > V2``).
+        interval_s:
+            Measured time between the two falling crossings.
+        node_draw_power_w:
+            Power the converter was drawing from the node during the
+            interval (regulator input power at the commanded DVFS
+            point) -- the known quantity of eq. (6).
+        """
+        if lower_v >= upper_v:
+            raise OperatingRangeError(
+                f"thresholds must satisfy V1 > V2, got {upper_v} <= {lower_v}"
+            )
+        if interval_s <= 0.0:
+            raise OperatingRangeError(
+                f"interval must be positive, got {interval_s}"
+            )
+        if node_draw_power_w < 0.0:
+            raise OperatingRangeError(
+                f"node draw must be >= 0, got {node_draw_power_w}"
+            )
+        released = self.capacitor.energy_between(upper_v, lower_v)
+        input_power = node_draw_power_w - released / interval_s
+        return PowerEstimate(
+            input_power_w=max(0.0, input_power),
+            interval_s=interval_s,
+            upper_v=upper_v,
+            lower_v=lower_v,
+        )
+
+    def expected_interval(
+        self, upper_v: float, lower_v: float, input_power_w: float,
+        node_draw_power_w: float,
+    ) -> float:
+        """Forward model: traversal time for a known harvest power.
+
+        Used by tests (round-trip with :meth:`estimate`) and by the
+        tracker to pick thresholds giving measurable intervals.  Raises
+        when the node is not actually discharging (draw <= harvest).
+        """
+        deficit = node_draw_power_w - input_power_w
+        if deficit <= 0.0:
+            raise OperatingRangeError(
+                "node is not discharging: draw must exceed harvest power"
+            )
+        return self.capacitor.energy_between(upper_v, lower_v) / deficit

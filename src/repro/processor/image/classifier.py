@@ -1,0 +1,74 @@
+"""Pattern classifier (the chip's "Classifier" block).
+
+A nearest-centroid classifier over frame descriptors: tiny state (one
+centroid per class), one dot-product sweep per classification -- the
+kind of classifier that fits a 4 mm^2 65 nm die next to its feature
+pipeline.  Training is a single averaging pass over labelled
+descriptors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+
+
+class NearestCentroidClassifier:
+    """Nearest-centroid classification of feature descriptors."""
+
+    def __init__(self):
+        self._centroids: "dict[str, np.ndarray]" = {}
+
+    @property
+    def classes(self) -> "tuple[str, ...]":
+        """Labels the classifier has been trained on, sorted."""
+        return tuple(sorted(self._centroids))
+
+    @property
+    def is_trained(self) -> bool:
+        """True once at least one class centroid exists."""
+        return bool(self._centroids)
+
+    def fit(self, descriptors: "list[np.ndarray]", labels: "list[str]") -> None:
+        """Compute one centroid per label from the training descriptors."""
+        if len(descriptors) != len(labels):
+            raise ModelParameterError(
+                f"{len(descriptors)} descriptors but {len(labels)} labels"
+            )
+        if not descriptors:
+            raise ModelParameterError("training set must not be empty")
+        lengths = {len(np.asarray(d).ravel()) for d in descriptors}
+        if len(lengths) != 1:
+            raise ModelParameterError(
+                f"descriptors have inconsistent lengths: {sorted(lengths)}"
+            )
+        grouped: "dict[str, list[np.ndarray]]" = {}
+        for descriptor, label in zip(descriptors, labels):
+            grouped.setdefault(label, []).append(
+                np.asarray(descriptor, dtype=float).ravel()
+            )
+        self._centroids = {
+            label: np.mean(group, axis=0) for label, group in grouped.items()
+        }
+
+    def scores(self, descriptor: np.ndarray) -> "dict[str, float]":
+        """Negative squared distance to each centroid (higher = closer)."""
+        if not self._centroids:
+            raise ModelParameterError("classifier has not been trained")
+        d = np.asarray(descriptor, dtype=float).ravel()
+        result = {}
+        for label, centroid in self._centroids.items():
+            if centroid.shape != d.shape:
+                raise ModelParameterError(
+                    f"descriptor length {d.shape[0]} does not match "
+                    f"training length {centroid.shape[0]}"
+                )
+            diff = d - centroid
+            result[label] = -float(diff @ diff)
+        return result
+
+    def predict(self, descriptor: np.ndarray) -> str:
+        """The label whose centroid is nearest to the descriptor."""
+        scores = self.scores(descriptor)
+        return max(scores, key=scores.get)

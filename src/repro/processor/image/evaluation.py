@@ -1,0 +1,96 @@
+"""Recognition-quality evaluation utilities.
+
+The energy side of the library measures joules and hertz; these helpers
+measure whether the test vehicle still *recognises* anything -- the
+application-level regression check for the examples and tests, and the
+tool for studying accuracy-versus-noise tradeoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.processor.image.frames import FrameGenerator
+from repro.processor.image.pipeline import ImageProcessor
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Outcome of one evaluation sweep."""
+
+    total: int
+    correct: int
+    #: confusion[truth][predicted] = count
+    confusion: "dict[str, dict[str, int]]"
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of frames classified correctly."""
+        if self.total == 0:
+            return 0.0
+        return self.correct / self.total
+
+    def per_class_accuracy(self) -> "dict[str, float]":
+        """Recall per true class."""
+        result = {}
+        for truth, row in self.confusion.items():
+            seen = sum(row.values())
+            result[truth] = row.get(truth, 0) / seen if seen else 0.0
+        return result
+
+    def most_confused_pair(self) -> "tuple[str, str, int] | None":
+        """(truth, predicted, count) of the worst off-diagonal cell."""
+        worst = None
+        for truth, row in self.confusion.items():
+            for predicted, count in row.items():
+                if predicted == truth or count == 0:
+                    continue
+                if worst is None or count > worst[2]:
+                    worst = (truth, predicted, count)
+        return worst
+
+
+def evaluate_accuracy(
+    processor: ImageProcessor,
+    frames: int = 50,
+    seed: int = 1000,
+    noise: float = 0.05,
+    size: int = 64,
+) -> AccuracyReport:
+    """Classify ``frames`` held-out synthetic frames and tally results.
+
+    The generator seed is offset from the training seeds used by
+    :meth:`ImageProcessor.train_on_patterns`, so frames are unseen.
+    """
+    if frames < 1:
+        raise ModelParameterError(f"need at least 1 frame, got {frames}")
+    if not processor.classifier.is_trained:
+        raise ModelParameterError("processor must be trained first")
+    generator = FrameGenerator(seed=seed, size=size, noise=noise)
+    confusion: "dict[str, dict[str, int]]" = {}
+    correct = 0
+    for index in range(frames):
+        frame, truth = generator.frame(index)
+        predicted = processor.recognise(frame).label
+        confusion.setdefault(truth, {})
+        confusion[truth][predicted] = confusion[truth].get(predicted, 0) + 1
+        if predicted == truth:
+            correct += 1
+    return AccuracyReport(total=frames, correct=correct, confusion=confusion)
+
+
+def accuracy_versus_noise(
+    processor: ImageProcessor,
+    noise_levels,
+    frames: int = 30,
+    seed: int = 2000,
+) -> "list[tuple[float, float]]":
+    """(noise, accuracy) pairs -- the robustness curve of the pipeline."""
+    curve = []
+    for noise in noise_levels:
+        report = evaluate_accuracy(
+            processor, frames=frames, seed=seed, noise=float(noise)
+        )
+        curve.append((float(noise), report.accuracy))
+    return curve

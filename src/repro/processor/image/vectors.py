@@ -1,0 +1,78 @@
+"""Windowed gradient-vector formation (the chip's "Vector Formation").
+
+The chip tiles the frame into windows and aggregates each window's
+gradients into a feature vector.  We use the standard formulation: a
+histogram of gradient orientations, magnitude-weighted, per window --
+the core of HOG-style pattern recognition -- followed by L2
+normalisation per window so lighting level cancels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.processor.image.features import GradientField
+
+#: Default tiling and histogram shape (8x8-pixel windows, 8 bins).
+DEFAULT_WINDOW = 8
+DEFAULT_BINS = 8
+
+
+def window_feature_vectors(
+    field: GradientField,
+    window: int = DEFAULT_WINDOW,
+    bins: int = DEFAULT_BINS,
+) -> np.ndarray:
+    """Aggregate a gradient field into per-window orientation histograms.
+
+    Returns an array of shape ``(n_windows, bins)`` where windows are
+    raster-ordered non-overlapping ``window x window`` tiles.  Each
+    histogram is magnitude-weighted and L2-normalised (zero windows stay
+    zero).  The frame dimensions must be divisible by ``window``.
+    """
+    if window < 2:
+        raise ModelParameterError(f"window must be >= 2, got {window}")
+    if bins < 2:
+        raise ModelParameterError(f"bins must be >= 2, got {bins}")
+    magnitude = field.magnitude
+    orientation = field.orientation
+    h, w = magnitude.shape
+    if h % window or w % window:
+        raise ModelParameterError(
+            f"frame {h}x{w} not divisible into {window}x{window} windows"
+        )
+
+    bin_index = np.minimum((orientation / np.pi * bins).astype(int), bins - 1)
+    rows = h // window
+    cols = w // window
+    vectors = np.zeros((rows * cols, bins))
+    for r in range(rows):
+        for c in range(cols):
+            tile_mag = magnitude[
+                r * window : (r + 1) * window, c * window : (c + 1) * window
+            ]
+            tile_bin = bin_index[
+                r * window : (r + 1) * window, c * window : (c + 1) * window
+            ]
+            hist = np.bincount(
+                tile_bin.ravel(), weights=tile_mag.ravel(), minlength=bins
+            )
+            vectors[r * cols + c] = hist
+    # Windows with no real gradient energy stay zero; the threshold
+    # guards against floating-point dust being normalised into a
+    # spurious unit vector.
+    norms = np.linalg.norm(vectors, axis=1, keepdims=True)
+    significant = norms > 1e-9
+    np.divide(vectors, norms, out=vectors, where=significant)
+    vectors[~significant.ravel()] = 0.0
+    return vectors
+
+
+def frame_descriptor(vectors: np.ndarray) -> np.ndarray:
+    """Flatten per-window vectors into one frame descriptor, re-normalised."""
+    flat = np.asarray(vectors, dtype=float).ravel()
+    norm = np.linalg.norm(flat)
+    if norm == 0.0:
+        return flat
+    return flat / norm

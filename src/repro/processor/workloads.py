@@ -1,0 +1,118 @@
+"""Workload descriptors.
+
+A workload is, to the energy machinery, a number of clock cycles plus
+an optional deadline -- the paper's eq. (8) ``N`` and Section VI-B
+completion-time constraint ``T``.  The descriptors here name the
+workloads used by the experiments; cycle counts for the image workloads
+come from the functional pipeline's own accounting
+(:mod:`repro.processor.image.cycles`), so they track the real
+computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A unit of computation to schedule.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    cycles:
+        Total clock cycles ``N`` the task needs.
+    deadline_s:
+        Completion-time constraint, or ``None`` for best-effort /
+        steady-state operation (the Section V MEP regime).
+    activity:
+        Switching-activity factor relative to the characterisation
+        workload (1.0): a memory-bound filter toggles less capacitance
+        per cycle than the dense MAC loops of the image pipeline.
+        :meth:`ProcessorModel.with_activity
+        <repro.processor.energy.ProcessorModel.with_activity>` folds it
+        into the power model.
+    """
+
+    name: str
+    cycles: int
+    deadline_s: "float | None" = None
+    activity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelParameterError("workload needs a non-empty name")
+        if self.cycles <= 0:
+            raise ModelParameterError(
+                f"cycle count must be positive, got {self.cycles}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ModelParameterError(
+                f"deadline must be positive, got {self.deadline_s}"
+            )
+        if not 0.0 < self.activity <= 2.0:
+            raise ModelParameterError(
+                f"activity must be in (0, 2], got {self.activity}"
+            )
+
+    def with_deadline(self, deadline_s: "float | None") -> "Workload":
+        """The same work with a different completion-time constraint."""
+        return replace(self, deadline_s=deadline_s)
+
+    def min_frequency_hz(self) -> "float | None":
+        """Average clock needed to meet the deadline, or None."""
+        if self.deadline_s is None:
+            return None
+        return self.cycles / self.deadline_s
+
+    def repeated(self, count: int) -> "Workload":
+        """``count`` back-to-back instances as one workload.
+
+        The deadline, if any, scales with the repetition count.
+        """
+        if count < 1:
+            raise ModelParameterError(f"repeat count must be >= 1, got {count}")
+        return Workload(
+            name=f"{self.name} x{count}",
+            cycles=self.cycles * count,
+            deadline_s=None if self.deadline_s is None else self.deadline_s * count,
+            activity=self.activity,
+        )
+
+
+def _reference_frame_cycles() -> int:
+    """Cycles of one 64x64 frame through the reference pipeline.
+
+    Computed from the functional pipeline's own cycle accounting so the
+    workload tracks the implementation; the paper's anchor is ~15 ms at
+    0.5 V (~400 MHz), i.e. ~6M cycles.
+    """
+    from repro.processor.image.cycles import CycleCostModel
+
+    return CycleCostModel().frame_cycles(frame_size=64)
+
+
+#: Cycles of one 64x64 frame (see :func:`_reference_frame_cycles`).
+IMAGE_FRAME_CYCLES = _reference_frame_cycles()
+
+
+def image_frame_workload(deadline_s: "float | None" = 15e-3) -> Workload:
+    """One 64x64 pattern-recognition frame (paper Section VII).
+
+    Defaults to the paper's 15 ms frame time as the deadline.
+    """
+    return Workload("64x64 frame", IMAGE_FRAME_CYCLES, deadline_s)
+
+
+def standard_workloads() -> "tuple[Workload, ...]":
+    """The workload set exercised by tests and ablation benches."""
+    return (
+        image_frame_workload(),
+        image_frame_workload(None).repeated(10).with_deadline(None),
+        Workload("sensor filter", 200_000, deadline_s=2e-3, activity=0.6),
+        Workload("housekeeping", 50_000, deadline_s=None, activity=0.4),
+    )

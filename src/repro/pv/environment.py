@@ -1,0 +1,60 @@
+"""Light conditions the paper evaluates under.
+
+The paper moves the solar cell between outdoor and indoor areas
+(Section II-A, Fig. 2) and sweeps the regulator study across "100%, 50%
+and 25% of solar output" (Section IV-B, Fig. 7(a)).  A
+:class:`LightCondition` names one such environment and carries its
+irradiance as a fraction of the full-sun reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class LightCondition:
+    """A named lighting environment.
+
+    ``irradiance`` is relative to the full-sun reference condition
+    (1.0).  The paper's measured I-V family spans strong outdoor light
+    down to indoor lighting, roughly two orders of magnitude of
+    irradiance.
+    """
+
+    name: str
+    irradiance: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelParameterError("light condition needs a non-empty name")
+        if self.irradiance < 0.0:
+            raise ModelParameterError(
+                f"irradiance must be >= 0, got {self.irradiance}"
+            )
+
+    def scaled(self, factor: float) -> "LightCondition":
+        """A new condition with irradiance multiplied by ``factor``."""
+        if factor < 0.0:
+            raise ModelParameterError(f"scale factor must be >= 0, got {factor}")
+        return LightCondition(
+            name=f"{self.name} x{factor:g}", irradiance=self.irradiance * factor
+        )
+
+
+#: Outdoor strong light -- the paper's reference condition.
+FULL_SUN = LightCondition("full sun", 1.0)
+
+#: Half of the solar output (Fig. 7(a) middle curve).
+HALF_SUN = LightCondition("half sun", 0.5)
+
+#: Quarter of the solar output -- where the paper finds regulator bypass wins.
+QUARTER_SUN = LightCondition("quarter sun", 0.25)
+
+#: Bright indoor lighting; roughly a tenth of full sun for this cell class.
+INDOOR = LightCondition("indoor", 0.10)
+
+#: The condition set used by the Fig. 2 reproduction, strongest first.
+STANDARD_CONDITIONS = (FULL_SUN, HALF_SUN, QUARTER_SUN, INDOOR)

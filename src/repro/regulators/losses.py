@@ -1,0 +1,99 @@
+"""Physical loss components composed by the converter models.
+
+Splitting converter dissipation into named components keeps each
+regulator model honest (every watt of loss has a physical origin) and
+lets the ablation benchmarks switch individual mechanisms off to show
+which one drives each of the paper's effects -- e.g. the *fixed*
+controller loss is what collapses efficiency at light load and makes
+regulator bypass win at quarter sun (Fig. 7(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+
+
+@dataclass(frozen=True)
+class ConductionLoss:
+    """Resistive (I^2 R) loss through switches, inductor DCR and routing."""
+
+    resistance_ohm: float
+
+    def __post_init__(self) -> None:
+        if self.resistance_ohm < 0.0:
+            raise ModelParameterError(
+                f"conduction resistance must be >= 0, got {self.resistance_ohm}"
+            )
+
+    def power(self, output_current_a: float) -> float:
+        """Dissipated power at the given load current [W]."""
+        return self.resistance_ohm * output_current_a * output_current_a
+
+
+@dataclass(frozen=True)
+class SwitchingLoss:
+    """Gate-charge / bottom-plate loss proportional to delivered current.
+
+    In a current-mode-modulated converter the switching frequency tracks
+    the load current, so the per-cycle CV^2 loss aggregates to an
+    effective voltage drop ``drop_v`` times the output current.
+    """
+
+    drop_v: float
+
+    def __post_init__(self) -> None:
+        if self.drop_v < 0.0:
+            raise ModelParameterError(
+                f"switching drop must be >= 0, got {self.drop_v}"
+            )
+
+    def power(self, output_current_a: float) -> float:
+        """Dissipated power at the given load current [W]."""
+        return self.drop_v * output_current_a
+
+
+@dataclass(frozen=True)
+class FixedLoss:
+    """Load-independent controller/clock/reference loss.
+
+    Scales with the square of the input voltage relative to the
+    characterisation supply (the controller's own CV^2 f dissipation),
+    which matters because the live solar-node voltage moves with light.
+    """
+
+    power_w: float
+    reference_input_v: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0.0:
+            raise ModelParameterError(
+                f"fixed loss must be >= 0, got {self.power_w}"
+            )
+        if self.reference_input_v <= 0.0:
+            raise ModelParameterError(
+                f"reference input voltage must be positive, got {self.reference_input_v}"
+            )
+
+    def power(self, input_voltage_v: float) -> float:
+        """Dissipated power at the given input voltage [W]."""
+        ratio = input_voltage_v / self.reference_input_v
+        return self.power_w * ratio * ratio
+
+
+@dataclass(frozen=True)
+class QuiescentLoss:
+    """Constant bias current drawn from the input rail (LDO error amp)."""
+
+    current_a: float
+
+    def __post_init__(self) -> None:
+        if self.current_a < 0.0:
+            raise ModelParameterError(
+                f"quiescent current must be >= 0, got {self.current_a}"
+            )
+
+    def power(self, input_voltage_v: float) -> float:
+        """Dissipated power at the given input voltage [W]."""
+        return self.current_a * input_voltage_v

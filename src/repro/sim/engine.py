@@ -1,0 +1,357 @@
+"""The transient simulation engine.
+
+One electrical node (the solar node with its storage capacitor), a
+converter path (regulator or bypass switch) and the processor load:
+
+    C_node * dV/dt = I_pv(V_node, light(t)) - I_draw(t)
+
+where ``I_draw`` is the converter's input current for the controller's
+commanded operating point.  Forward-Euler at a microsecond-scale step
+is ample for the millisecond-scale waveforms of the paper (node time
+constants are tens of microseconds at the smallest).
+
+The engine is deliberately policy-free: everything interesting happens
+in the :class:`~repro.sim.dvfs.DvfsController` plugged into it, which
+is exactly how the paper's chip splits hardware (fixed) from the energy
+management scheme (the contribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import (
+    ModelParameterError,
+    OperatingRangeError,
+    SimulationError,
+)
+from repro.monitor.comparator import ComparatorBank
+from repro.processor.energy import ProcessorModel
+from repro.processor.workloads import Workload
+from repro.pv.cell import SingleDiodeCell
+from repro.pv.traces import IrradianceTrace
+from repro.regulators.base import Regulator
+from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
+from repro.sim.result import SimulationResult
+from repro.sim.transitions import DvfsTransitionModel
+from repro.storage.capacitor import Capacitor
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Numerical and termination settings for a run."""
+
+    time_step_s: float = 10e-6
+    record_every: int = 1
+    stop_on_completion: bool = False
+    stop_on_brownout: bool = True
+    max_steps: int = 20_000_000
+
+    def __post_init__(self) -> None:
+        if self.time_step_s <= 0.0:
+            raise ModelParameterError(
+                f"time step must be positive, got {self.time_step_s}"
+            )
+        if self.record_every < 1:
+            raise ModelParameterError(
+                f"record_every must be >= 1, got {self.record_every}"
+            )
+        if self.max_steps < 1:
+            raise ModelParameterError(
+                f"max_steps must be >= 1, got {self.max_steps}"
+            )
+
+
+class TransientSimulator:
+    """Simulate the battery-less SoC on an irradiance trace.
+
+    Parameters
+    ----------
+    cell / node_capacitor / processor:
+        The physical substrates.
+    regulator:
+        The converter used in "regulated" mode decisions.
+    controller:
+        The DVFS policy closing the loop.
+    comparators:
+        Optional comparator bank observing the node (its crossings are
+        fed back to the controller, its draw is charged to the node).
+    workload:
+        Optional workload; when given, completion is tracked.
+    transitions:
+        Optional DVFS transition-cost model; when given, every mode or
+        setpoint change gates the clock for the settle time and draws
+        the rail-recharge energy from the node.
+    """
+
+    def __init__(
+        self,
+        cell: SingleDiodeCell,
+        node_capacitor: Capacitor,
+        processor: ProcessorModel,
+        regulator: Regulator,
+        controller: DvfsController,
+        comparators: "ComparatorBank | None" = None,
+        workload: "Workload | None" = None,
+        config: "SimulationConfig | None" = None,
+        transitions: "DvfsTransitionModel | None" = None,
+    ):
+        self.cell = cell
+        self.node_capacitor = node_capacitor
+        self.processor = processor
+        self.regulator = regulator
+        self.controller = controller
+        self.comparators = comparators
+        self.workload = workload
+        self.config = config or SimulationConfig()
+        self.transitions = transitions
+
+    # -- one actuation resolution -------------------------------------------------
+
+    def _resolve_decision(
+        self, decision: ControlDecision, v_node: float
+    ) -> "tuple[float, float, float, float, str]":
+        """Turn a decision into (v_proc, f, p_proc, p_draw, mode).
+
+        Clamps the commanded frequency to what the supply allows and
+        degrades gracefully (to halt) when the converter cannot operate
+        from the present node voltage.
+        """
+        if decision.mode == "halt":
+            # Power-gated: no draw from the node at all.
+            return (0.0, 0.0, 0.0, 0.0, "halt")
+
+        if decision.mode == "bypass":
+            v_proc = v_node
+            if v_proc < self.processor.min_operating_v:
+                return (v_proc, 0.0, 0.0, 0.0, "halt")
+            v_eval = min(v_proc, self.processor.max_operating_v)
+            f = min(decision.frequency_hz, float(self.processor.max_frequency(v_eval)))
+            p_proc = float(self.processor.power(v_eval, f))
+            return (v_proc, f, p_proc, p_proc, "bypass")
+
+        # Regulated.
+        v_out = decision.output_voltage_v
+        if v_out < self.processor.min_operating_v:
+            return (v_out, 0.0, 0.0, 0.0, "halt")
+        f = min(decision.frequency_hz, float(self.processor.max_frequency(v_out)))
+        p_proc = float(self.processor.power(v_out, f))
+        try:
+            p_draw = self.regulator.input_power(v_out, p_proc, v_in=v_node)
+        except OperatingRangeError:
+            # Node too low (duty limit / no ratio band): converter dropout.
+            return (v_out, 0.0, 0.0, 0.0, "halt")
+        return (v_out, f, p_proc, p_draw, "regulated")
+
+    # -- the run -------------------------------------------------------------------
+
+    def run(self, trace: IrradianceTrace, duration_s: "float | None" = None) -> SimulationResult:
+        """Simulate over the trace; returns the recorded result.
+
+        ``duration_s`` defaults to the trace duration.  The node
+        capacitor is mutated in place (copy it first to preserve a
+        bench setup).
+        """
+        cfg = self.config
+        dt = cfg.time_step_s
+        if duration_s is None:
+            duration_s = trace.duration_s
+        if duration_s <= 0.0:
+            raise ModelParameterError(f"duration must be positive, got {duration_s}")
+        steps = int(np.ceil(duration_s / dt))
+        if steps > cfg.max_steps:
+            raise SimulationError(
+                f"{steps} steps exceed max_steps={cfg.max_steps}; "
+                "raise time_step_s or max_steps"
+            )
+
+        self.controller.reset()
+        if self.comparators is not None:
+            self.comparators.reset()
+
+        record_count = steps // cfg.record_every + 1
+        rec_t = np.empty(record_count)
+        rec_vnode = np.empty(record_count)
+        rec_vproc = np.empty(record_count)
+        rec_f = np.empty(record_count)
+        rec_ppv = np.empty(record_count)
+        rec_pproc = np.empty(record_count)
+        rec_pdraw = np.empty(record_count)
+        rec_irr = np.empty(record_count)
+        rec_mode = np.empty(record_count, dtype=np.int8)
+
+        mode_codes = SimulationResult.MODE_CODES
+        comparator_power = (
+            self.comparators.total_power_w if self.comparators is not None else 0.0
+        )
+        target_cycles = self.workload.cycles if self.workload is not None else None
+
+        cycles = 0.0
+        prev_v_proc = 0.0
+        prev_mode: "str | None" = None
+        prev_setpoint_v = 0.0
+        lockout_until = -1.0
+        transition_count = 0
+        pending_events: "tuple" = ()
+        completed = False
+        completion_time = None
+        browned_out = False
+        brownout_time = None
+        events: list = []
+        recorded = 0
+
+        t = 0.0
+        for step in range(steps + 1):
+            v_node = self.node_capacitor.voltage_v
+            irr = trace(t)
+
+            view = ControllerView(
+                time_s=t,
+                node_voltage_v=v_node,
+                processor_voltage_v=prev_v_proc,
+                cycles_done=cycles,
+                comparator_events=pending_events,
+            )
+            decision = self.controller.decide(view)
+            v_proc, f, p_proc, p_draw, mode = self._resolve_decision(decision, v_node)
+            prev_v_proc = v_proc
+
+            # DVFS transition accounting: settle lockout + rail recharge.
+            if self.transitions is not None:
+                if self.transitions.is_transition(
+                    prev_mode, prev_setpoint_v, mode, v_proc
+                ):
+                    transition_count += 1
+                    lockout_until = t + self.transitions.settle_time_s
+                    recharge = self.transitions.transition_energy_j(
+                        prev_setpoint_v, v_proc
+                    )
+                    if recharge > 0.0:
+                        p_draw += recharge / dt
+                if mode != "halt":
+                    prev_mode = mode
+                    prev_setpoint_v = v_proc
+                if t < lockout_until and f > 0.0:
+                    # Clock gated while the supply settles.
+                    f = 0.0
+                    p_proc = (
+                        float(self.processor.leakage.power(v_proc))
+                        if v_proc >= self.processor.min_operating_v
+                        else 0.0
+                    )
+                    if mode == "regulated":
+                        try:
+                            p_draw = max(
+                                p_draw,
+                                self.regulator.input_power(
+                                    v_proc, p_proc, v_in=v_node
+                                ),
+                            )
+                        except OperatingRangeError:
+                            pass
+                    elif mode == "bypass":
+                        p_draw = p_proc
+
+            # Brownout: the controller asked for work the supply cannot run.
+            if (
+                decision.frequency_hz > 0.0
+                and f == 0.0
+                and mode == "halt"
+                and decision.mode != "halt"
+                and not completed
+            ):
+                browned_out = True
+                if brownout_time is None:
+                    brownout_time = t
+                    events.append(("brownout", t))
+                if cfg.stop_on_brownout:
+                    if step % cfg.record_every == 0:
+                        rec_t[recorded] = t
+                        rec_vnode[recorded] = v_node
+                        rec_vproc[recorded] = v_proc
+                        rec_f[recorded] = 0.0
+                        rec_ppv[recorded] = float(self.cell.power(v_node, irr))
+                        rec_pproc[recorded] = 0.0
+                        rec_pdraw[recorded] = 0.0
+                        rec_irr[recorded] = irr
+                        rec_mode[recorded] = mode_codes["halt"]
+                        recorded += 1
+                    break
+
+            p_pv = float(self.cell.power(v_node, irr))
+            if step % cfg.record_every == 0:
+                rec_t[recorded] = t
+                rec_vnode[recorded] = v_node
+                rec_vproc[recorded] = v_proc
+                rec_f[recorded] = f
+                rec_ppv[recorded] = p_pv
+                rec_pproc[recorded] = p_proc
+                rec_pdraw[recorded] = p_draw
+                rec_irr[recorded] = irr
+                rec_mode[recorded] = mode_codes[mode]
+                recorded += 1
+
+            if step == steps:
+                break
+
+            # Cycle bookkeeping and completion detection.
+            new_cycles = cycles + f * dt
+            if (
+                target_cycles is not None
+                and not completed
+                and new_cycles >= target_cycles
+            ):
+                completed = True
+                # Linear interpolation of the crossing instant.
+                if f > 0.0:
+                    completion_time = t + (target_cycles - cycles) / f
+                else:
+                    completion_time = t
+                events.append(("completed", completion_time))
+                if cfg.stop_on_completion:
+                    cycles = new_cycles
+                    break
+            cycles = new_cycles
+
+            # Node update: PV source in, converter + comparators out.
+            i_pv = float(self.cell.current(v_node, irr))
+            i_draw = (p_draw + comparator_power) / v_node if v_node > 1e-6 else 0.0
+            self.node_capacitor.apply_current(i_pv - i_draw, dt)
+            if not np.isfinite(self.node_capacitor.voltage_v):
+                raise SimulationError(f"node voltage became non-finite at t={t}")
+
+            # Comparator observation feeds the next step's view.
+            if self.comparators is not None:
+                pending_events = tuple(
+                    self.comparators.observe(t + dt, self.node_capacitor.voltage_v)
+                )
+            else:
+                pending_events = ()
+
+            t += dt
+
+        result = SimulationResult(
+            time_s=rec_t[:recorded].copy(),
+            node_voltage_v=rec_vnode[:recorded].copy(),
+            processor_voltage_v=rec_vproc[:recorded].copy(),
+            frequency_hz=rec_f[:recorded].copy(),
+            harvest_power_w=rec_ppv[:recorded].copy(),
+            processor_power_w=rec_pproc[:recorded].copy(),
+            draw_power_w=rec_pdraw[:recorded].copy(),
+            irradiance=rec_irr[:recorded].copy(),
+            mode=rec_mode[:recorded].copy(),
+            completed=completed,
+            completion_time_s=completion_time,
+            browned_out=browned_out,
+            brownout_time_s=brownout_time,
+            final_cycles=cycles,
+            events=events,
+        )
+        result.events.extend(
+            [("transitions", float(transition_count))]
+            if self.transitions is not None
+            else []
+        )
+        return result

@@ -1,0 +1,60 @@
+"""Event definitions and light-change detection helpers.
+
+The transient runs are driven by irradiance traces; the experiments
+need to know when the *controller* noticed a change versus when the
+change physically happened.  :func:`detect_light_steps` extracts the
+physical step times from a trace (ground truth), while the controllers
+only ever see comparator crossings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelParameterError
+from repro.pv.traces import IrradianceTrace
+
+
+@dataclass(frozen=True)
+class LightStepEvent:
+    """A physical irradiance step in a trace (ground truth)."""
+
+    time_s: float
+    before: float
+    after: float
+
+    @property
+    def magnitude(self) -> float:
+        """Relative change ``|after - before| / max(before, after)``."""
+        top = max(self.before, self.after)
+        if top == 0.0:
+            return 0.0
+        return abs(self.after - self.before) / top
+
+
+def detect_light_steps(
+    trace: IrradianceTrace, min_relative_change: float = 0.1
+) -> "list[LightStepEvent]":
+    """Extract significant steps from a piecewise-linear trace.
+
+    A "step" is a segment between consecutive breakpoints whose value
+    change is at least ``min_relative_change`` of the larger endpoint.
+    Used by experiments to measure controller reaction latency against
+    ground truth.
+    """
+    if not 0.0 < min_relative_change <= 1.0:
+        raise ModelParameterError(
+            f"min relative change must be in (0, 1], got {min_relative_change}"
+        )
+    events = []
+    for t0, t1, v0, v1 in zip(
+        trace.times_s, trace.times_s[1:], trace.values, trace.values[1:]
+    ):
+        top = max(v0, v1)
+        if top == 0.0:
+            continue
+        if abs(v1 - v0) / top >= min_relative_change:
+            events.append(
+                LightStepEvent(time_s=0.5 * (t0 + t1), before=v0, after=v1)
+            )
+    return events

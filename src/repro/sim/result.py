@@ -1,0 +1,146 @@
+"""Simulation result container.
+
+Everything the figure reproductions need from a transient run: full
+waveform traces as numpy arrays (the paper's Fig. 8(c), 9(b), 11(b)
+waveforms), energy integrals, and completion/brownout bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+
+
+@dataclass
+class SimulationResult:
+    """Recorded traces and summary of one transient run.
+
+    All arrays share the same length (one entry per recorded step).
+    """
+
+    time_s: np.ndarray
+    node_voltage_v: np.ndarray
+    processor_voltage_v: np.ndarray
+    frequency_hz: np.ndarray
+    harvest_power_w: np.ndarray
+    processor_power_w: np.ndarray
+    draw_power_w: np.ndarray
+    irradiance: np.ndarray
+    mode: np.ndarray  # small-int codes, see MODE_CODES
+
+    completed: bool = False
+    completion_time_s: "float | None" = None
+    browned_out: bool = False
+    brownout_time_s: "float | None" = None
+    final_cycles: float = 0.0
+    events: list = field(default_factory=list)
+
+    MODE_CODES = {"regulated": 0, "bypass": 1, "halt": 2}
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.time_s),
+            len(self.node_voltage_v),
+            len(self.processor_voltage_v),
+            len(self.frequency_hz),
+            len(self.harvest_power_w),
+            len(self.processor_power_w),
+            len(self.draw_power_w),
+            len(self.irradiance),
+            len(self.mode),
+        }
+        if len(lengths) != 1:
+            raise ModelParameterError(
+                f"trace arrays have inconsistent lengths: {sorted(lengths)}"
+            )
+
+    # -- energy integrals ------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated time span."""
+        if len(self.time_s) == 0:
+            return 0.0
+        return float(self.time_s[-1] - self.time_s[0])
+
+    def harvested_energy_j(self) -> float:
+        """Energy actually extracted from the solar cell (trapezoid)."""
+        return float(np.trapezoid(self.harvest_power_w, self.time_s))
+
+    def consumed_energy_j(self) -> float:
+        """Energy delivered into the processor."""
+        return float(np.trapezoid(self.processor_power_w, self.time_s))
+
+    def conversion_loss_j(self) -> float:
+        """Energy dissipated in the converter (draw minus delivered)."""
+        return float(
+            np.trapezoid(self.draw_power_w - self.processor_power_w, self.time_s)
+        )
+
+    # -- waveform queries ------------------------------------------------------
+
+    def time_in_mode(self, mode: str) -> float:
+        """Total time spent in a mode ("regulated"/"bypass"/"halt")."""
+        if mode not in self.MODE_CODES:
+            raise ModelParameterError(f"unknown mode {mode!r}")
+        if len(self.time_s) < 2:
+            return 0.0
+        dt = np.diff(self.time_s)
+        mask = self.mode[:-1] == self.MODE_CODES[mode]
+        return float(np.sum(dt[mask]))
+
+    def min_node_voltage_v(self) -> float:
+        """Lowest solar-node voltage reached."""
+        return float(np.min(self.node_voltage_v))
+
+    def average_frequency_hz(self) -> float:
+        """Time-averaged clock over the run."""
+        if self.duration_s == 0.0:
+            return 0.0
+        return float(np.trapezoid(self.frequency_hz, self.time_s) / self.duration_s)
+
+    def to_csv(self, path) -> None:
+        """Write the recorded waveforms as CSV (one row per sample).
+
+        Columns match the trace arrays; ``mode`` is written as its
+        name.  For loading into pandas/spreadsheets to plot the
+        Fig. 8/9(b)/11(b)-style waveforms.
+        """
+        code_to_name = {v: k for k, v in self.MODE_CODES.items()}
+        header = (
+            "time_s,node_voltage_v,processor_voltage_v,frequency_hz,"
+            "harvest_power_w,processor_power_w,draw_power_w,irradiance,mode"
+        )
+        lines = [header]
+        for i in range(len(self.time_s)):
+            lines.append(
+                f"{self.time_s[i]:.9g},{self.node_voltage_v[i]:.6g},"
+                f"{self.processor_voltage_v[i]:.6g},{self.frequency_hz[i]:.6g},"
+                f"{self.harvest_power_w[i]:.6g},{self.processor_power_w[i]:.6g},"
+                f"{self.draw_power_w[i]:.6g},{self.irradiance[i]:.6g},"
+                f"{code_to_name[int(self.mode[i])]}"
+            )
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+    def summary(self) -> "dict[str, float]":
+        """Headline numbers for reports and benches."""
+        return {
+            "duration_s": self.duration_s,
+            "completed": float(self.completed),
+            "completion_time_s": (
+                float("nan")
+                if self.completion_time_s is None
+                else self.completion_time_s
+            ),
+            "browned_out": float(self.browned_out),
+            "harvested_energy_j": self.harvested_energy_j(),
+            "consumed_energy_j": self.consumed_energy_j(),
+            "conversion_loss_j": self.conversion_loss_j(),
+            "final_cycles": self.final_cycles,
+            "min_node_voltage_v": self.min_node_voltage_v(),
+            "average_frequency_hz": self.average_frequency_hz(),
+        }

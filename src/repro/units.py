@@ -1,0 +1,180 @@
+"""Physical constants and unit helpers.
+
+Every quantity inside :mod:`repro` is expressed in base SI units: volts,
+amperes, watts, joules, seconds, hertz, farads and ohms.  The helpers
+below exist so calling code can write ``milli_watts(10)`` instead of a
+bare ``10e-3`` and so tests and benchmarks can convert back to the units
+the paper's figures use (mW, mA, ms, pJ) when printing.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Default junction temperature used throughout the models [K] (27 C).
+ROOM_TEMPERATURE_K = 300.15
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return the thermal voltage ``kT/q`` in volts.
+
+    At the default room temperature this is about 25.9 mV, the scale of
+    both the photovoltaic diode exponential and MOSFET subthreshold
+    conduction.
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+# ---------------------------------------------------------------------------
+# Unit constructors (value in the named unit -> base SI value)
+# ---------------------------------------------------------------------------
+
+
+def milli_volts(value: float) -> float:
+    """Convert millivolts to volts."""
+    return value * 1e-3
+
+
+def milli_amps(value: float) -> float:
+    """Convert milliamperes to amperes."""
+    return value * 1e-3
+
+
+def micro_amps(value: float) -> float:
+    """Convert microamperes to amperes."""
+    return value * 1e-6
+
+
+def milli_watts(value: float) -> float:
+    """Convert milliwatts to watts."""
+    return value * 1e-3
+
+
+def micro_watts(value: float) -> float:
+    """Convert microwatts to watts."""
+    return value * 1e-6
+
+
+def milli_seconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * 1e-3
+
+
+def micro_seconds(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * 1e-6
+
+
+def mega_hertz(value: float) -> float:
+    """Convert megahertz to hertz."""
+    return value * 1e6
+
+def giga_hertz(value: float) -> float:
+    """Convert gigahertz to hertz."""
+    return value * 1e9
+
+
+def pico_farads(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * 1e-12
+
+
+def micro_farads(value: float) -> float:
+    """Convert microfarads to farads."""
+    return value * 1e-6
+
+
+def pico_joules(value: float) -> float:
+    """Convert picojoules to joules."""
+    return value * 1e-12
+
+
+def micro_joules(value: float) -> float:
+    """Convert microjoules to joules."""
+    return value * 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Unit extractors (base SI value -> value in the named unit)
+# ---------------------------------------------------------------------------
+
+
+def as_milli_volts(volts: float) -> float:
+    """Express a voltage in millivolts."""
+    return volts * 1e3
+
+
+def as_milli_amps(amps: float) -> float:
+    """Express a current in milliamperes."""
+    return amps * 1e3
+
+
+def as_milli_watts(watts: float) -> float:
+    """Express a power in milliwatts."""
+    return watts * 1e3
+
+
+def as_micro_watts(watts: float) -> float:
+    """Express a power in microwatts."""
+    return watts * 1e6
+
+
+def as_milli_seconds(seconds: float) -> float:
+    """Express a time in milliseconds."""
+    return seconds * 1e3
+
+
+def as_mega_hertz(hertz: float) -> float:
+    """Express a frequency in megahertz."""
+    return hertz * 1e-6
+
+
+def as_pico_joules(joules: float) -> float:
+    """Express an energy in picojoules."""
+    return joules * 1e12
+
+
+def as_micro_joules(joules: float) -> float:
+    """Express an energy in microjoules."""
+    return joules * 1e6
+
+
+# ---------------------------------------------------------------------------
+# Small numeric helpers shared by the models
+# ---------------------------------------------------------------------------
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the closed interval ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty clamp interval [{low}, {high}]")
+    return min(max(value, low), high)
+
+
+def relative_difference(a: float, b: float) -> float:
+    """Return ``|a - b|`` normalised by the larger magnitude.
+
+    Safe for zero arguments: two exact zeros compare equal (0.0), and a
+    comparison against a single zero returns 1.0.
+    """
+    scale = max(abs(a), abs(b))
+    if scale == 0.0:
+        return 0.0
+    return abs(a - b) / scale
+
+
+def is_close(a: float, b: float, rel_tol: float = 1e-9, abs_tol: float = 0.0) -> bool:
+    """Thin wrapper over :func:`math.isclose` for API symmetry."""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

@@ -1,0 +1,120 @@
+"""Tests for the baseline strategies."""
+
+import pytest
+
+from repro.baselines import (
+    ConventionalMepBaseline,
+    FixedSpeedBaseline,
+    MpptOnlyBaseline,
+    RawSolarBaseline,
+)
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.core.system import paper_system
+from repro.errors import InfeasibleOperatingPointError, ModelParameterError
+from repro.processor.workloads import image_frame_workload
+from repro.sim.dvfs import BypassController, ConstantSpeedController
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+class TestRawSolar:
+    def test_matches_optimizer_unregulated_point(self, system):
+        baseline = RawSolarBaseline(system)
+        expected = OperatingPointOptimizer(system).unregulated_point(1.0)
+        point = baseline.operating_point(1.0)
+        assert point.frequency_hz == pytest.approx(expected.frequency_hz)
+
+    def test_extraction_fraction_below_one(self, system):
+        """Fig. 6(a): direct connection never reaches the MPP power."""
+        baseline = RawSolarBaseline(system)
+        for irradiance in (1.0, 0.5, 0.25):
+            fraction = baseline.extraction_fraction(irradiance)
+            assert 0.0 < fraction < 0.85
+
+    def test_controller_type(self, system):
+        controller = RawSolarBaseline(system).controller(1.0)
+        assert isinstance(controller, BypassController)
+
+
+class TestMpptOnly:
+    def test_pins_datasheet_voltage(self, system):
+        baseline = MpptOnlyBaseline(system, "sc")
+        point = baseline.operating_point(1.0)
+        assert point.processor_voltage_v == pytest.approx(0.55)
+        assert not point.bypassed
+
+    def test_slower_than_holistic(self, system):
+        """The paper's point: module-local optima compose badly."""
+        baseline = MpptOnlyBaseline(system, "sc")
+        holistic = OperatingPointOptimizer(system).best_point("sc", 1.0)
+        assert baseline.operating_point(1.0).frequency_hz < holistic.frequency_hz
+
+    def test_stalls_in_darkness(self, system):
+        baseline = MpptOnlyBaseline(system, "sc")
+        with pytest.raises(InfeasibleOperatingPointError):
+            baseline.operating_point(0.01)
+
+    def test_extracted_within_mpp(self, system):
+        baseline = MpptOnlyBaseline(system, "sc")
+        point = baseline.operating_point(0.5)
+        assert point.extracted_power_w <= system.mpp(0.5).power_w * (1 + 1e-9)
+
+
+class TestConventionalMep:
+    def test_mep_voltage_matches_processor(self, system):
+        baseline = ConventionalMepBaseline(system, "sc")
+        assert baseline.mep_voltage() == pytest.approx(
+            system.processor.conventional_mep().voltage_v
+        )
+
+    def test_energy_penalty_positive(self, system):
+        """Section V: the textbook MEP wastes source energy."""
+        baseline = ConventionalMepBaseline(system, "sc")
+        assert baseline.energy_penalty_fraction() > 0.10
+
+    def test_source_energy_exceeds_local_energy(self, system):
+        baseline = ConventionalMepBaseline(system, "sc")
+        local = system.processor.conventional_mep().energy_per_cycle_j
+        assert baseline.source_energy_per_cycle() > local
+
+    def test_controller_runs_at_mep(self, system):
+        baseline = ConventionalMepBaseline(system, "sc")
+        controller = baseline.controller()
+        assert controller.output_voltage_v == pytest.approx(
+            baseline.mep_voltage()
+        )
+
+
+class TestFixedSpeed:
+    def test_setpoint_meets_deadline_on_average(self, system):
+        baseline = FixedSpeedBaseline(system, "buck")
+        workload = image_frame_workload(15e-3)
+        voltage, frequency = baseline.setpoint(workload)
+        assert frequency == pytest.approx(workload.cycles / 15e-3)
+        assert float(system.processor.max_frequency(voltage)) >= frequency * (
+            1 - 1e-6
+        )
+
+    def test_needs_deadline(self, system):
+        baseline = FixedSpeedBaseline(system, "buck")
+        with pytest.raises(ModelParameterError):
+            baseline.setpoint(image_frame_workload(None))
+
+    def test_impossible_deadline_rejected(self, system):
+        baseline = FixedSpeedBaseline(system, "buck")
+        with pytest.raises(Exception):
+            baseline.setpoint(image_frame_workload(0.5e-3))
+
+    def test_minimum_node_voltage_above_output(self, system):
+        baseline = FixedSpeedBaseline(system, "buck")
+        workload = image_frame_workload(15e-3)
+        voltage, _ = baseline.setpoint(workload)
+        assert baseline.minimum_node_voltage(workload) > voltage
+
+    def test_controller_type(self, system):
+        baseline = FixedSpeedBaseline(system, "buck")
+        controller = baseline.controller(image_frame_workload(15e-3))
+        assert isinstance(controller, ConstantSpeedController)

@@ -1,0 +1,141 @@
+"""Tests for energy admission control."""
+
+import pytest
+
+from repro.core.admission import (
+    AdmissionController,
+    PeriodicTask,
+)
+from repro.core.system import paper_system
+from repro.errors import InfeasibleOperatingPointError, ModelParameterError
+from repro.processor.workloads import Workload, image_frame_workload
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+@pytest.fixture(scope="module")
+def controller(system):
+    return AdmissionController(system, "sc", margin=0.1)
+
+
+def frame_task(period_s=0.1, latency_s=20e-3):
+    return PeriodicTask(
+        workload=image_frame_workload(None),
+        period_s=period_s,
+        max_latency_s=latency_s,
+    )
+
+
+def filter_task(period_s=10e-3):
+    return PeriodicTask(
+        workload=Workload("filter", 200_000, activity=0.6),
+        period_s=period_s,
+    )
+
+
+class TestPeriodicTask:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ModelParameterError):
+            PeriodicTask(image_frame_workload(None), period_s=0.0)
+
+    def test_rejects_latency_beyond_period(self):
+        with pytest.raises(ModelParameterError):
+            PeriodicTask(
+                image_frame_workload(None), period_s=0.05, max_latency_s=0.1
+            )
+
+    def test_latency_defaults(self):
+        explicit = PeriodicTask(
+            image_frame_workload(None), 0.1, max_latency_s=0.05
+        )
+        assert explicit.effective_latency_s == 0.05
+        from_deadline = PeriodicTask(image_frame_workload(30e-3), 0.1)
+        assert from_deadline.effective_latency_s == pytest.approx(30e-3)
+        from_period = PeriodicTask(image_frame_workload(None), 0.1)
+        assert from_period.effective_latency_s == pytest.approx(0.1)
+
+    def test_rate(self):
+        assert frame_task(period_s=0.25).rate_hz == pytest.approx(4.0)
+
+
+class TestEvaluate:
+    def test_light_set_admitted_at_full_sun(self, controller):
+        report = controller.evaluate([frame_task(period_s=0.1)], 1.0)
+        assert report.admitted
+        assert 0.0 < report.total_utilisation < 1.0
+        assert report.headroom_w > 0.0
+
+    def test_oversubscribed_set_rejected(self, controller):
+        # 60 frames/s at quarter sun vastly exceeds the budget.
+        report = controller.evaluate(
+            [frame_task(period_s=1.0 / 60.0, latency_s=15e-3)], 0.25
+        )
+        assert not report.admitted
+        assert report.total_utilisation > 1.0
+        assert report.headroom_w < 0.0
+
+    def test_utilisations_sum(self, controller):
+        tasks = [frame_task(period_s=0.2), filter_task(period_s=20e-3)]
+        report = controller.evaluate(tasks, 0.5)
+        assert report.total_utilisation == pytest.approx(
+            sum(t.utilisation for t in report.tasks)
+        )
+        assert len(report.tasks) == 2
+
+    def test_margin_tightens_the_budget(self, system):
+        tight = AdmissionController(system, "sc", margin=0.5)
+        loose = AdmissionController(system, "sc", margin=0.0)
+        task = [frame_task(period_s=0.05)]
+        assert (
+            tight.evaluate(task, 0.5).total_utilisation
+            > loose.evaluate(task, 0.5).total_utilisation
+        )
+
+    def test_activity_factor_lowers_demand(self, controller, system):
+        heavy = PeriodicTask(
+            Workload("w", 200_000, activity=1.0), period_s=10e-3
+        )
+        light = PeriodicTask(
+            Workload("w", 200_000, activity=0.5), period_s=10e-3
+        )
+        report_heavy = controller.evaluate([heavy], 0.5)
+        report_light = controller.evaluate([light], 0.5)
+        assert (
+            report_light.tasks[0].job_energy_j
+            < report_heavy.tasks[0].job_energy_j
+        )
+
+    def test_rejects_empty_set(self, controller):
+        with pytest.raises(ModelParameterError):
+            controller.evaluate([], 1.0)
+
+    def test_rejects_bad_margin(self, system):
+        with pytest.raises(ModelParameterError):
+            AdmissionController(system, margin=1.0)
+
+
+class TestMinimumIrradiance:
+    def test_threshold_is_consistent(self, controller):
+        tasks = [frame_task(period_s=0.1, latency_s=25e-3)]
+        threshold = controller.minimum_irradiance(tasks)
+        assert controller.evaluate(tasks, threshold * 1.05).admitted
+        assert not controller.evaluate(
+            tasks, max(threshold * 0.8, 0.02)
+        ).admitted or threshold <= 0.03
+
+    def test_heavier_sets_need_more_light(self, controller):
+        light_set = [frame_task(period_s=0.5)]
+        heavy_set = [frame_task(period_s=0.05)]
+        assert controller.minimum_irradiance(
+            heavy_set
+        ) > controller.minimum_irradiance(light_set)
+
+    def test_impossible_set_raises(self, controller):
+        # 1000 frames/s is beyond the chip at any light.
+        with pytest.raises(InfeasibleOperatingPointError):
+            controller.minimum_irradiance(
+                [frame_task(period_s=1e-3, latency_s=1e-3)]
+            )

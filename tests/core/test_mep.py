@@ -1,0 +1,105 @@
+"""Tests for the holistic minimum energy point (Section V)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mep import HolisticMepOptimizer
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+@pytest.fixture(scope="module")
+def optimizer(system):
+    return HolisticMepOptimizer(system)
+
+
+class TestSourceEnergy:
+    def test_always_above_processor_energy(self, system, optimizer):
+        """eta < 1 means every source cycle costs more than the pins see."""
+        for v in (0.3, 0.45, 0.6):
+            source = optimizer.source_energy_per_cycle("sc", v)
+            local = float(system.processor.energy_per_cycle(v))
+            assert source > local
+
+    def test_infinite_outside_converter_range(self, optimizer):
+        assert optimizer.source_energy_per_cycle("buck", 0.2) == float("inf")
+
+    def test_bypass_is_identity(self, system):
+        """Through the bypass path at the matched voltage the source
+        energy equals the processor energy (up to switch loss)."""
+        optimizer = HolisticMepOptimizer(system, input_voltage_v=0.5)
+        source = optimizer.source_energy_per_cycle("bypass", 0.5)
+        local = float(system.processor.energy_per_cycle(0.5))
+        assert source == pytest.approx(local, rel=0.02)
+
+
+class TestHolisticMep:
+    def test_shifts_above_conventional(self, system, optimizer):
+        """Fig. 7(b): the minimum moves to a higher voltage."""
+        conventional = system.processor.conventional_mep()
+        for name in ("sc", "buck"):
+            holistic = optimizer.holistic_mep(name)
+            assert holistic.voltage_v > conventional.voltage_v + 0.03
+
+    def test_shift_magnitude_reasonable(self, optimizer):
+        """The shift is tenths of a volt, not the whole range."""
+        comparison = optimizer.compare("sc")
+        assert 0.03 <= comparison.voltage_shift_v <= 0.30
+
+    def test_minimum_beats_grid(self, optimizer):
+        voltages, energies = optimizer.energy_curve("sc")
+        holistic = optimizer.holistic_mep("sc")
+        assert holistic.energy_per_cycle_j <= np.nanmin(
+            np.where(np.isfinite(energies), energies, np.nan)
+        ) * (1.0 + 1e-9)
+
+    def test_energy_saving_in_paper_band(self, optimizer):
+        """Fig. 7(b): operating at the conventional MEP through the SC
+        wastes a large fraction -- the paper quotes up to ~31%."""
+        comparison = optimizer.compare("sc")
+        assert 0.15 <= comparison.energy_saving_fraction <= 0.50
+
+    def test_buck_also_saves(self, optimizer):
+        comparison = optimizer.compare("buck")
+        assert comparison.energy_saving_fraction > 0.10
+
+    def test_comparison_consistency(self, optimizer):
+        comparison = optimizer.compare("sc")
+        # Saving is computed from the two recorded energies.
+        expected = 1.0 - (
+            comparison.holistic.energy_per_cycle_j
+            / comparison.conventional_through_regulator_j
+        )
+        assert comparison.energy_saving_fraction == pytest.approx(expected)
+
+
+class TestEnergyCurve:
+    def test_curve_has_interior_minimum(self, optimizer):
+        voltages, energies = optimizer.energy_curve("sc")
+        finite = np.isfinite(energies)
+        idx = int(np.argmin(np.where(finite, energies, np.inf)))
+        assert 0 < idx < len(voltages) - 1
+
+    def test_explicit_voltages(self, optimizer):
+        voltages = np.array([0.4, 0.5, 0.6])
+        out_v, out_e = optimizer.energy_curve("buck", voltages)
+        np.testing.assert_array_equal(out_v, voltages)
+        assert np.all(np.isfinite(out_e))
+
+    def test_rejects_tiny_grid(self, system):
+        with pytest.raises(ModelParameterError):
+            HolisticMepOptimizer(system, grid_points=4)
+
+
+class TestInputVoltageDependence:
+    def test_live_input_changes_the_answer(self, system):
+        """The MEP depends on the converter's input voltage (the live
+        solar node), which is why the scheduler recomputes it."""
+        bench = HolisticMepOptimizer(system).holistic_mep("sc")
+        live = HolisticMepOptimizer(system, input_voltage_v=1.0).holistic_mep("sc")
+        assert bench.voltage_v != pytest.approx(live.voltage_v, abs=1e-3)

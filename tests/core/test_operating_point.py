@@ -1,0 +1,131 @@
+"""Tests for the holistic optimal voltage point (Section IV)."""
+
+import numpy as np
+import pytest
+
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.core.system import paper_system
+from repro.errors import InfeasibleOperatingPointError, ModelParameterError
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+@pytest.fixture(scope="module")
+def optimizer(system):
+    return OperatingPointOptimizer(system)
+
+
+class TestConstruction:
+    def test_rejects_tiny_grid(self, system):
+        with pytest.raises(ModelParameterError):
+            OperatingPointOptimizer(system, grid_points=4)
+
+
+class TestUnregulatedPoint:
+    def test_sits_on_the_iv_intersection(self, system, optimizer):
+        """At the optimum the processor consumes what the cell provides."""
+        point = optimizer.unregulated_point(1.0)
+        p_pv = float(system.cell.power(point.processor_voltage_v, 1.0))
+        assert point.delivered_power_w == pytest.approx(p_pv, rel=0.02)
+
+    def test_extracts_less_than_mpp(self, system, optimizer):
+        """Fig. 6(a): direct connection leaves power on the table."""
+        point = optimizer.unregulated_point(1.0)
+        assert point.extracted_power_w < system.mpp(1.0).power_w * 0.85
+
+    def test_bypassed_flags(self, optimizer):
+        point = optimizer.unregulated_point(1.0)
+        assert point.bypassed
+        assert point.regulator_name == "bypass"
+        assert point.node_voltage_v == point.processor_voltage_v
+        assert point.conversion_efficiency == pytest.approx(1.0)
+
+    def test_paper_full_sun_location(self, optimizer):
+        """The intersection lands near 0.6 V, well below the ~1.2 V MPP."""
+        point = optimizer.unregulated_point(1.0)
+        assert 0.5 <= point.processor_voltage_v <= 0.75
+
+    def test_infeasible_in_darkness(self, optimizer):
+        with pytest.raises(InfeasibleOperatingPointError):
+            optimizer.unregulated_point(0.0)
+
+
+class TestRegulatedPoint:
+    def test_power_within_mpp_budget(self, system, optimizer):
+        for name in ("sc", "buck", "ldo"):
+            point = optimizer.regulated_point(name, 1.0)
+            assert point.extracted_power_w <= system.mpp(1.0).power_w * (1 + 1e-6)
+
+    def test_node_parked_at_mpp(self, system, optimizer):
+        point = optimizer.regulated_point("sc", 1.0)
+        assert point.node_voltage_v == pytest.approx(
+            system.mpp(1.0).voltage_v
+        )
+
+    def test_delivered_consistent_with_efficiency(self, optimizer):
+        point = optimizer.regulated_point("sc", 1.0)
+        assert 0.0 < point.conversion_efficiency < 1.0
+        assert point.delivered_power_w == pytest.approx(
+            point.extracted_power_w * point.conversion_efficiency
+        )
+
+    def test_respects_converter_range(self, system, optimizer):
+        point = optimizer.regulated_point("buck", 1.0)
+        buck = system.regulator("buck")
+        assert buck.min_output_v <= point.processor_voltage_v <= buck.max_output_v
+
+
+class TestPaperClaims:
+    def test_sc_beats_unregulated_at_full_sun(self, optimizer):
+        """Fig. 6(b): the SC point delivers ~20-40% more power and a
+        measurable speedup over direct connection."""
+        raw = optimizer.unregulated_point(1.0)
+        sc = optimizer.regulated_point("sc", 1.0)
+        power_gain = sc.delivered_power_w / raw.delivered_power_w - 1.0
+        speed_gain = sc.frequency_hz / raw.frequency_hz - 1.0
+        assert 0.15 <= power_gain <= 0.45
+        assert 0.05 <= speed_gain <= 0.30
+
+    def test_buck_slightly_behind_sc(self, optimizer):
+        """Fig. 6(b): 'the benefit of using buck regulator is slightly
+        less than that from SC regulator'."""
+        sc = optimizer.regulated_point("sc", 1.0)
+        buck = optimizer.regulated_point("buck", 1.0)
+        assert buck.frequency_hz < sc.frequency_hz
+        assert buck.frequency_hz > 0.85 * sc.frequency_hz
+
+    def test_ldo_no_better_than_raw(self, optimizer):
+        """Fig. 6(b): 'the LDO does not bring any efficiency improvement
+        over raw solar cell ... overall, less power is delivered'."""
+        raw = optimizer.unregulated_point(1.0)
+        ldo = optimizer.regulated_point("ldo", 1.0)
+        assert ldo.delivered_power_w < raw.delivered_power_w
+        assert ldo.frequency_hz < raw.frequency_hz
+
+    def test_best_point_prefers_regulated_at_full_sun(self, optimizer):
+        best = optimizer.best_point("sc", 1.0)
+        assert not best.bypassed
+
+    def test_best_point_never_worse_than_either_candidate(self, optimizer):
+        for irradiance in (1.0, 0.5, 0.25, 0.1):
+            best = optimizer.best_point("sc", irradiance)
+            raw = optimizer.unregulated_point(irradiance)
+            assert best.frequency_hz >= raw.frequency_hz
+
+
+class TestOutputPowerCurve:
+    def test_curve_shape(self, system, optimizer):
+        voltages, powers = optimizer.output_power_curve("sc", 1.0)
+        finite = np.isfinite(powers)
+        assert np.any(finite)
+        # Fig. 6(b): the deliverable power never exceeds the MPP power.
+        assert np.nanmax(powers) <= system.mpp(1.0).power_w
+
+    def test_explicit_voltages_respected(self, optimizer):
+        voltages = np.array([0.4, 0.5, 0.6])
+        out_v, out_p = optimizer.output_power_curve("buck", 1.0, voltages)
+        np.testing.assert_array_equal(out_v, voltages)
+        assert out_p.shape == (3,)

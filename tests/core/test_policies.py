@@ -1,0 +1,22 @@
+"""Tests for the policy enumeration."""
+
+from repro.core.policies import Policy
+
+
+class TestPolicy:
+    def test_partition_into_baselines_and_holistic(self):
+        assert set(Policy.baselines()) | set(Policy.holistic()) == set(Policy)
+        assert not set(Policy.baselines()) & set(Policy.holistic())
+
+    def test_is_holistic_flag(self):
+        for policy in Policy.holistic():
+            assert policy.is_holistic
+        for policy in Policy.baselines():
+            assert not policy.is_holistic
+
+    def test_values_are_stable_identifiers(self):
+        # Bench output keys depend on these; keep them stable.
+        assert Policy.RAW_SOLAR.value == "raw-solar"
+        assert Policy.HOLISTIC_PERFORMANCE.value == "holistic-performance"
+        assert Policy.HOLISTIC_MEP.value == "holistic-mep"
+        assert Policy.HOLISTIC_SPRINT.value == "holistic-sprint"

@@ -1,0 +1,94 @@
+"""Tests for the JSON experiment export."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.experiments.export import (
+    FAST_FIGURES,
+    FIGURE_DRIVERS,
+    export_all,
+    export_figure,
+    to_jsonable,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+class TestToJsonable:
+    def test_numpy_arrays_become_lists(self):
+        result = to_jsonable(np.array([1.0, 2.0]))
+        assert result == [1.0, 2.0]
+        json.dumps(result)
+
+    def test_numpy_scalars_become_python(self):
+        assert to_jsonable(np.float64(1.5)) == 1.5
+        assert to_jsonable(np.int32(7)) == 7
+
+    def test_nan_and_inf_encoded(self):
+        assert to_jsonable(float("nan")) == "nan"
+        assert to_jsonable(float("inf")) == "inf"
+        assert to_jsonable(float("-inf")) == "-inf"
+
+    def test_dataclasses_become_dicts(self):
+        @dataclasses.dataclass
+        class Point:
+            x: float
+            values: np.ndarray
+
+        result = to_jsonable(Point(1.0, np.array([2.0])))
+        assert result == {"x": 1.0, "values": [2.0]}
+
+    def test_nested_structures(self):
+        payload = {"a": [np.float64(1.0), {"b": (2, 3)}]}
+        assert to_jsonable(payload) == {"a": [1.0, {"b": [2, 3]}]}
+
+    def test_oversized_array_rejected(self):
+        with pytest.raises(ModelParameterError):
+            to_jsonable(np.zeros(10), max_array=5)
+
+
+class TestExportFigure:
+    def test_unknown_figure_rejected(self, system):
+        with pytest.raises(ModelParameterError):
+            export_figure("fig99", system)
+
+    @pytest.mark.parametrize("figure_id", FAST_FIGURES)
+    def test_every_fast_figure_serialises(self, figure_id, system):
+        payload = export_figure(figure_id, system)
+        assert payload["figure"] == figure_id
+        text = json.dumps(payload)
+        assert len(text) > 100
+
+    def test_fig6b_payload_content(self, system):
+        payload = export_figure("fig6b", system)
+        names = {entry["regulator_name"] for entry in payload["data"]}
+        assert names == {"sc", "buck", "ldo"}
+
+    def test_registry_covers_every_paper_figure(self):
+        """Figs. 2-9 and 11 all have export drivers (Fig. 10 is the
+        die photo -- nothing to export)."""
+        expected = {
+            "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
+            "fig7a", "fig7b", "fig8", "fig9a", "fig9b",
+            "fig11a", "fig11b",
+        }
+        assert set(FIGURE_DRIVERS) == expected
+
+
+class TestExportAll:
+    def test_writes_one_file_per_figure(self, tmp_path, system):
+        written = export_all(
+            tmp_path, figures=("fig3", "fig5"), system=system
+        )
+        assert len(written) == 2
+        for path in written:
+            payload = json.loads(path.read_text())
+            assert "data" in payload

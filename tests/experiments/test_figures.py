@@ -1,0 +1,121 @@
+"""Smoke + shape tests for the per-figure experiment drivers.
+
+The full quantitative reproduction lives in ``benchmarks/``; these
+tests pin the qualitative shape of each figure so a refactor cannot
+silently break an experiment while the unit tests stay green.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig2_iv_curves,
+    fig3_ldo_efficiency,
+    fig4_sc_efficiency,
+    fig5_buck_efficiency,
+    fig6a_power_curves,
+    fig6b_regulated_comparison,
+    fig7a_light_sweep,
+    fig7b_mep_comparison,
+    fig9a_completion_time,
+)
+
+
+class TestFig2:
+    def test_curve_family_ordered_by_light(self):
+        curves = fig2_iv_curves()
+        iscs = [c.isc_a for c in curves]
+        assert iscs == sorted(iscs, reverse=True)
+        # Current scales roughly linearly with irradiance.
+        full, half = curves[0], curves[1]
+        assert half.isc_a == pytest.approx(full.isc_a / 2, rel=0.05)
+
+    def test_each_curve_monotone(self):
+        for curve in fig2_iv_curves():
+            assert np.all(np.diff(curve.current_a) <= 1e-9)
+
+
+class TestFig3to5:
+    def test_ldo_anchor(self):
+        result = fig3_ldo_efficiency()
+        assert result.anchor_efficiency == pytest.approx(0.45, abs=0.02)
+
+    def test_ldo_linear_in_voltage(self):
+        result = fig3_ldo_efficiency()
+        finite = np.isfinite(result.efficiency)
+        slope = np.polyfit(
+            result.voltage_v[finite], result.efficiency[finite], 1
+        )[0]
+        assert slope > 0.5  # roughly 1/Vin per volt
+
+    def test_sc_anchors(self):
+        result = fig4_sc_efficiency()
+        assert result.anchor_full == pytest.approx(0.67, abs=0.03)
+        assert result.anchor_half == pytest.approx(0.64, abs=0.03)
+
+    def test_sc_full_load_dominates_half_load_at_anchor_region(self):
+        result = fig4_sc_efficiency()
+        window = (result.voltage_v > 0.45) & (result.voltage_v < 0.6)
+        assert np.nanmean(
+            result.efficiency_full[window] - result.efficiency_half[window]
+        ) > 0.0
+
+    def test_buck_anchors(self):
+        result = fig5_buck_efficiency()
+        assert result.anchor_full == pytest.approx(0.63, abs=0.03)
+        assert result.anchor_half == pytest.approx(0.58, abs=0.03)
+
+    def test_buck_envelope(self):
+        result = fig5_buck_efficiency()
+        finite = np.isfinite(result.efficiency_full)
+        assert np.nanmax(result.efficiency_full[finite]) <= 0.80
+
+
+class TestFig6:
+    def test_intersection_below_mpp(self):
+        curves = fig6a_power_curves()
+        assert curves.unregulated.processor_voltage_v < curves.mpp_voltage_v
+        assert curves.unregulated.extracted_power_w < curves.mpp_power_w
+
+    def test_ordering_sc_buck_raw_ldo(self):
+        comparisons = {c.regulator_name: c for c in fig6b_regulated_comparison()}
+        assert comparisons["sc"].speed_gain > comparisons["buck"].speed_gain
+        assert comparisons["buck"].speed_gain > 0.0
+        assert comparisons["ldo"].speed_gain < 0.0
+
+    def test_sc_power_gain_in_paper_band(self):
+        comparisons = {c.regulator_name: c for c in fig6b_regulated_comparison()}
+        assert 0.15 <= comparisons["sc"].power_gain <= 0.45
+
+
+class TestFig7:
+    def test_full_sun_gain_positive_quarter_negative(self):
+        entries = {e.irradiance: e for e in fig7a_light_sweep()}
+        assert entries[1.0].window_gain > 0.10
+        assert entries[0.25].window_gain < 0.0
+
+    def test_mep_shift_and_saving(self):
+        study = fig7b_mep_comparison()
+        sc = study.comparisons["sc"]
+        assert sc.voltage_shift_v > 0.03
+        assert 0.15 <= sc.energy_saving_fraction <= 0.50
+
+
+class TestFig9a:
+    def test_required_curve_monotone_nonincreasing(self):
+        study = fig9a_completion_time(points=30)
+        finite = np.isfinite(study.required_energy_j)
+        diffs = np.diff(study.required_energy_j[finite])
+        assert np.all(diffs <= 1e-9)
+
+    def test_available_curve_monotone_increasing(self):
+        study = fig9a_completion_time(points=30)
+        assert np.all(np.diff(study.available_energy_j) > 0.0)
+
+    def test_crossing_inside_sweep(self):
+        study = fig9a_completion_time(points=30)
+        assert (
+            study.completion_time_s[0]
+            < study.fastest_feasible_s
+            < study.completion_time_s[-1]
+        )

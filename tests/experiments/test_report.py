@@ -1,0 +1,64 @@
+"""Tests for the bench report formatting."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.experiments.report import format_series, format_table, paper_vs_measured
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        table = format_table(
+            ["name", "value"], [("alpha", 1.5), ("b", 22.0)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        assert "1.500" in table
+        assert "22.000" in table
+        # All lines align to the same width grid.
+        assert len(set(len(line.rstrip()) for line in lines[:2])) <= 2
+
+    def test_precision_control(self):
+        table = format_table(["x"], [(3.14159,)], precision=2)
+        assert "3.14" in table
+        assert "3.142" not in table
+
+    def test_non_floats_passed_through(self):
+        table = format_table(["a", "b"], [("text", 7)])
+        assert "text" in table
+        assert "7" in table
+
+    def test_empty_rows_allowed(self):
+        table = format_table(["only", "headers"], [])
+        assert "only" in table
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ModelParameterError):
+            format_table([], [])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ModelParameterError):
+            format_table(["a", "b"], [("too", "many", "cells")])
+
+
+class TestFormatSeries:
+    def test_decimation(self):
+        xs = list(range(10))
+        ys = [x * 2 for x in xs]
+        text = format_series("f", xs, ys, every=5)
+        assert text.startswith("f:")
+        assert text.count("(") == 2  # indices 0 and 5
+
+    def test_rejects_bad_decimation(self):
+        with pytest.raises(ModelParameterError):
+            format_series("f", [1], [2], every=0)
+
+
+class TestPaperVsMeasured:
+    def test_three_columns(self):
+        text = paper_vs_measured([("claim", "+31%", "+28.8%")])
+        assert "claim" in text
+        assert "paper" in text
+        assert "measured" in text
+        assert "+28.8%" in text

@@ -1,0 +1,186 @@
+"""Integration tests: whole-system scenarios across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DischargeTimeMppTracker,
+    HolisticEnergyManager,
+    MppTrackingController,
+    Policy,
+    paper_system,
+)
+from repro.processor.image import FrameGenerator, ImageProcessor
+from repro.pv.traces import concatenate, constant_trace, random_walk_trace, step_trace
+from repro.sim.engine import SimulationConfig, TransientSimulator
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+class TestImageWorkloadOnHarvestedEnergy:
+    def test_frame_recognised_and_completed_on_solar_budget(self, system):
+        """The paper's demo in one test: the functional image pipeline
+        defines the cycles, the holistic plan schedules them, and the
+        transient simulation completes the job from harvested energy."""
+        pipeline = ImageProcessor()
+        pipeline.train_on_patterns(samples_per_class=3, seed=3)
+        frame, label = FrameGenerator(seed=77).frame(2)
+        recognition = pipeline.recognise(frame)
+        assert recognition.label == label
+
+        workload = pipeline.workload(frame_size=64, deadline_s=None)
+        manager = HolisticEnergyManager(system, regulator_name="sc")
+        plan = manager.plan(Policy.HOLISTIC_PERFORMANCE, 1.0)
+        controller = manager.controller(plan, workload=workload)
+        simulator = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=system.new_node_capacitor(system.mpp(1.0).voltage_v),
+            processor=system.processor,
+            regulator=system.regulator("sc"),
+            controller=controller,
+            workload=workload,
+            config=SimulationConfig(time_step_s=10e-6, record_every=8),
+        )
+        result = simulator.run(constant_trace(1.0, 0.05))
+        assert result.completed
+        # The holistic point finishes the frame faster than the 15 ms
+        # the chip needs at 0.5 V.
+        assert result.completion_time_s < 15e-3
+
+
+class TestPolicyOrderingUnderSimulation:
+    def test_holistic_completes_sooner_than_baselines(self, system):
+        """Simulated (not just planned) completion times preserve the
+        paper's ordering at full sun."""
+        from repro.processor.workloads import image_frame_workload
+
+        workload = image_frame_workload(None)
+        manager = HolisticEnergyManager(system, regulator_name="sc")
+        times = {}
+        for policy in (
+            Policy.RAW_SOLAR,
+            Policy.CONVENTIONAL_REGULATED,
+            Policy.HOLISTIC_PERFORMANCE,
+        ):
+            plan = manager.plan(policy, 1.0)
+            controller = manager.controller(plan, workload=workload)
+            simulator = TransientSimulator(
+                cell=system.cell,
+                node_capacitor=system.new_node_capacitor(
+                    system.mpp(1.0).voltage_v
+                ),
+                processor=system.processor,
+                regulator=system.regulator("sc"),
+                controller=controller,
+                workload=workload,
+                config=SimulationConfig(
+                    time_step_s=10e-6, record_every=16, stop_on_completion=True
+                ),
+            )
+            result = simulator.run(constant_trace(1.0, 0.1))
+            assert result.completed, policy
+            times[policy] = result.completion_time_s
+        assert (
+            times[Policy.HOLISTIC_PERFORMANCE]
+            < times[Policy.RAW_SOLAR]
+        )
+        assert (
+            times[Policy.HOLISTIC_PERFORMANCE]
+            < times[Policy.CONVENTIONAL_REGULATED]
+        )
+
+
+class TestMpptUnderVolatileLight:
+    def test_tracker_survives_stochastic_trace(self, system):
+        """A seeded volatile trace: the tracker must keep the system
+        alive (no uncontrolled brownout) and keep harvesting."""
+        tracker = DischargeTimeMppTracker(system, "sc")
+        controller = MppTrackingController(tracker, initial_irradiance=0.5)
+        trace = concatenate(
+            [
+                constant_trace(0.5, 10e-3),
+                random_walk_trace(
+                    seed=5, duration_s=80e-3, mean=0.5, volatility=0.15,
+                    breakpoints=9,
+                ),
+            ]
+        )
+        simulator = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=system.new_node_capacitor(system.mpp(0.5).voltage_v),
+            processor=system.processor,
+            regulator=system.regulator("sc"),
+            controller=controller,
+            comparators=system.new_comparator_bank(),
+            config=SimulationConfig(
+                time_step_s=20e-6, record_every=8, stop_on_brownout=False
+            ),
+        )
+        result = simulator.run(trace)
+        assert result.harvested_energy_j() > 0.0
+        assert result.final_cycles > 0.0
+        # Node never collapses to zero under tracking.
+        assert result.min_node_voltage_v() > 0.2
+
+
+class TestDimAndRecover:
+    def test_dim_then_recover_round_trip(self, system):
+        """Dim to a quarter and back: two retunes, and the final
+        operating point matches the initial one again."""
+        tracker = DischargeTimeMppTracker(system, "sc")
+        controller = MppTrackingController(tracker, initial_irradiance=1.0)
+        initial_f = controller.operating_point.frequency_hz
+        trace = concatenate(
+            [
+                step_trace(1.0, 0.25, 10e-3, 60e-3),
+                step_trace(0.25, 1.0, 5e-3, 60e-3),
+            ]
+        )
+        simulator = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=system.new_node_capacitor(system.mpp(1.0).voltage_v),
+            processor=system.processor,
+            regulator=system.regulator("sc"),
+            controller=controller,
+            comparators=system.new_comparator_bank(),
+            config=SimulationConfig(
+                time_step_s=20e-6, record_every=8, stop_on_brownout=False
+            ),
+        )
+        simulator.run(trace)
+        assert len(controller.retunes) >= 2
+        final_f = controller.operating_point.frequency_hz
+        assert final_f == pytest.approx(initial_f, rel=0.15)
+
+
+class TestEnergyAccountingAcrossModes:
+    def test_sprint_run_conserves_energy(self, system):
+        """Energy conservation holds through regulated/bypass/halt
+        transitions of a sprint run."""
+        from repro.core.sprint import SprintController, SprintScheduler
+        from repro.processor.workloads import image_frame_workload
+
+        workload = image_frame_workload(10e-3)
+        scheduler = SprintScheduler(system, "buck", 0.2)
+        plan = scheduler.plan(workload, v_start=1.21)
+        capacitor = system.new_node_capacitor(1.21)
+        e_start = capacitor.energy_j
+        simulator = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=capacitor,
+            processor=system.processor,
+            regulator=system.regulator("buck"),
+            controller=SprintController(plan),
+            workload=workload,
+            config=SimulationConfig(
+                time_step_s=5e-6, record_every=2, stop_on_brownout=False
+            ),
+        )
+        result = simulator.run(step_trace(1.0, 0.35, 1e-3, 40e-3))
+        e_end = capacitor.energy_j
+        lhs = result.harvested_energy_j() + (e_start - e_end)
+        rhs = result.consumed_energy_j() + result.conversion_loss_j()
+        assert lhs == pytest.approx(rhs, rel=0.03)

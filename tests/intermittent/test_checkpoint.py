@@ -1,0 +1,86 @@
+"""Tests for the two-phase checkpoint store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CheckpointError
+from repro.intermittent.checkpoint import Checkpoint, CheckpointStore
+
+
+class TestBasicCommitRestore:
+    def test_fresh_store_restores_origin(self):
+        store = CheckpointStore()
+        snapshot = store.restore()
+        assert snapshot.task_index == 0
+        assert snapshot.state == {}
+
+    def test_commit_then_restore(self):
+        store = CheckpointStore()
+        store.commit(3, {"sum": 42})
+        snapshot = store.restore()
+        assert snapshot.task_index == 3
+        assert snapshot.state == {"sum": 42}
+        assert store.commit_count == 1
+
+    def test_state_is_deep_copied(self):
+        store = CheckpointStore()
+        state = {"list": [1, 2]}
+        store.commit(1, state)
+        state["list"].append(3)
+        assert store.restore().state == {"list": [1, 2]}
+
+    def test_progress_cannot_regress(self):
+        store = CheckpointStore()
+        store.commit(5, {})
+        with pytest.raises(CheckpointError):
+            store.commit(4, {})
+
+    def test_same_index_recommit_allowed(self):
+        # Re-committing the same progress with new state is legal
+        # (e.g. idempotent retry after an aborted burst).
+        store = CheckpointStore()
+        store.commit(2, {"v": 1})
+        store.commit(2, {"v": 2})
+        assert store.restore().state == {"v": 2}
+
+    def test_checkpoint_rejects_negative_index(self):
+        with pytest.raises(CheckpointError):
+            Checkpoint(task_index=-1, state={}, commit_count=0)
+
+
+class TestCrashAtomicity:
+    def test_crash_during_commit_preserves_previous(self):
+        """The two-phase protocol's whole point: a crash between slot
+        write and flag flip leaves the old snapshot intact."""
+        store = CheckpointStore()
+        store.commit(2, {"sum": 10})
+        store.crash_during_commit(3, {"sum": 999})
+        snapshot = store.restore()
+        assert snapshot.task_index == 2
+        assert snapshot.state == {"sum": 10}
+
+    def test_recovery_after_crash_can_commit_again(self):
+        store = CheckpointStore()
+        store.commit(2, {"sum": 10})
+        store.crash_during_commit(3, {"sum": 999})
+        store.commit(3, {"sum": 11})
+        assert store.restore().task_index == 3
+        assert store.restore().state == {"sum": 11}
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_restore_always_monotone(self, increments):
+        """Property: whatever interleaving of commits and mid-commit
+        crashes occurs, restored progress never decreases."""
+        store = CheckpointStore()
+        index = 0
+        last_restored = 0
+        for i, step in enumerate(increments):
+            index += step
+            if i % 3 == 2:
+                store.crash_during_commit(index, {"i": i})
+            else:
+                store.commit(index, {"i": i})
+            restored = store.restore().task_index
+            assert restored >= last_restored
+            last_restored = restored

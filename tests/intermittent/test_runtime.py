@@ -1,0 +1,171 @@
+"""Tests for the intermittent executor."""
+
+import pytest
+
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.intermittent.runtime import IntermittentRuntime
+from repro.intermittent.tasks import Task, TaskChain
+from repro.pv.traces import constant_trace
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+@pytest.fixture(scope="module")
+def small_cap_system():
+    """A node capacitor small enough that one burst cannot fund the
+    whole chain -- forces genuine intermittency."""
+    return paper_system(node_capacitance_f=22e-6)
+
+
+def counting_action(state):
+    return {**state, "commits": state.get("commits", 0) + 1}
+
+
+def make_runtime(system, total_cycles=5_000_000, tasks=16, **kwargs):
+    chain = TaskChain.evenly_split("w", total_cycles, tasks,
+                                   action=counting_action)
+    defaults = dict(
+        operating_voltage_v=0.5,
+        power_on_v=1.0,
+        power_off_v=0.55,
+        boot_cycles=10_000,
+    )
+    defaults.update(kwargs)
+    return IntermittentRuntime(system, chain, **defaults)
+
+
+class TestConstruction:
+    def test_rejects_inverted_thresholds(self, system):
+        chain = TaskChain((Task("t", 100),))
+        with pytest.raises(ModelParameterError):
+            IntermittentRuntime(system, chain, power_on_v=0.5, power_off_v=0.9)
+
+    def test_rejects_negative_boot_cycles(self, system):
+        chain = TaskChain((Task("t", 100),))
+        with pytest.raises(ModelParameterError):
+            IntermittentRuntime(system, chain, boot_cycles=-1)
+
+    def test_granularity_check_catches_oversized_task(self, system):
+        runtime = IntermittentRuntime(
+            system, TaskChain((Task("huge", 50_000_000),))
+        )
+        with pytest.raises(ModelParameterError, match="split the task"):
+            runtime.check_granularity()
+
+    def test_granularity_check_passes_for_small_tasks(self, system):
+        make_runtime(system).check_granularity()
+
+
+class TestExecution:
+    def test_completes_under_steady_light(self, system):
+        runtime = make_runtime(system)
+        report = runtime.run(constant_trace(0.3, 0.5))
+        assert report.completed
+        assert report.tasks_committed == 16
+        assert report.final_state["commits"] == 16
+        assert report.completion_time_s is not None
+        assert report.reboots >= 1
+
+    def test_multiple_reboots_under_weak_light(self, small_cap_system):
+        """Weak light with a small capacitor cannot fund the chain in
+        one burst: it completes across several reboots."""
+        runtime = make_runtime(small_cap_system)
+        report = runtime.run(constant_trace(0.05, 2.0))
+        assert report.reboots >= 2
+        assert report.completed
+        # Monotone progress despite failures.
+        assert report.tasks_committed == 16
+
+    def test_progress_is_monotone_and_state_consistent(self, small_cap_system):
+        """Every committed task bumped the counter exactly once, no
+        matter how many times partial work was re-executed."""
+        runtime = make_runtime(small_cap_system)
+        report = runtime.run(constant_trace(0.05, 2.0))
+        assert report.final_state["commits"] == report.tasks_committed
+
+    def test_wasted_cycles_only_under_failures(self, system, small_cap_system):
+        strong = make_runtime(system).run(constant_trace(0.3, 0.5))
+        assert strong.waste_fraction == pytest.approx(0.0, abs=1e-9)
+        weak = make_runtime(small_cap_system).run(constant_trace(0.05, 2.0))
+        assert weak.wasted_cycles > 0.0
+        assert 0.0 < weak.waste_fraction < 1.0
+
+    def test_no_completion_in_darkness(self, system):
+        runtime = make_runtime(system)
+        report = runtime.run(constant_trace(0.0, 0.2))
+        assert not report.completed
+        assert report.reboots == 0
+        assert report.executed_cycles == 0.0
+
+    def test_finer_decomposition_wastes_less(self, small_cap_system):
+        """The task-decomposition argument (Alpaca): smaller atomic
+        tasks lose less work per power failure."""
+        coarse = make_runtime(small_cap_system, total_cycles=1_500_000,
+                              tasks=3).run(constant_trace(0.05, 2.0))
+        fine = make_runtime(small_cap_system, total_cycles=1_500_000,
+                            tasks=64).run(constant_trace(0.05, 2.0))
+        assert fine.wasted_cycles <= coarse.wasted_cycles + 1e-6
+
+    def test_report_time_accounting(self, small_cap_system):
+        runtime = make_runtime(small_cap_system)
+        report = runtime.run(constant_trace(0.05, 1.0))
+        assert report.on_time_s + report.off_time_s == pytest.approx(
+            1.0, rel=0.01
+        )
+        assert len(report.boot_times_s) == report.reboots
+
+    def test_rejects_nonpositive_duration(self, system):
+        runtime = make_runtime(system)
+        with pytest.raises(ModelParameterError):
+            runtime.run(constant_trace(0.3, 1.0), duration_s=0.0)
+
+
+class TestEnergyBurstModel:
+    def test_burst_energy_matches_capacitor_swing(self, system):
+        runtime = make_runtime(system)
+        expected = 0.5 * system.node_capacitance_f * (1.0**2 - 0.55**2)
+        assert runtime.energy_per_burst_j() == pytest.approx(expected)
+
+    def test_cycles_per_burst_scales_with_thresholds(self, system):
+        wide = make_runtime(system, power_on_v=1.1, power_off_v=0.55)
+        narrow = make_runtime(system, power_on_v=0.9, power_off_v=0.55)
+        assert wide.cycles_per_burst() > narrow.cycles_per_burst()
+
+
+class TestAutoThresholds:
+    def test_sized_for_largest_task(self, small_cap_system):
+        chain = TaskChain.evenly_split("w", 2_000_000, 8)
+        runtime = IntermittentRuntime.with_auto_thresholds(
+            small_cap_system, chain, margin=1.5
+        )
+        # One burst funds the largest task plus boot with the margin.
+        budget = runtime.cycles_per_burst() - runtime.boot_cycles
+        assert budget >= chain.largest_task_cycles
+        runtime.check_granularity()
+
+    def test_completes_with_auto_thresholds(self, small_cap_system):
+        chain = TaskChain.evenly_split("w", 2_000_000, 8,
+                                       action=counting_action)
+        runtime = IntermittentRuntime.with_auto_thresholds(
+            small_cap_system, chain
+        )
+        report = runtime.run(constant_trace(0.1, 2.0))
+        assert report.completed
+
+    def test_impossible_granularity_rejected(self, small_cap_system):
+        from repro.intermittent.tasks import Task
+
+        chain = TaskChain((Task("monolith", 50_000_000),))
+        with pytest.raises(ModelParameterError):
+            IntermittentRuntime.with_auto_thresholds(small_cap_system, chain)
+
+    def test_rejects_margin_below_one(self, small_cap_system):
+        chain = TaskChain.evenly_split("w", 1_000_000, 4)
+        with pytest.raises(ModelParameterError):
+            IntermittentRuntime.with_auto_thresholds(
+                small_cap_system, chain, margin=0.5
+            )

@@ -1,0 +1,83 @@
+"""Tests for energy-aligned tasks."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.intermittent.tasks import Task, TaskChain, chain_from_cycle_counts
+
+
+class TestTask:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelParameterError):
+            Task("", 100)
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ModelParameterError):
+            Task("t", 0)
+
+    def test_commit_without_action_is_identity(self):
+        state = {"x": 1}
+        assert Task("t", 100).commit(state) == {"x": 1}
+
+    def test_commit_applies_action(self):
+        task = Task("t", 100, action=lambda s: {**s, "count": s.get("count", 0) + 1})
+        assert task.commit({}) == {"count": 1}
+        assert task.commit({"count": 4}) == {"count": 5}
+
+    def test_commit_does_not_mutate_input(self):
+        task = Task("t", 100, action=lambda s: {**s, "y": 2})
+        state = {"x": 1}
+        task.commit(state)
+        assert state == {"x": 1}
+
+    def test_commit_rejects_non_dict_result(self):
+        task = Task("t", 100, action=lambda s: 42)
+        with pytest.raises(ModelParameterError):
+            task.commit({})
+
+
+class TestTaskChain:
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ModelParameterError):
+            TaskChain(())
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ModelParameterError):
+            TaskChain((Task("a", 1), Task("a", 2)))
+
+    def test_totals(self):
+        chain = TaskChain((Task("a", 100), Task("b", 300)))
+        assert chain.total_cycles == 400
+        assert chain.largest_task_cycles == 300
+        assert len(chain) == 2
+        assert chain[1].name == "b"
+
+    def test_evenly_split_preserves_total(self):
+        chain = TaskChain.evenly_split("work", 1003, 4)
+        assert chain.total_cycles == 1003
+        assert len(chain) == 4
+        # Remainder spread over the first tasks.
+        assert chain[0].cycles - chain[3].cycles <= 1
+
+    def test_evenly_split_rejects_bad_counts(self):
+        with pytest.raises(ModelParameterError):
+            TaskChain.evenly_split("w", 100, 0)
+        with pytest.raises(ModelParameterError):
+            TaskChain.evenly_split("w", 3, 10)
+
+    @given(st.integers(1, 10_000_000), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_split_total_invariant(self, total, count):
+        if total < count:
+            return
+        chain = TaskChain.evenly_split("w", total, count)
+        assert chain.total_cycles == total
+        assert max(t.cycles for t in chain.tasks) - min(
+            t.cycles for t in chain.tasks
+        ) <= 1
+
+    def test_chain_from_cycle_counts(self):
+        chain = chain_from_cycle_counts("w", [10, 20, 30])
+        assert chain.total_cycles == 60
+        assert [t.cycles for t in chain.tasks] == [10, 20, 30]

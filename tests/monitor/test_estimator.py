@@ -1,0 +1,77 @@
+"""Tests for discharge-time power estimation (eqs. 6-7)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError, OperatingRangeError
+from repro.monitor.estimator import DischargeTimePowerEstimator, PowerEstimate
+from repro.storage.capacitor import Capacitor
+
+
+@pytest.fixture
+def estimator():
+    return DischargeTimePowerEstimator(Capacitor(47e-6))
+
+
+class TestEquationSeven:
+    def test_exact_for_constant_powers(self, estimator):
+        """Round trip: forward eq. (6) then invert with eq. (7)."""
+        pin_true = 3e-3
+        draw = 10e-3
+        t = estimator.expected_interval(1.05, 0.95, pin_true, draw)
+        estimate = estimator.estimate(1.05, 0.95, t, draw)
+        assert estimate.input_power_w == pytest.approx(pin_true, rel=1e-9)
+
+    def test_zero_input_power_detected(self, estimator):
+        draw = 5e-3
+        t = estimator.expected_interval(1.05, 0.95, 0.0, draw)
+        estimate = estimator.estimate(1.05, 0.95, t, draw)
+        assert estimate.input_power_w == pytest.approx(0.0, abs=1e-12)
+
+    def test_clamps_negative_estimates(self, estimator):
+        # Impossibly fast discharge implies negative Pin; clamp to 0.
+        estimate = estimator.estimate(1.05, 0.95, 1e-9, 1e-3)
+        assert estimate.input_power_w == 0.0
+
+    @given(
+        st.floats(0.5e-3, 10e-3),
+        st.floats(11e-3, 30e-3),
+        st.floats(0.9, 1.1),
+        st.floats(0.02, 0.2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, pin, draw, upper, gap):
+        estimator = DischargeTimePowerEstimator(Capacitor(47e-6))
+        lower = upper - gap
+        t = estimator.expected_interval(upper, lower, pin, draw)
+        estimate = estimator.estimate(upper, lower, t, draw)
+        assert estimate.input_power_w == pytest.approx(pin, rel=1e-6)
+
+
+class TestValidation:
+    def test_rejects_inverted_thresholds(self, estimator):
+        with pytest.raises(OperatingRangeError):
+            estimator.estimate(0.9, 1.0, 1e-3, 5e-3)
+
+    def test_rejects_nonpositive_interval(self, estimator):
+        with pytest.raises(OperatingRangeError):
+            estimator.estimate(1.0, 0.9, 0.0, 5e-3)
+
+    def test_rejects_negative_draw(self, estimator):
+        with pytest.raises(OperatingRangeError):
+            estimator.estimate(1.0, 0.9, 1e-3, -1e-3)
+
+    def test_expected_interval_requires_discharge(self, estimator):
+        with pytest.raises(OperatingRangeError):
+            estimator.expected_interval(1.0, 0.9, 5e-3, 3e-3)
+
+    def test_estimate_does_not_mutate_capacitor(self, estimator):
+        before = estimator.capacitor.voltage_v
+        estimator.estimate(1.0, 0.9, 1e-3, 5e-3)
+        assert estimator.capacitor.voltage_v == before
+
+
+class TestPowerEstimate:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ModelParameterError):
+            PowerEstimate(1e-3, 0.0, 1.0, 0.9)

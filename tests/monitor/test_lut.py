@@ -1,0 +1,94 @@
+"""Tests for the power-to-MPP lookup table."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.monitor.lut import MppEntry, MppLookupTable, build_mpp_lut
+from repro.pv.cell import kxob22_cell
+from repro.pv.mpp import find_mpp
+
+
+def make_lut():
+    return MppLookupTable(
+        [
+            MppEntry(1e-3, 0.9, 0.1),
+            MppEntry(5e-3, 1.0, 0.4),
+            MppEntry(14e-3, 1.2, 1.0),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_rejects_single_entry(self):
+        with pytest.raises(ModelParameterError):
+            MppLookupTable([MppEntry(1e-3, 0.9, 0.1)])
+
+    def test_rejects_duplicate_powers(self):
+        with pytest.raises(ModelParameterError):
+            MppLookupTable(
+                [MppEntry(1e-3, 0.9, 0.1), MppEntry(1e-3, 1.0, 0.2)]
+            )
+
+    def test_sorts_entries(self):
+        lut = MppLookupTable(
+            [MppEntry(5e-3, 1.0, 0.4), MppEntry(1e-3, 0.9, 0.1)]
+        )
+        assert lut.entries[0].input_power_w == 1e-3
+
+    def test_power_range(self):
+        assert make_lut().power_range_w == (1e-3, 14e-3)
+
+
+class TestNearest:
+    def test_exact_hit(self):
+        assert make_lut().nearest(5e-3).irradiance == 0.4
+
+    def test_between_entries(self):
+        assert make_lut().nearest(4.6e-3).irradiance == 0.4
+        assert make_lut().nearest(2.5e-3).irradiance == 0.1
+
+    def test_clamps_below_and_above(self):
+        lut = make_lut()
+        assert lut.nearest(0.0).irradiance == 0.1
+        assert lut.nearest(1.0).irradiance == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelParameterError):
+            make_lut().nearest(-1e-3)
+
+
+class TestInterpolate:
+    def test_midpoint(self):
+        entry = make_lut().interpolate(3e-3)
+        assert entry.mpp_voltage_v == pytest.approx(0.95)
+        assert entry.irradiance == pytest.approx(0.25)
+
+    def test_clamped_outside_range(self):
+        entry = make_lut().interpolate(100e-3)
+        assert entry.irradiance == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelParameterError):
+            make_lut().interpolate(-1.0)
+
+
+class TestBuildFromCell:
+    def test_characterisation_matches_true_mpp(self):
+        cell = kxob22_cell()
+        lut = build_mpp_lut(cell, points=16)
+        true_mpp = find_mpp(cell, 0.5)
+        entry = lut.interpolate(true_mpp.power_w)
+        assert entry.mpp_voltage_v == pytest.approx(true_mpp.voltage_v, abs=0.03)
+        assert entry.irradiance == pytest.approx(0.5, rel=0.1)
+
+    def test_rejects_bad_ranges(self):
+        cell = kxob22_cell()
+        with pytest.raises(ModelParameterError):
+            build_mpp_lut(cell, points=1)
+        with pytest.raises(ModelParameterError):
+            build_mpp_lut(cell, min_irradiance=1.0, max_irradiance=0.5)
+
+    def test_entries_monotone_in_power(self):
+        lut = build_mpp_lut(kxob22_cell(), points=12)
+        powers = [e.input_power_w for e in lut.entries]
+        assert powers == sorted(powers)

@@ -1,0 +1,70 @@
+"""Tests for the nearest-centroid classifier."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.classifier import NearestCentroidClassifier
+
+
+def make_trained():
+    clf = NearestCentroidClassifier()
+    clf.fit(
+        [np.array([1.0, 0.0]), np.array([0.9, 0.1]), np.array([0.0, 1.0])],
+        ["a", "a", "b"],
+    )
+    return clf
+
+
+class TestFit:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ModelParameterError):
+            NearestCentroidClassifier().fit([np.zeros(2)], ["a", "b"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelParameterError):
+            NearestCentroidClassifier().fit([], [])
+
+    def test_rejects_inconsistent_dimensions(self):
+        with pytest.raises(ModelParameterError):
+            NearestCentroidClassifier().fit(
+                [np.zeros(2), np.zeros(3)], ["a", "b"]
+            )
+
+    def test_classes_sorted(self):
+        clf = make_trained()
+        assert clf.classes == ("a", "b")
+        assert clf.is_trained
+
+    def test_centroid_is_mean(self):
+        clf = make_trained()
+        scores = clf.scores(np.array([0.95, 0.05]))
+        # Centroid of class a is (0.95, 0.05): exact match, score 0.
+        assert scores["a"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestPredict:
+    def test_nearest_wins(self):
+        clf = make_trained()
+        assert clf.predict(np.array([1.0, 0.0])) == "a"
+        assert clf.predict(np.array([0.0, 1.0])) == "b"
+
+    def test_scores_are_negative_squared_distances(self):
+        clf = make_trained()
+        scores = clf.scores(np.array([0.0, 0.0]))
+        assert scores["b"] == pytest.approx(-1.0)
+
+    def test_untrained_rejected(self):
+        with pytest.raises(ModelParameterError):
+            NearestCentroidClassifier().predict(np.zeros(2))
+
+    def test_dimension_mismatch_rejected(self):
+        clf = make_trained()
+        with pytest.raises(ModelParameterError):
+            clf.predict(np.zeros(5))
+
+    def test_refit_replaces_model(self):
+        clf = make_trained()
+        clf.fit([np.array([5.0, 5.0])], ["only"])
+        assert clf.classes == ("only",)
+        assert clf.predict(np.array([0.0, 0.0])) == "only"

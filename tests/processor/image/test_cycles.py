@@ -1,0 +1,74 @@
+"""Tests for pipeline cycle accounting."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.cycles import CycleCostModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CycleCostModel()
+
+
+class TestConstruction:
+    def test_rejects_zero_cost(self):
+        with pytest.raises(ModelParameterError):
+            CycleCostModel(mac_cycles=0)
+
+    def test_rejects_overhead_below_one(self):
+        with pytest.raises(ModelParameterError):
+            CycleCostModel(overhead_factor=0.5)
+
+
+class TestStageCosts:
+    def test_scan_in_linear_in_pixels(self, model):
+        assert model.scan_in(2048) == 2 * model.scan_in(1024)
+
+    def test_sobel_dominated_by_macs(self, model):
+        assert model.sobel(4096) == 4096 * 18 * model.mac_cycles
+
+    def test_detection_sweep_linear_in_positions(self, model):
+        one = model.detection_sweep(1, 256, 8, 5)
+        many = model.detection_sweep(169, 256, 8, 5)
+        assert many == 169 * one
+
+
+class TestFrameCycles:
+    def test_paper_anchor(self, model):
+        """64x64 frame ~ 6M cycles: 15 ms at the chip's 400 MHz @ 0.5 V."""
+        cycles = model.frame_cycles(frame_size=64)
+        time_ms = cycles / 400e6 * 1e3
+        assert 12.0 <= time_ms <= 18.0
+
+    def test_scales_superlinearly_with_frame_size(self, model):
+        small = model.frame_cycles(frame_size=32)
+        large = model.frame_cycles(frame_size=64)
+        assert large > 3 * small
+
+    def test_overhead_factor_multiplies(self):
+        lean = CycleCostModel(overhead_factor=1.0)
+        fat = CycleCostModel(overhead_factor=2.0)
+        assert fat.frame_cycles() == pytest.approx(
+            2 * lean.frame_cycles(), rel=1e-9
+        )
+
+    def test_rejects_frame_smaller_than_detect_window(self, model):
+        with pytest.raises(ModelParameterError):
+            model.frame_cycles(frame_size=8, detect_window=16)
+
+    def test_rejects_indivisible_window(self, model):
+        with pytest.raises(ModelParameterError):
+            model.frame_cycles(frame_size=60, window=8)
+
+    def test_rejects_bad_stride(self, model):
+        with pytest.raises(ModelParameterError):
+            model.frame_cycles(detect_stride=0)
+
+    def test_more_classes_cost_more(self, model):
+        assert model.frame_cycles(classes=10) > model.frame_cycles(classes=2)
+
+    def test_finer_stride_costs_more(self, model):
+        assert model.frame_cycles(detect_stride=2) > model.frame_cycles(
+            detect_stride=8
+        )

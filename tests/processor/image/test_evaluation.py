@@ -1,0 +1,88 @@
+"""Tests for recognition-quality evaluation."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.evaluation import (
+    AccuracyReport,
+    accuracy_versus_noise,
+    evaluate_accuracy,
+)
+from repro.processor.image.pipeline import ImageProcessor
+
+
+@pytest.fixture(scope="module")
+def trained():
+    processor = ImageProcessor()
+    processor.train_on_patterns(samples_per_class=4, seed=7)
+    return processor
+
+
+class TestEvaluateAccuracy:
+    def test_high_accuracy_at_low_noise(self, trained):
+        report = evaluate_accuracy(trained, frames=25, noise=0.05)
+        assert report.total == 25
+        assert report.accuracy >= 0.9
+
+    def test_confusion_counts_sum_to_total(self, trained):
+        report = evaluate_accuracy(trained, frames=20)
+        counted = sum(
+            count for row in report.confusion.values() for count in row.values()
+        )
+        assert counted == report.total
+
+    def test_per_class_accuracy_keys(self, trained):
+        report = evaluate_accuracy(trained, frames=25)
+        per_class = report.per_class_accuracy()
+        assert set(per_class) == set(report.confusion)
+        assert all(0.0 <= v <= 1.0 for v in per_class.values())
+
+    def test_untrained_rejected(self):
+        with pytest.raises(ModelParameterError):
+            evaluate_accuracy(ImageProcessor(), frames=5)
+
+    def test_rejects_zero_frames(self, trained):
+        with pytest.raises(ModelParameterError):
+            evaluate_accuracy(trained, frames=0)
+
+    def test_deterministic_per_seed(self, trained):
+        a = evaluate_accuracy(trained, frames=15, seed=9)
+        b = evaluate_accuracy(trained, frames=15, seed=9)
+        assert a.correct == b.correct
+        assert a.confusion == b.confusion
+
+
+class TestAccuracyVersusNoise:
+    def test_accuracy_degrades_with_noise(self, trained):
+        curve = accuracy_versus_noise(
+            trained, noise_levels=[0.02, 0.45], frames=20
+        )
+        assert curve[0][1] >= curve[1][1]
+
+    def test_curve_shape(self, trained):
+        curve = accuracy_versus_noise(trained, [0.05, 0.1], frames=10)
+        assert len(curve) == 2
+        assert all(0.0 <= acc <= 1.0 for _n, acc in curve)
+
+
+class TestAccuracyReport:
+    def test_empty_report_zero_accuracy(self):
+        report = AccuracyReport(total=0, correct=0, confusion={})
+        assert report.accuracy == 0.0
+
+    def test_most_confused_pair(self):
+        report = AccuracyReport(
+            total=10,
+            correct=7,
+            confusion={
+                "a": {"a": 4, "b": 2},
+                "b": {"b": 3, "a": 1},
+            },
+        )
+        assert report.most_confused_pair() == ("a", "b", 2)
+
+    def test_most_confused_none_when_perfect(self):
+        report = AccuracyReport(
+            total=5, correct=5, confusion={"a": {"a": 5}}
+        )
+        assert report.most_confused_pair() is None

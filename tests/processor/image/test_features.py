@@ -1,0 +1,86 @@
+"""Tests for Sobel gradient extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.features import (
+    SOBEL_X,
+    SOBEL_Y,
+    GradientField,
+    sobel_gradients,
+)
+
+
+class TestSobelGradients:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ModelParameterError):
+            sobel_gradients(np.zeros((4, 4, 3)))
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ModelParameterError):
+            sobel_gradients(np.zeros((2, 5)))
+
+    def test_constant_frame_has_zero_gradient(self):
+        field = sobel_gradients(np.full((16, 16), 0.5))
+        assert np.allclose(field.gx, 0.0)
+        assert np.allclose(field.gy, 0.0)
+
+    def test_vertical_edge_activates_gx(self):
+        frame = np.zeros((16, 16))
+        frame[:, 8:] = 1.0
+        field = sobel_gradients(frame)
+        interior = field.gx[2:-2, 7:9]
+        assert np.abs(interior).max() > 0.0
+        assert np.allclose(field.gy[2:-2, 2:-2][:, :4], 0.0)
+
+    def test_horizontal_edge_activates_gy(self):
+        frame = np.zeros((16, 16))
+        frame[8:, :] = 1.0
+        field = sobel_gradients(frame)
+        assert np.abs(field.gy[7:9, 2:-2]).max() > 0.0
+
+    def test_linear_ramp_gradient_magnitude(self):
+        """A unit-slope ramp along x gives |gx| = 8 (Sobel kernel sum)."""
+        xs = np.arange(16, dtype=float)
+        frame = np.tile(xs, (16, 1))
+        field = sobel_gradients(frame)
+        assert np.allclose(field.gx[2:-2, 2:-2], 8.0)
+
+    def test_borders_are_zero(self):
+        frame = np.random.default_rng(0).random((16, 16))
+        field = sobel_gradients(frame)
+        assert np.allclose(field.gx[0], 0.0)
+        assert np.allclose(field.gx[-1], 0.0)
+        assert np.allclose(field.gx[:, 0], 0.0)
+        assert np.allclose(field.gx[:, -1], 0.0)
+
+
+class TestGradientField:
+    def test_magnitude_is_hypot(self):
+        field = GradientField(gx=np.array([[3.0]]), gy=np.array([[4.0]]))
+        assert field.magnitude[0, 0] == pytest.approx(5.0)
+
+    def test_orientation_range(self):
+        rng = np.random.default_rng(1)
+        field = GradientField(gx=rng.normal(size=(8, 8)), gy=rng.normal(size=(8, 8)))
+        orient = field.orientation
+        assert orient.min() >= 0.0
+        assert orient.max() < np.pi
+
+    def test_orientation_of_pure_x_gradient(self):
+        field = GradientField(gx=np.array([[1.0]]), gy=np.array([[0.0]]))
+        assert field.orientation[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_orientation_of_pure_y_gradient(self):
+        field = GradientField(gx=np.array([[0.0]]), gy=np.array([[1.0]]))
+        assert field.orientation[0, 0] == pytest.approx(np.pi / 2)
+
+
+class TestKernels:
+    def test_kernels_are_antisymmetric(self):
+        np.testing.assert_array_equal(SOBEL_X, -SOBEL_X[:, ::-1])
+        np.testing.assert_array_equal(SOBEL_Y, -SOBEL_Y[::-1, :])
+
+    def test_kernels_are_transposes(self):
+        np.testing.assert_array_equal(SOBEL_X, SOBEL_Y.T)

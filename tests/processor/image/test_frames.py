@@ -1,0 +1,87 @@
+"""Tests for synthetic frame generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.frames import (
+    PATTERN_CLASSES,
+    FrameGenerator,
+    synthetic_frame,
+)
+
+
+class TestSyntheticFrame:
+    def test_rejects_unknown_pattern(self):
+        with pytest.raises(ModelParameterError):
+            synthetic_frame("spiral")
+
+    def test_rejects_tiny_frame(self):
+        with pytest.raises(ModelParameterError):
+            synthetic_frame("blob", size=4)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ModelParameterError):
+            synthetic_frame("blob", noise=-0.1)
+
+    @pytest.mark.parametrize("pattern", PATTERN_CLASSES)
+    def test_shape_and_range(self, pattern):
+        frame = synthetic_frame(pattern, seed=1)
+        assert frame.shape == (64, 64)
+        assert frame.min() >= 0.0
+        assert frame.max() <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = synthetic_frame("blob", seed=5)
+        b = synthetic_frame("blob", seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = synthetic_frame("blob", seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_horizontal_bars_vary_along_rows(self):
+        frame = synthetic_frame("horizontal-bars", noise=0.0)
+        # Rows are constant, columns alternate.
+        assert np.allclose(frame[0], frame[0][0])
+        assert frame[:, 0].std() > 0.3
+
+    def test_vertical_bars_vary_along_columns(self):
+        frame = synthetic_frame("vertical-bars", noise=0.0)
+        assert np.allclose(frame[:, 0], frame[0][0])
+        assert frame[0].std() > 0.3
+
+    def test_blob_is_centered_mass(self):
+        frame = synthetic_frame("blob", seed=0, noise=0.0)
+        center = frame[24:40, 24:40].mean()
+        corner = frame[:8, :8].mean()
+        assert center > corner + 0.2
+
+
+class TestFrameGenerator:
+    def test_cycles_through_all_classes(self):
+        generator = FrameGenerator(seed=0)
+        labels = [generator.frame(i)[1] for i in range(len(PATTERN_CLASSES))]
+        assert set(labels) == set(PATTERN_CLASSES)
+
+    def test_same_index_same_frame(self):
+        generator = FrameGenerator(seed=2)
+        a, _ = generator.frame(7)
+        b, _ = generator.frame(7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_indices_differ(self):
+        generator = FrameGenerator(seed=2)
+        a, _ = generator.frame(0)
+        b, _ = generator.frame(5)  # same class, different noise seed
+        assert not np.array_equal(a, b)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ModelParameterError):
+            FrameGenerator().frame(-1)
+
+    def test_batch(self):
+        batch = FrameGenerator().batch(7)
+        assert len(batch) == 7
+
+    def test_batch_rejects_zero(self):
+        with pytest.raises(ModelParameterError):
+            FrameGenerator().batch(0)

@@ -1,0 +1,78 @@
+"""Tests for the end-to-end image processor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.frames import PATTERN_CLASSES, FrameGenerator, synthetic_frame
+from repro.processor.image.pipeline import ImageProcessor
+
+
+@pytest.fixture(scope="module")
+def trained():
+    processor = ImageProcessor()
+    processor.train_on_patterns(samples_per_class=4, seed=7)
+    return processor
+
+
+class TestTraining:
+    def test_train_on_patterns_covers_all_classes(self, trained):
+        assert set(trained.classifier.classes) == set(PATTERN_CLASSES)
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ModelParameterError):
+            ImageProcessor().train_on_patterns(samples_per_class=0)
+
+
+class TestRecognition:
+    def test_high_accuracy_on_held_out_frames(self, trained):
+        generator = FrameGenerator(seed=1234)
+        correct = 0
+        total = 25
+        for i in range(total):
+            frame, label = generator.frame(i)
+            if trained.recognise(frame).label == label:
+                correct += 1
+        assert correct / total >= 0.9
+
+    def test_result_carries_cycles(self, trained):
+        frame, _ = FrameGenerator(seed=5).frame(0)
+        result = trained.recognise(frame)
+        assert result.cycles == trained.frame_cycles(64)
+        assert result.cycles > 1_000_000
+
+    def test_result_margin_non_negative(self, trained):
+        frame, _ = FrameGenerator(seed=5).frame(1)
+        assert trained.recognise(frame).margin >= 0.0
+
+    def test_rejects_non_square_frame(self, trained):
+        with pytest.raises(ModelParameterError):
+            trained.recognise(np.zeros((64, 32)))
+
+    def test_robust_to_moderate_noise(self, trained):
+        frame = synthetic_frame("checker", seed=9, noise=0.15)
+        assert trained.recognise(frame).label == "checker"
+
+
+class TestDetection:
+    def test_finds_blob_location(self, trained):
+        # A blob drawn with seed 0 sits near the frame centre.
+        frame = synthetic_frame("blob", seed=0, noise=0.0)
+        row, col, score = trained.detect(frame, "blob")
+        assert 0 <= row <= 48 and 0 <= col <= 48
+        assert score > 0.5
+
+    def test_rejects_unknown_target(self, trained):
+        with pytest.raises(ModelParameterError):
+            trained.detect(np.zeros((64, 64)), "nonsense")
+
+
+class TestWorkloadBridge:
+    def test_workload_matches_cycle_model(self, trained):
+        workload = trained.workload(frame_size=64, deadline_s=15e-3)
+        assert workload.cycles == trained.frame_cycles(64)
+        assert workload.deadline_s == pytest.approx(15e-3)
+
+    def test_untrained_processor_still_accounts_cycles(self):
+        fresh = ImageProcessor()
+        assert fresh.frame_cycles(64) > 0

@@ -1,0 +1,71 @@
+"""Tests for windowed feature-vector formation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.image.features import sobel_gradients
+from repro.processor.image.frames import synthetic_frame
+from repro.processor.image.vectors import frame_descriptor, window_feature_vectors
+
+
+def field_of(pattern: str, seed: int = 0, noise: float = 0.0):
+    return sobel_gradients(synthetic_frame(pattern, seed=seed, noise=noise))
+
+
+class TestWindowFeatureVectors:
+    def test_shape(self):
+        vectors = window_feature_vectors(field_of("cross"), window=8, bins=8)
+        assert vectors.shape == (64, 8)
+
+    def test_rejects_indivisible_frame(self):
+        field = sobel_gradients(np.zeros((30, 30)))
+        with pytest.raises(ModelParameterError):
+            window_feature_vectors(field, window=8)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(ModelParameterError):
+            window_feature_vectors(field_of("cross"), window=1)
+
+    def test_rejects_too_few_bins(self):
+        with pytest.raises(ModelParameterError):
+            window_feature_vectors(field_of("cross"), bins=1)
+
+    def test_rows_are_unit_norm_or_zero(self):
+        vectors = window_feature_vectors(field_of("checker", noise=0.05))
+        norms = np.linalg.norm(vectors, axis=1)
+        for n in norms:
+            assert n == pytest.approx(1.0, abs=1e-9) or n == 0.0
+
+    def test_flat_frame_gives_zero_vectors(self):
+        field = sobel_gradients(np.full((32, 32), 0.7))
+        vectors = window_feature_vectors(field)
+        assert np.allclose(vectors, 0.0)
+
+    def test_orientation_selectivity(self):
+        """Horizontal and vertical bars land in different bins."""
+        h = window_feature_vectors(field_of("horizontal-bars")).sum(axis=0)
+        v = window_feature_vectors(field_of("vertical-bars")).sum(axis=0)
+        assert np.argmax(h) != np.argmax(v)
+
+    def test_lighting_invariance(self):
+        """Scaling pixel intensity leaves normalised vectors unchanged."""
+        frame = synthetic_frame("cross", noise=0.0)
+        a = window_feature_vectors(sobel_gradients(frame))
+        b = window_feature_vectors(sobel_gradients(frame * 0.5))
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestFrameDescriptor:
+    def test_unit_norm(self):
+        vectors = window_feature_vectors(field_of("blob", noise=0.02))
+        descriptor = frame_descriptor(vectors)
+        assert np.linalg.norm(descriptor) == pytest.approx(1.0)
+
+    def test_zero_input_stays_zero(self):
+        descriptor = frame_descriptor(np.zeros((4, 8)))
+        assert np.allclose(descriptor, 0.0)
+
+    def test_flattens(self):
+        descriptor = frame_descriptor(np.ones((4, 8)))
+        assert descriptor.shape == (32,)

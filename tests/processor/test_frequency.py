@@ -1,0 +1,118 @@
+"""Tests for the frequency-versus-voltage model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError, OperatingRangeError
+from repro.processor.frequency import FrequencyModel
+from repro.processor.energy import paper_processor
+
+
+@pytest.fixture(scope="module")
+def model():
+    return paper_processor().frequency
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ModelParameterError):
+            FrequencyModel(drive_scale_hz=0.0)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ModelParameterError):
+            FrequencyModel(drive_scale_hz=1e7, threshold_v=0.0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ModelParameterError):
+            FrequencyModel(drive_scale_hz=1e7, alpha=-1.0)
+
+    def test_rejects_slope_factor_below_one(self):
+        with pytest.raises(ModelParameterError):
+            FrequencyModel(drive_scale_hz=1e7, subthreshold_slope_factor=0.9)
+
+
+class TestShape:
+    def test_monotone_increasing(self, model):
+        voltages = np.linspace(0.1, 1.1, 60)
+        freqs = model.max_frequency(voltages)
+        assert np.all(np.diff(freqs) > 0.0)
+
+    def test_subthreshold_is_exponential(self, model):
+        """Below Vth, equal voltage steps multiply frequency."""
+        f1 = model.max_frequency(0.14)
+        f2 = model.max_frequency(0.18)
+        f3 = model.max_frequency(0.22)
+        ratio_a = f2 / f1
+        ratio_b = f3 / f2
+        # Exponential growth: successive ratios are roughly equal and large.
+        assert ratio_a > 1.5
+        assert ratio_b == pytest.approx(ratio_a, rel=0.35)
+
+    def test_super_threshold_is_polynomial(self, model):
+        """Well above Vth growth is much milder than exponential."""
+        assert model.max_frequency(1.0) / model.max_frequency(0.9) < 1.3
+
+    def test_below_functional_minimum_rejected(self, model):
+        with pytest.raises(OperatingRangeError):
+            model.max_frequency(0.01)
+
+    def test_scalar_and_array_forms_agree(self, model):
+        scalar = model.max_frequency(0.6)
+        array = model.max_frequency(np.array([0.6]))
+        assert scalar == pytest.approx(float(array[0]))
+
+
+class TestPaperCalibration:
+    def test_400mhz_at_half_volt(self, model):
+        """Section VII: a 64x64 frame in ~15 ms at 0.5 V -> ~400 MHz."""
+        assert model.max_frequency(0.5) == pytest.approx(400e6, rel=0.05)
+
+    def test_around_a_gigahertz_at_one_volt(self, model):
+        """Fig. 11(a): the chip's clock reaches ~1 GHz near 1 V."""
+        assert 0.85e9 <= model.max_frequency(1.0) <= 1.25e9
+
+
+class TestInverse:
+    def test_voltage_for_frequency_round_trip(self, model):
+        v = model.voltage_for_frequency(300e6)
+        assert model.max_frequency(v) == pytest.approx(300e6, rel=1e-4)
+
+    def test_unreachable_frequency_rejected(self, model):
+        with pytest.raises(OperatingRangeError):
+            model.voltage_for_frequency(100e9)
+
+    def test_nonpositive_frequency_rejected(self, model):
+        with pytest.raises(OperatingRangeError):
+            model.voltage_for_frequency(0.0)
+
+    @given(st.floats(10e6, 900e6))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_is_lowest_sufficient_voltage(self, frequency):
+        model = paper_processor().frequency
+        v = model.voltage_for_frequency(frequency)
+        assert model.max_frequency(v) >= frequency * (1.0 - 1e-6)
+        if v - 1e-3 >= model.min_voltage_v:
+            assert model.max_frequency(v - 1e-3) < frequency
+
+
+class TestLinearisation:
+    def test_fit_matches_curve_in_window(self, model):
+        fit = model.linearize(0.5, 0.8)
+        for v in (0.5, 0.65, 0.8):
+            assert fit.frequency(v) == pytest.approx(
+                float(model.max_frequency(v)), rel=0.08
+            )
+
+    def test_fit_slope_positive(self, model):
+        fit = model.linearize(0.4, 0.9)
+        assert fit.slope_hz_per_v > 0.0
+
+    def test_fit_inverse(self, model):
+        fit = model.linearize(0.5, 0.8)
+        f = fit.frequency(0.65)
+        assert fit.voltage_for_frequency(f) == pytest.approx(0.65, rel=1e-9)
+
+    def test_rejects_bad_window(self, model):
+        with pytest.raises(ModelParameterError):
+            model.linearize(0.8, 0.5)

@@ -1,0 +1,73 @@
+"""Tests for workload descriptors."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.processor.workloads import (
+    IMAGE_FRAME_CYCLES,
+    Workload,
+    image_frame_workload,
+    standard_workloads,
+)
+
+
+class TestWorkload:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelParameterError):
+            Workload("", 1000)
+
+    def test_rejects_nonpositive_cycles(self):
+        with pytest.raises(ModelParameterError):
+            Workload("x", 0)
+
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ModelParameterError):
+            Workload("x", 1000, deadline_s=0.0)
+
+    def test_min_frequency(self):
+        w = Workload("x", 1_000_000, deadline_s=10e-3)
+        assert w.min_frequency_hz() == pytest.approx(100e6)
+
+    def test_min_frequency_none_without_deadline(self):
+        assert Workload("x", 1000).min_frequency_hz() is None
+
+    def test_with_deadline_replaces(self):
+        w = Workload("x", 1000, deadline_s=1.0)
+        assert w.with_deadline(None).deadline_s is None
+        assert w.with_deadline(2.0).deadline_s == 2.0
+        assert w.cycles == 1000
+
+    def test_repeated_scales_cycles_and_deadline(self):
+        w = Workload("x", 1000, deadline_s=1e-3).repeated(5)
+        assert w.cycles == 5000
+        assert w.deadline_s == pytest.approx(5e-3)
+
+    def test_repeated_without_deadline(self):
+        w = Workload("x", 1000).repeated(3)
+        assert w.deadline_s is None
+
+    def test_repeated_rejects_zero(self):
+        with pytest.raises(ModelParameterError):
+            Workload("x", 1000).repeated(0)
+
+
+class TestImageFrameWorkload:
+    def test_cycles_come_from_pipeline_accounting(self):
+        from repro.processor.image.cycles import CycleCostModel
+
+        assert IMAGE_FRAME_CYCLES == CycleCostModel().frame_cycles(frame_size=64)
+
+    def test_default_deadline_is_paper_frame_time(self):
+        assert image_frame_workload().deadline_s == pytest.approx(15e-3)
+
+    def test_cycle_count_scale(self):
+        """~6M cycles, the 15 ms @ 400 MHz anchor."""
+        assert 4_000_000 <= IMAGE_FRAME_CYCLES <= 8_000_000
+
+
+class TestStandardWorkloads:
+    def test_non_empty_and_distinct_names(self):
+        workloads = standard_workloads()
+        assert len(workloads) >= 3
+        names = [w.name for w in workloads]
+        assert len(set(names)) == len(names)

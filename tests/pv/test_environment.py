@@ -1,0 +1,54 @@
+"""Tests for light conditions."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pv.environment import (
+    FULL_SUN,
+    HALF_SUN,
+    INDOOR,
+    QUARTER_SUN,
+    STANDARD_CONDITIONS,
+    LightCondition,
+)
+
+
+class TestLightCondition:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelParameterError):
+            LightCondition("", 0.5)
+
+    def test_rejects_negative_irradiance(self):
+        with pytest.raises(ModelParameterError):
+            LightCondition("dark", -0.1)
+
+    def test_zero_irradiance_allowed(self):
+        assert LightCondition("night", 0.0).irradiance == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FULL_SUN.irradiance = 2.0
+
+    def test_scaled_multiplies(self):
+        dimmed = FULL_SUN.scaled(0.3)
+        assert dimmed.irradiance == pytest.approx(0.3)
+        assert "full sun" in dimmed.name
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ModelParameterError):
+            FULL_SUN.scaled(-1.0)
+
+
+class TestStandardConditions:
+    def test_paper_ratios(self):
+        assert FULL_SUN.irradiance == 1.0
+        assert HALF_SUN.irradiance == 0.5
+        assert QUARTER_SUN.irradiance == 0.25
+        assert 0.0 < INDOOR.irradiance < QUARTER_SUN.irradiance
+
+    def test_ordered_strongest_first(self):
+        values = [c.irradiance for c in STANDARD_CONDITIONS]
+        assert values == sorted(values, reverse=True)
+
+    def test_contains_four_conditions(self):
+        assert len(STANDARD_CONDITIONS) == 4

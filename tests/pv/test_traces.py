@@ -1,0 +1,197 @@
+"""Tests for irradiance traces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.pv.traces import (
+    IrradianceTrace,
+    cloud_trace,
+    concatenate,
+    constant_trace,
+    ramp_trace,
+    random_walk_trace,
+    step_trace,
+)
+
+
+class TestIrradianceTrace:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ModelParameterError):
+            IrradianceTrace((0.0, 1.0), (0.5,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ModelParameterError):
+            IrradianceTrace((), ())
+
+    def test_rejects_non_increasing_times(self):
+        with pytest.raises(ModelParameterError):
+            IrradianceTrace((0.0, 1.0, 1.0), (0.1, 0.2, 0.3))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ModelParameterError):
+            IrradianceTrace((0.0, 1.0), (0.5, -0.1))
+
+    def test_holds_endpoints(self):
+        trace = IrradianceTrace((1.0, 2.0), (0.3, 0.7))
+        assert trace(0.0) == pytest.approx(0.3)
+        assert trace(5.0) == pytest.approx(0.7)
+
+    def test_interpolates_linearly(self):
+        trace = IrradianceTrace((0.0, 2.0), (0.0, 1.0))
+        assert trace(1.0) == pytest.approx(0.5)
+
+    def test_sample_vectorised(self):
+        trace = ramp_trace(0.0, 1.0, 2.0)
+        times = np.array([0.0, 1.0, 2.0])
+        np.testing.assert_allclose(trace.sample(times), [0.0, 0.5, 1.0])
+
+    def test_mean_of_ramp(self):
+        trace = ramp_trace(0.0, 1.0, 2.0)
+        assert trace.mean() == pytest.approx(0.5)
+
+    def test_mean_partial_window(self):
+        trace = step_trace(1.0, 0.0, 1.0, 2.0, transition_s=1e-6)
+        assert trace.mean(0.0, 0.5) == pytest.approx(1.0)
+
+    def test_mean_rejects_empty_window(self):
+        trace = constant_trace(0.5, 1.0)
+        with pytest.raises(ModelParameterError):
+            trace.mean(1.0, 1.0)
+
+
+class TestGenerators:
+    def test_constant_trace(self):
+        trace = constant_trace(0.4, 3.0)
+        assert trace(1.5) == pytest.approx(0.4)
+        assert trace.duration_s == 3.0
+
+    def test_constant_rejects_nonpositive_duration(self):
+        with pytest.raises(ModelParameterError):
+            constant_trace(0.4, 0.0)
+
+    def test_step_trace_levels(self):
+        trace = step_trace(1.0, 0.25, step_time_s=1.0, duration_s=2.0)
+        assert trace(0.5) == pytest.approx(1.0)
+        assert trace(1.5) == pytest.approx(0.25)
+
+    def test_step_rejects_step_outside_duration(self):
+        with pytest.raises(ModelParameterError):
+            step_trace(1.0, 0.5, step_time_s=3.0, duration_s=2.0)
+
+    def test_cloud_trace_dips_and_recovers(self):
+        trace = cloud_trace(1.0, 0.2, 1.0, 2.0, 5.0)
+        assert trace(0.5) == pytest.approx(1.0)
+        assert trace(2.0) == pytest.approx(0.2)
+        assert trace(4.5) == pytest.approx(1.0)
+
+    def test_cloud_rejects_brightening(self):
+        with pytest.raises(ModelParameterError):
+            cloud_trace(0.2, 1.0, 1.0, 2.0, 5.0)
+
+    def test_random_walk_deterministic_per_seed(self):
+        a = random_walk_trace(seed=3, duration_s=10.0)
+        b = random_walk_trace(seed=3, duration_s=10.0)
+        assert a.values == b.values
+        c = random_walk_trace(seed=4, duration_s=10.0)
+        assert a.values != c.values
+
+    def test_random_walk_respects_bounds(self):
+        trace = random_walk_trace(
+            seed=11, duration_s=10.0, floor=0.1, ceiling=0.9, volatility=0.5
+        )
+        assert all(0.1 <= v <= 0.9 for v in trace.values)
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_random_walk_never_negative(self, seed):
+        trace = random_walk_trace(seed=seed, duration_s=5.0, volatility=0.4)
+        assert all(v >= 0.0 for v in trace.values)
+
+    def test_concatenate_appends_durations(self):
+        joined = concatenate([constant_trace(1.0, 1.0), constant_trace(0.2, 2.0)])
+        assert joined.duration_s == pytest.approx(3.0, rel=1e-6)
+        assert joined(0.5) == pytest.approx(1.0)
+        assert joined(2.5) == pytest.approx(0.2)
+
+    def test_concatenate_rejects_empty(self):
+        with pytest.raises(ModelParameterError):
+            concatenate([])
+
+
+class TestDiurnalTrace:
+    def test_dark_at_both_ends_bright_at_noon(self):
+        from repro.pv.traces import diurnal_trace
+
+        trace = diurnal_trace(60.0, peak=1.0, night_fraction=0.3)
+        assert trace(0.0) == 0.0
+        assert trace(60.0) == 0.0
+        assert trace(30.0) == pytest.approx(1.0, abs=0.05)
+
+    def test_night_fraction_respected(self):
+        from repro.pv.traces import diurnal_trace
+
+        trace = diurnal_trace(100.0, night_fraction=0.25)
+        assert trace(10.0) == 0.0
+        assert trace(90.0) == 0.0
+        assert trace(50.0) > 0.9
+
+    def test_clouds_only_attenuate(self):
+        from repro.pv.traces import diurnal_trace
+
+        clear = diurnal_trace(60.0, cloud_seed=None)
+        cloudy = diurnal_trace(60.0, cloud_seed=7, cloud_depth=0.6)
+        times = np.linspace(0.0, 60.0, 50)
+        assert np.all(cloudy.sample(times) <= clear.sample(times) + 1e-12)
+        assert cloudy.mean() < clear.mean()
+
+    def test_cloudy_deterministic_per_seed(self):
+        from repro.pv.traces import diurnal_trace
+
+        a = diurnal_trace(60.0, cloud_seed=3, cloud_depth=0.4)
+        b = diurnal_trace(60.0, cloud_seed=3, cloud_depth=0.4)
+        assert a.values == b.values
+
+    def test_rejects_bad_parameters(self):
+        from repro.pv.traces import diurnal_trace
+
+        with pytest.raises(ModelParameterError):
+            diurnal_trace(0.0)
+        with pytest.raises(ModelParameterError):
+            diurnal_trace(10.0, night_fraction=0.6)
+        with pytest.raises(ModelParameterError):
+            diurnal_trace(10.0, cloud_depth=1.5)
+
+
+class TestFlickerTrace:
+    def test_ripples_around_the_mean(self):
+        from repro.pv.traces import flicker_trace
+
+        trace = flicker_trace(0.5, depth=0.3, flicker_hz=100.0, duration_s=0.05)
+        assert trace.mean() == pytest.approx(0.5, rel=0.02)
+        values = np.array(trace.values)
+        assert values.max() == pytest.approx(0.65, rel=0.02)
+        assert values.min() == pytest.approx(0.35, rel=0.02)
+
+    def test_zero_depth_is_constant(self):
+        from repro.pv.traces import flicker_trace
+
+        trace = flicker_trace(0.4, depth=0.0, flicker_hz=100.0, duration_s=0.01)
+        assert all(v == pytest.approx(0.4) for v in trace.values)
+
+    def test_full_depth_never_negative(self):
+        from repro.pv.traces import flicker_trace
+
+        trace = flicker_trace(0.4, depth=1.0, flicker_hz=120.0, duration_s=0.02)
+        assert all(v >= 0.0 for v in trace.values)
+
+    def test_rejects_bad_parameters(self):
+        from repro.pv.traces import flicker_trace
+
+        with pytest.raises(ModelParameterError):
+            flicker_trace(0.0, 0.1, 100.0, 0.01)
+        with pytest.raises(ModelParameterError):
+            flicker_trace(0.5, 1.5, 100.0, 0.01)
+        with pytest.raises(ModelParameterError):
+            flicker_trace(0.5, 0.1, 0.0, 0.01)

@@ -1,0 +1,98 @@
+"""Tests for the Regulator base class via a minimal concrete subclass."""
+
+import pytest
+
+from repro.errors import ModelParameterError, OperatingRangeError
+from repro.regulators.base import Regulator, RegulatorOperatingPoint
+
+
+class HalfEfficientRegulator(Regulator):
+    """Test double: always draws exactly twice the output power."""
+
+    def __init__(self):
+        super().__init__("half", 1.2, 0.2, 1.0)
+
+    def input_power(self, v_out, p_out, v_in=None):
+        self._resolve_input(v_in)
+        self.check_output_voltage(v_out)
+        if p_out < 0.0:
+            raise OperatingRangeError("negative power")
+        return 2.0 * p_out + 1e-4  # plus a fixed overhead
+
+
+class TestConstruction:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ModelParameterError):
+            Regulator.__init__(HalfEfficientRegulator.__new__(HalfEfficientRegulator),
+                               "", 1.2, 0.2, 1.0)
+
+    def test_rejects_nonpositive_input(self):
+        with pytest.raises(ModelParameterError):
+            Regulator.__init__(HalfEfficientRegulator.__new__(HalfEfficientRegulator),
+                               "x", 0.0, 0.2, 1.0)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ModelParameterError):
+            Regulator.__init__(HalfEfficientRegulator.__new__(HalfEfficientRegulator),
+                               "x", 1.2, 1.0, 0.2)
+
+
+class TestSharedBehaviour:
+    def test_efficiency_is_pout_over_pin(self):
+        reg = HalfEfficientRegulator()
+        assert reg.efficiency(0.5, 10e-3) == pytest.approx(
+            10e-3 / (20e-3 + 1e-4)
+        )
+
+    def test_zero_load_zero_efficiency(self):
+        assert HalfEfficientRegulator().efficiency(0.5, 0.0) == 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(OperatingRangeError):
+            HalfEfficientRegulator().efficiency(0.5, -1.0)
+
+    def test_check_output_voltage(self):
+        reg = HalfEfficientRegulator()
+        reg.check_output_voltage(0.5)
+        with pytest.raises(OperatingRangeError):
+            reg.check_output_voltage(0.1)
+        with pytest.raises(OperatingRangeError):
+            reg.check_output_voltage(1.1)
+
+    def test_supports_output_voltage(self):
+        reg = HalfEfficientRegulator()
+        assert reg.supports_output_voltage(0.5)
+        assert not reg.supports_output_voltage(0.1)
+        # Output above the live input is unsupported.
+        assert not reg.supports_output_voltage(0.9, v_in=0.8)
+
+    def test_resolve_input_rejects_nonpositive(self):
+        with pytest.raises(OperatingRangeError):
+            HalfEfficientRegulator().input_power(0.5, 1e-3, v_in=0.0)
+
+    def test_generic_bisection_inverse(self):
+        reg = HalfEfficientRegulator()
+        p_out = reg.max_output_power(0.5, 10e-3)
+        # 2*Pout + 0.1mW = 10mW -> Pout = 4.95 mW.
+        assert p_out == pytest.approx(4.95e-3, rel=1e-6)
+
+    def test_generic_inverse_zero_when_overhead_exceeds_budget(self):
+        assert HalfEfficientRegulator().max_output_power(0.5, 0.5e-4) == 0.0
+
+    def test_generic_inverse_rejects_negative_budget(self):
+        with pytest.raises(OperatingRangeError):
+            HalfEfficientRegulator().max_output_power(0.5, -1e-3)
+
+
+class TestOperatingPoint:
+    def test_fields_and_derived(self):
+        reg = HalfEfficientRegulator()
+        point = reg.operating_point(0.5, 10e-3)
+        assert isinstance(point, RegulatorOperatingPoint)
+        assert point.output_power_w == 10e-3
+        assert point.loss_w == pytest.approx(10e-3 + 1e-4)
+        assert point.efficiency == pytest.approx(10e-3 / (20e-3 + 1e-4))
+
+    def test_zero_input_power_gives_zero_efficiency(self):
+        point = RegulatorOperatingPoint(1.2, 0.5, 0.0, 0.0)
+        assert point.efficiency == 0.0

@@ -1,0 +1,75 @@
+"""Tests for converter loss components."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelParameterError
+from repro.regulators.losses import (
+    ConductionLoss,
+    FixedLoss,
+    QuiescentLoss,
+    SwitchingLoss,
+)
+
+
+class TestConductionLoss:
+    def test_quadratic_in_current(self):
+        loss = ConductionLoss(4.0)
+        assert loss.power(2e-3) == pytest.approx(4.0 * 4e-6)
+        assert loss.power(4e-3) == pytest.approx(4.0 * loss.power(2e-3))
+
+    def test_zero_resistance_is_lossless(self):
+        assert ConductionLoss(0.0).power(1.0) == 0.0
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ModelParameterError):
+            ConductionLoss(-1.0)
+
+
+class TestSwitchingLoss:
+    def test_linear_in_current(self):
+        loss = SwitchingLoss(0.05)
+        assert loss.power(10e-3) == pytest.approx(0.5e-3)
+
+    def test_rejects_negative_drop(self):
+        with pytest.raises(ModelParameterError):
+            SwitchingLoss(-0.1)
+
+
+class TestFixedLoss:
+    def test_reference_value_at_reference_voltage(self):
+        loss = FixedLoss(1e-3, reference_input_v=1.2)
+        assert loss.power(1.2) == pytest.approx(1e-3)
+
+    def test_scales_with_square_of_input(self):
+        loss = FixedLoss(1e-3, reference_input_v=1.2)
+        assert loss.power(2.4) == pytest.approx(4e-3)
+        assert loss.power(0.6) == pytest.approx(0.25e-3)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ModelParameterError):
+            FixedLoss(-1e-3)
+
+    def test_rejects_nonpositive_reference(self):
+        with pytest.raises(ModelParameterError):
+            FixedLoss(1e-3, reference_input_v=0.0)
+
+
+class TestQuiescentLoss:
+    def test_linear_in_input_voltage(self):
+        loss = QuiescentLoss(20e-6)
+        assert loss.power(1.2) == pytest.approx(24e-6)
+
+    def test_rejects_negative_current(self):
+        with pytest.raises(ModelParameterError):
+            QuiescentLoss(-1e-6)
+
+
+class TestNonNegativity:
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_all_losses_non_negative(self, current, voltage):
+        assert ConductionLoss(5.0).power(current) >= 0.0
+        assert SwitchingLoss(0.1).power(current) >= 0.0
+        assert FixedLoss(1e-3).power(voltage) >= 0.0
+        assert QuiescentLoss(1e-6).power(voltage) >= 0.0

@@ -1,0 +1,90 @@
+"""Tests for DVFS controllers and decisions."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.sim.dvfs import (
+    BypassController,
+    ConstantSpeedController,
+    ControlDecision,
+    ControllerView,
+    FixedOperatingPointController,
+)
+
+
+def view(time_s=0.0, node_v=1.2, cycles=0.0):
+    return ControllerView(
+        time_s=time_s,
+        node_voltage_v=node_v,
+        processor_voltage_v=0.55,
+        cycles_done=cycles,
+        comparator_events=(),
+    )
+
+
+class TestControlDecision:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ModelParameterError):
+            ControlDecision(mode="turbo", frequency_hz=1e6)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ModelParameterError):
+            ControlDecision(mode="halt", frequency_hz=-1.0)
+
+    def test_regulated_needs_output_voltage(self):
+        with pytest.raises(ModelParameterError):
+            ControlDecision(mode="regulated", frequency_hz=1e6)
+
+    def test_bypass_needs_no_output_voltage(self):
+        decision = ControlDecision(mode="bypass", frequency_hz=1e6)
+        assert decision.output_voltage_v is None
+
+
+class TestControllerView:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ModelParameterError):
+            ControllerView(-1.0, 1.0, 0.5, 0.0, ())
+
+
+class TestFixedOperatingPointController:
+    def test_holds_the_point(self):
+        ctrl = FixedOperatingPointController(0.55, 400e6)
+        decision = ctrl.decide(view())
+        assert decision.mode == "regulated"
+        assert decision.output_voltage_v == 0.55
+        assert decision.frequency_hz == 400e6
+        # Same decision regardless of state.
+        assert ctrl.decide(view(time_s=9.0, node_v=0.6)).frequency_hz == 400e6
+
+    def test_rejects_bad_setpoints(self):
+        with pytest.raises(ModelParameterError):
+            FixedOperatingPointController(0.0, 1e6)
+        with pytest.raises(ModelParameterError):
+            FixedOperatingPointController(0.5, 0.0)
+
+
+class TestConstantSpeedController:
+    def test_runs_until_cycles_complete(self):
+        ctrl = ConstantSpeedController(0.55, 100e6, total_cycles=1000)
+        assert ctrl.decide(view(cycles=999)).frequency_hz == 100e6
+        assert ctrl.decide(view(cycles=1000)).frequency_hz == 0.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ModelParameterError):
+            ConstantSpeedController(0.55, 100e6, total_cycles=0)
+
+
+class TestBypassController:
+    def test_follows_frequency_law(self):
+        ctrl = BypassController(lambda v: v * 1e8)
+        decision = ctrl.decide(view(node_v=0.8))
+        assert decision.mode == "bypass"
+        assert decision.frequency_hz == pytest.approx(0.8e8)
+
+    def test_clamps_negative_law_output(self):
+        ctrl = BypassController(lambda v: -1.0)
+        assert ctrl.decide(view()).frequency_hz == 0.0
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ModelParameterError):
+            BypassController(42)

@@ -1,0 +1,42 @@
+"""Tests for light-step detection."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.pv.traces import constant_trace, ramp_trace, step_trace
+from repro.sim.events import LightStepEvent, detect_light_steps
+
+
+class TestLightStepEvent:
+    def test_magnitude_relative_to_larger(self):
+        event = LightStepEvent(1.0, before=1.0, after=0.25)
+        assert event.magnitude == pytest.approx(0.75)
+
+    def test_magnitude_zero_for_dark(self):
+        assert LightStepEvent(1.0, 0.0, 0.0).magnitude == 0.0
+
+
+class TestDetectLightSteps:
+    def test_finds_the_dimming_step(self):
+        trace = step_trace(1.0, 0.25, step_time_s=2.0, duration_s=5.0)
+        events = detect_light_steps(trace)
+        assert len(events) == 1
+        assert events[0].before == 1.0
+        assert events[0].after == 0.25
+        assert events[0].time_s == pytest.approx(2.0, abs=1e-3)
+
+    def test_constant_trace_has_no_steps(self):
+        assert detect_light_steps(constant_trace(0.5, 2.0)) == []
+
+    def test_slow_ramp_counts_as_one_segment_change(self):
+        events = detect_light_steps(ramp_trace(1.0, 0.2, 10.0))
+        assert len(events) == 1
+
+    def test_threshold_filters_small_changes(self):
+        trace = step_trace(1.0, 0.95, step_time_s=1.0, duration_s=2.0)
+        assert detect_light_steps(trace, min_relative_change=0.1) == []
+        assert len(detect_light_steps(trace, min_relative_change=0.01)) == 1
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ModelParameterError):
+            detect_light_steps(constant_trace(1.0, 1.0), min_relative_change=0.0)

@@ -1,0 +1,96 @@
+"""Tests for the simulation result container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.sim.result import SimulationResult
+
+
+def make_result(n=5, **overrides):
+    fields = dict(
+        time_s=np.linspace(0.0, 1.0, n),
+        node_voltage_v=np.full(n, 1.0),
+        processor_voltage_v=np.full(n, 0.5),
+        frequency_hz=np.full(n, 1e8),
+        harvest_power_w=np.full(n, 2e-3),
+        processor_power_w=np.full(n, 1e-3),
+        draw_power_w=np.full(n, 1.5e-3),
+        irradiance=np.full(n, 1.0),
+        mode=np.zeros(n, dtype=np.int8),
+    )
+    fields.update(overrides)
+    return SimulationResult(**fields)
+
+
+class TestValidation:
+    def test_rejects_inconsistent_lengths(self):
+        with pytest.raises(ModelParameterError):
+            make_result(time_s=np.linspace(0, 1, 7))
+
+
+class TestEnergyIntegrals:
+    def test_harvested_energy_constant_power(self):
+        result = make_result()
+        assert result.harvested_energy_j() == pytest.approx(2e-3)
+
+    def test_consumed_energy(self):
+        assert make_result().consumed_energy_j() == pytest.approx(1e-3)
+
+    def test_conversion_loss(self):
+        assert make_result().conversion_loss_j() == pytest.approx(0.5e-3)
+
+    def test_duration(self):
+        assert make_result().duration_s == pytest.approx(1.0)
+
+
+class TestWaveformQueries:
+    def test_time_in_mode(self):
+        mode = np.array([0, 0, 1, 1, 2], dtype=np.int8)
+        result = make_result(mode=mode)
+        # 4 intervals of 0.25 s: regulated x2, bypass x2 (last sample's
+        # mode has no following interval).
+        assert result.time_in_mode("regulated") == pytest.approx(0.5)
+        assert result.time_in_mode("bypass") == pytest.approx(0.5)
+        assert result.time_in_mode("halt") == pytest.approx(0.0)
+
+    def test_time_in_mode_rejects_unknown(self):
+        with pytest.raises(ModelParameterError):
+            make_result().time_in_mode("warp")
+
+    def test_min_node_voltage(self):
+        result = make_result(node_voltage_v=np.array([1.0, 0.7, 0.9, 1.1, 1.2]))
+        assert result.min_node_voltage_v() == pytest.approx(0.7)
+
+    def test_average_frequency(self):
+        assert make_result().average_frequency_hz() == pytest.approx(1e8)
+
+    def test_summary_keys(self):
+        summary = make_result().summary()
+        for key in (
+            "duration_s",
+            "completed",
+            "harvested_energy_j",
+            "consumed_energy_j",
+            "conversion_loss_j",
+            "min_node_voltage_v",
+            "average_frequency_hz",
+        ):
+            assert key in summary
+
+    def test_summary_nan_completion_when_unfinished(self):
+        summary = make_result().summary()
+        assert np.isnan(summary["completion_time_s"])
+
+
+class TestCsvExport:
+    def test_round_trippable_csv(self, tmp_path):
+        result = make_result()
+        path = tmp_path / "wave.csv"
+        result.to_csv(path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("time_s,")
+        assert len(lines) == 1 + len(result.time_s)
+        first = lines[1].split(",")
+        assert float(first[0]) == pytest.approx(result.time_s[0])
+        assert first[-1] == "regulated"

@@ -1,0 +1,143 @@
+"""Tests for DVFS transition costs."""
+
+import pytest
+
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.processor.workloads import Workload
+from repro.pv.traces import constant_trace
+from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
+from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.sim.transitions import (
+    DISCRETE_TRANSITIONS,
+    INTEGRATED_TRANSITIONS,
+    DvfsTransitionModel,
+)
+
+
+class TestModel:
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ModelParameterError):
+            DvfsTransitionModel(settle_time_s=-1.0)
+        with pytest.raises(ModelParameterError):
+            DvfsTransitionModel(output_capacitance_f=-1.0)
+
+    def test_first_actuation_is_free(self):
+        model = DvfsTransitionModel()
+        assert not model.is_transition(None, 0.0, "regulated", 0.55)
+
+    def test_halting_is_free(self):
+        model = DvfsTransitionModel()
+        assert not model.is_transition("regulated", 0.55, "halt", 0.0)
+
+    def test_mode_change_is_a_transition(self):
+        model = DvfsTransitionModel()
+        assert model.is_transition("regulated", 0.55, "bypass", 0.9)
+        assert model.is_transition("halt", 0.0, "regulated", 0.55)
+
+    def test_setpoint_dither_within_tolerance_is_free(self):
+        model = DvfsTransitionModel(voltage_tolerance_v=5e-3)
+        assert not model.is_transition("regulated", 0.55, "regulated", 0.552)
+        assert model.is_transition("regulated", 0.55, "regulated", 0.60)
+
+    def test_transition_energy_asymmetric(self):
+        model = DvfsTransitionModel(output_capacitance_f=1e-9)
+        up = model.transition_energy_j(0.5, 0.7)
+        assert up == pytest.approx(0.5e-9 * (0.49 - 0.25))
+        assert model.transition_energy_j(0.7, 0.5) == 0.0
+
+    def test_presets_ordered(self):
+        assert (
+            INTEGRATED_TRANSITIONS.settle_time_s
+            < DISCRETE_TRANSITIONS.settle_time_s
+        )
+
+
+class ToggleController(DvfsController):
+    """Test double: flips between two setpoints every ``period`` seconds."""
+
+    def __init__(self, period_s: float):
+        self.period_s = period_s
+
+    def decide(self, view: ControllerView) -> ControlDecision:
+        phase = int(view.time_s / self.period_s) % 2
+        return ControlDecision(
+            mode="regulated",
+            frequency_hz=200e6,
+            output_voltage_v=0.5 if phase == 0 else 0.6,
+        )
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return paper_system()
+
+    def run_with(self, system, transitions, period_s=2e-3):
+        simulator = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=system.new_node_capacitor(1.2),
+            processor=system.processor,
+            regulator=system.regulator("sc"),
+            controller=ToggleController(period_s),
+            config=SimulationConfig(time_step_s=5e-6, record_every=4),
+            transitions=transitions,
+        )
+        return simulator.run(constant_trace(1.0, 20e-3))
+
+    def test_transitions_counted(self, system):
+        result = self.run_with(system, INTEGRATED_TRANSITIONS)
+        counts = dict(
+            (k, v) for k, v in result.events if k == "transitions"
+        )
+        # 20 ms / 2 ms period -> ~9 toggles after the first actuation.
+        assert 7 <= counts["transitions"] <= 11
+
+    def test_no_model_no_count(self, system):
+        result = self.run_with(system, None)
+        assert all(k != "transitions" for k, _v in result.events)
+
+    def test_slow_settling_costs_cycles(self, system):
+        """A discrete-regulator settle time eats visible compute: the
+        integrated case completes more cycles on the same schedule."""
+        fast = self.run_with(system, INTEGRATED_TRANSITIONS, period_s=0.5e-3)
+        slow = self.run_with(system, DISCRETE_TRANSITIONS, period_s=0.5e-3)
+        assert slow.final_cycles < fast.final_cycles * 0.95
+
+    def test_steady_controller_pays_nothing(self, system):
+        """A controller that never retunes completes the same cycles
+        with and without the transition model."""
+        from repro.sim.dvfs import FixedOperatingPointController
+
+        def run(transitions):
+            simulator = TransientSimulator(
+                cell=system.cell,
+                node_capacitor=system.new_node_capacitor(1.2),
+                processor=system.processor,
+                regulator=system.regulator("sc"),
+                controller=FixedOperatingPointController(0.55, 300e6),
+                config=SimulationConfig(time_step_s=10e-6, record_every=8),
+                transitions=transitions,
+            )
+            return simulator.run(constant_trace(1.0, 10e-3))
+
+        with_model = run(DISCRETE_TRANSITIONS)
+        without = run(None)
+        assert with_model.final_cycles == pytest.approx(
+            without.final_cycles, rel=1e-6
+        )
+
+    def test_completion_still_reached_with_costs(self, system):
+        workload = Workload("t", 500_000)
+        simulator = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=system.new_node_capacitor(1.2),
+            processor=system.processor,
+            regulator=system.regulator("sc"),
+            controller=ToggleController(1e-3),
+            workload=workload,
+            config=SimulationConfig(time_step_s=5e-6, record_every=4),
+            transitions=INTEGRATED_TRANSITIONS,
+        )
+        result = simulator.run(constant_trace(1.0, 20e-3))
+        assert result.completed

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "--policy", "warp-speed"])
+
+    def test_rejects_unknown_regulator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mep", "--regulator", "boost"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "cell MPP" in out
+        assert "converters" in out
+
+    def test_info_at_custom_irradiance(self, capsys):
+        assert main(["info", "--irradiance", "0.25"]) == 0
+        assert "0.250" in capsys.readouterr().out
+
+    def test_plan_all_policies(self, capsys):
+        assert main(["plan"]) == 0
+        out = capsys.readouterr().out
+        assert "holistic-performance" in out
+        assert "raw-solar" in out
+        assert "sprint" in out
+
+    def test_plan_single_policy(self, capsys):
+        assert main(["plan", "--policy", "holistic-mep"]) == 0
+        out = capsys.readouterr().out
+        assert "holistic-mep" in out
+        assert "raw-solar" not in out
+
+    def test_mep(self, capsys):
+        assert main(["mep", "--regulator", "buck"]) == 0
+        out = capsys.readouterr().out
+        assert "voltage shift" in out
+        assert "energy saving" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput", "--irradiances", "1.0", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "frames/s" in out
+        assert out.count("\n") >= 4
+
+    def test_throughput_reports_infeasible_darkness(self, capsys):
+        assert main(["throughput", "--irradiances", "0.0"]) == 0
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        # A physically impossible sprint deadline surfaces as exit 1
+        # with the error on stderr, not a traceback.
+        code = main(["sprint", "--deadline-ms", "0.1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error:" in captured.err
+
+
+class TestAdmitAndFigures:
+    def test_admit_reports_verdict(self, capsys):
+        assert main(["admit", "--frame-rate", "25", "--irradiance", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "admitted" in out
+        assert "minimum irradiance" in out
+
+    def test_admit_rejects_oversubscription(self, capsys):
+        assert main(
+            ["admit", "--frame-rate", "200", "--irradiance", "0.1",
+             "--latency-ms", "10"]
+        ) == 0
+        assert "False" in capsys.readouterr().out
+
+    def test_figures_export(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "fig")
+        assert main(["figures", "--out", out_dir, "--figures", "fig3"]) == 0
+        printed = capsys.readouterr().out
+        assert "fig3.json" in printed
+
+    def test_figures_unknown_id(self, capsys):
+        assert main(["figures", "--figures", "fig42"]) == 1
+        assert "unknown" in capsys.readouterr().err

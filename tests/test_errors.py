@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ModelParameterError,
+            errors.OperatingRangeError,
+            errors.InfeasibleOperatingPointError,
+            errors.ConvergenceError,
+            errors.SimulationError,
+            errors.BrownoutError,
+            errors.CheckpointError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_parameter_errors_are_value_errors(self):
+        # Callers using plain ValueError handling still catch them.
+        assert issubclass(errors.ModelParameterError, ValueError)
+        assert issubclass(errors.OperatingRangeError, ValueError)
+
+    def test_runtime_family(self):
+        assert issubclass(errors.ConvergenceError, RuntimeError)
+        assert issubclass(errors.SimulationError, RuntimeError)
+
+    def test_brownout_is_simulation_error(self):
+        assert issubclass(errors.BrownoutError, errors.SimulationError)
+
+
+class TestBrownoutError:
+    def test_carries_time(self):
+        err = errors.BrownoutError("supply collapsed", time_s=1.25e-3)
+        assert err.time_s == 1.25e-3
+        assert "collapsed" in str(err)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BrownoutError("boom", time_s=0.0)

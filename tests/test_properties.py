@@ -1,0 +1,182 @@
+"""Cross-module property-based tests.
+
+Invariants that must hold across randomly drawn operating conditions
+and model parameters, tying several modules together -- the class of
+bug unit tests on a single module cannot catch.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.core.system import paper_system
+from repro.errors import InfeasibleOperatingPointError, OperatingRangeError
+from repro.monitor.estimator import DischargeTimePowerEstimator
+from repro.processor.energy import paper_processor
+from repro.pv.cell import kxob22_cell
+from repro.pv.mpp import find_mpp
+from repro.regulators.buck import BuckRegulator, paper_buck
+from repro.regulators.ldo import paper_ldo
+from repro.regulators.switched_capacitor import (
+    SwitchedCapacitorRegulator,
+    paper_switched_capacitor,
+)
+from repro.storage.capacitor import Capacitor
+
+SYSTEM = paper_system()
+REGULATORS = {
+    "ldo": paper_ldo(),
+    "sc": paper_switched_capacitor(),
+    "buck": paper_buck(),
+}
+
+
+class TestConverterInvariants:
+    @given(
+        st.sampled_from(sorted(REGULATORS)),
+        st.floats(0.3, 0.8),
+        st.floats(1e-4, 15e-3),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_efficiency_never_exceeds_one(self, name, v_out, p_out):
+        regulator = REGULATORS[name]
+        try:
+            eta = regulator.efficiency(v_out, p_out)
+        except OperatingRangeError:
+            return
+        assert 0.0 <= eta < 1.0
+
+    @given(
+        st.sampled_from(sorted(REGULATORS)),
+        st.floats(0.3, 0.8),
+        st.floats(1e-4, 10e-3),
+        st.floats(1.05, 2.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_input_power_monotone_in_load(self, name, v_out, p_out, factor):
+        """More output always needs more input (the inverse solvers
+        rely on this monotonicity)."""
+        regulator = REGULATORS[name]
+        try:
+            small = regulator.input_power(v_out, p_out)
+            large = regulator.input_power(v_out, p_out * factor)
+        except OperatingRangeError:
+            return
+        assert large > small
+
+    @given(
+        st.floats(5.0, 20.0),
+        st.floats(0.5e-3, 5e-3),
+        st.floats(0.3, 0.8),
+        st.floats(1e-3, 12e-3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_buck_inverse_round_trip_random_models(
+        self, resistance, fixed, v_out, p_in
+    ):
+        """The closed-form inverse matches the forward model for
+        randomly drawn buck parameters, not just the paper's."""
+        buck = BuckRegulator(
+            conduction_resistance_ohm=resistance, fixed_loss_w=fixed
+        )
+        p_out = buck.max_output_power(v_out, p_in)
+        if p_out > 0.0:
+            assert buck.input_power(v_out, p_out) == pytest.approx(
+                p_in, rel=1e-6
+            )
+
+    @given(st.floats(0.01, 0.15), st.floats(0.2e-3, 3e-3), st.floats(0.25, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_sc_band_bound_random_models(self, drop, fixed, v_out):
+        """eta <= Vout/Vnl for any drawn SC parameterisation."""
+        sc = SwitchedCapacitorRegulator(
+            switching_drop_v=drop, fixed_loss_w=fixed
+        )
+        try:
+            ratio = sc.select_ratio(v_out, 5e-3)
+            eta = sc.efficiency(v_out, 5e-3)
+        except OperatingRangeError:
+            return
+        assert eta <= v_out / sc.no_load_voltage(ratio) + 1e-9
+
+
+class TestHarvesterChainInvariants:
+    @given(st.floats(0.05, 1.2))
+    @settings(max_examples=40, deadline=None)
+    def test_extracted_power_never_exceeds_mpp(self, irradiance):
+        """No operating point, regulated or raw, can extract more than
+        the cell's maximum power point."""
+        optimizer = OperatingPointOptimizer(SYSTEM)
+        mpp = SYSTEM.mpp(irradiance)
+        for name in ("sc", "buck"):
+            try:
+                point = optimizer.best_point(name, irradiance)
+            except InfeasibleOperatingPointError:
+                continue
+            assert point.extracted_power_w <= mpp.power_w * (1.0 + 1e-6)
+
+    @given(st.floats(0.1, 1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_holistic_at_least_as_fast_as_raw(self, irradiance):
+        optimizer = OperatingPointOptimizer(SYSTEM)
+        try:
+            raw = optimizer.unregulated_point(irradiance)
+            best = optimizer.best_point("sc", irradiance)
+        except InfeasibleOperatingPointError:
+            return
+        assert best.frequency_hz >= raw.frequency_hz * (1.0 - 1e-9)
+
+    @given(st.floats(0.05, 1.2), st.floats(0.05, 1.2))
+    @settings(max_examples=30, deadline=None)
+    def test_mpp_ordering_follows_light(self, a, b):
+        cell = kxob22_cell()
+        low, high = min(a, b), max(a, b)
+        assert find_mpp(cell, low).power_w <= find_mpp(cell, high).power_w + 1e-12
+
+
+class TestTimingChainInvariants:
+    @given(
+        st.floats(10e-6, 500e-6),
+        st.floats(0.8, 1.2),
+        st.floats(0.05, 0.3),
+        st.floats(1e-3, 10e-3),
+        st.floats(11e-3, 25e-3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_estimator_capacitor_round_trip(
+        self, capacitance, upper, gap, pin, draw
+    ):
+        """Capacitor discharge-time physics and the eq. (7) estimator
+        agree for arbitrary parameters (they are implemented
+        independently)."""
+        cap = Capacitor(capacitance)
+        lower = upper - gap
+        t_physics = cap.discharge_time(upper, lower, draw - pin)
+        estimator = DischargeTimePowerEstimator(Capacitor(capacitance))
+        estimate = estimator.estimate(upper, lower, t_physics, draw)
+        assert estimate.input_power_w == pytest.approx(pin, rel=1e-6)
+
+
+class TestProcessorChainInvariants:
+    @given(st.floats(0.2, 1.05), st.floats(0.3, 1.5))
+    @settings(max_examples=60, deadline=None)
+    def test_power_scales_with_activity(self, voltage, activity):
+        base = paper_processor()
+        scaled = base.with_activity(activity)
+        f = 1e8
+        expected = activity * float(base.dynamic.power(voltage, f)) + float(
+            base.leakage.power(voltage)
+        )
+        assert float(scaled.power(voltage, f)) == pytest.approx(expected)
+
+    @given(st.floats(0.25, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_per_cycle_has_single_minimum_structure(self, voltage):
+        """Energy per cycle decreases toward the MEP and increases
+        past it (quasi-convexity the optimizers rely on)."""
+        proc = paper_processor()
+        mep = proc.conventional_mep()
+        e_here = float(proc.energy_per_cycle(voltage))
+        e_mep = mep.energy_per_cycle_j
+        assert e_here >= e_mep * (1.0 - 1e-9)

@@ -1,0 +1,115 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        # kT/q at 300.15 K is about 25.9 mV.
+        assert units.thermal_voltage() == pytest.approx(25.87e-3, rel=1e-2)
+
+    def test_scales_linearly_with_temperature(self):
+        assert units.thermal_voltage(600.3) == pytest.approx(
+            2.0 * units.thermal_voltage(300.15)
+        )
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+        with pytest.raises(ValueError):
+            units.thermal_voltage(-10.0)
+
+
+class TestUnitConstructors:
+    @pytest.mark.parametrize(
+        "fn,factor",
+        [
+            (units.milli_volts, 1e-3),
+            (units.milli_amps, 1e-3),
+            (units.micro_amps, 1e-6),
+            (units.milli_watts, 1e-3),
+            (units.micro_watts, 1e-6),
+            (units.milli_seconds, 1e-3),
+            (units.micro_seconds, 1e-6),
+            (units.mega_hertz, 1e6),
+            (units.giga_hertz, 1e9),
+            (units.pico_farads, 1e-12),
+            (units.micro_farads, 1e-6),
+            (units.pico_joules, 1e-12),
+            (units.micro_joules, 1e-6),
+        ],
+    )
+    def test_scaling(self, fn, factor):
+        assert fn(3.5) == pytest.approx(3.5 * factor)
+
+    @pytest.mark.parametrize(
+        "forward,backward",
+        [
+            (units.milli_volts, units.as_milli_volts),
+            (units.milli_amps, units.as_milli_amps),
+            (units.milli_watts, units.as_milli_watts),
+            (units.micro_watts, units.as_micro_watts),
+            (units.milli_seconds, units.as_milli_seconds),
+            (units.mega_hertz, units.as_mega_hertz),
+            (units.pico_joules, units.as_pico_joules),
+            (units.micro_joules, units.as_micro_joules),
+        ],
+    )
+    def test_round_trip(self, forward, backward):
+        assert backward(forward(7.25)) == pytest.approx(7.25)
+
+
+class TestClamp:
+    def test_inside_interval_unchanged(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamps_low_and_high(self):
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)
+
+    @given(
+        st.floats(-1e6, 1e6),
+        st.floats(-1e3, 1e3),
+        st.floats(0.0, 1e3),
+    )
+    def test_result_always_inside(self, value, low, width):
+        high = low + width
+        result = units.clamp(value, low, high)
+        assert low <= result <= high
+
+
+class TestRelativeDifference:
+    def test_zero_for_equal_values(self):
+        assert units.relative_difference(3.0, 3.0) == 0.0
+
+    def test_zero_for_two_zeros(self):
+        assert units.relative_difference(0.0, 0.0) == 0.0
+
+    def test_one_against_single_zero(self):
+        assert units.relative_difference(5.0, 0.0) == 1.0
+
+    def test_symmetric(self):
+        assert units.relative_difference(2.0, 3.0) == units.relative_difference(
+            3.0, 2.0
+        )
+
+    @given(st.floats(1e-6, 1e6), st.floats(1e-6, 1e6))
+    def test_bounded_for_same_sign(self, a, b):
+        assert 0.0 <= units.relative_difference(a, b) <= 1.0
+
+
+class TestIsClose:
+    def test_matches_math_isclose(self):
+        assert units.is_close(1.0, 1.0 + 1e-12)
+        assert not units.is_close(1.0, 1.1)
+        assert units.is_close(0.0, 1e-12, abs_tol=1e-9)
+        assert math.isclose(1.0, 1.0)
