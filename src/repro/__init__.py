@@ -48,6 +48,17 @@ from repro.errors import (
     ReproError,
     SimulationError,
 )
+from repro.faults import (
+    CampaignConfig,
+    CampaignSummary,
+    FaultDraw,
+    FaultSpec,
+    IntermittentCampaignConfig,
+    IntermittentCampaignSummary,
+    draw_faults,
+    run_intermittent_campaign,
+    run_transient_campaign,
+)
 from repro.processor import (
     ProcessorModel,
     Workload,
@@ -132,6 +143,16 @@ __all__ = [
     "TransientSimulator",
     "SimulationConfig",
     "SimulationResult",
+    # fault injection and robustness campaigns
+    "FaultSpec",
+    "FaultDraw",
+    "draw_faults",
+    "CampaignConfig",
+    "CampaignSummary",
+    "IntermittentCampaignConfig",
+    "IntermittentCampaignSummary",
+    "run_transient_campaign",
+    "run_intermittent_campaign",
     # errors
     "ReproError",
     "ModelParameterError",

@@ -8,6 +8,7 @@ Exposes the library's main entry points to a terminal user::
     python -m repro throughput --irradiances 1.0 0.5 0.25 0.1
     python -m repro track --dim-to 0.3
     python -m repro sprint --deadline-ms 10 --dim-to 0.35
+    python -m repro faults --runs 50 --scheme both
 
 Every command builds the paper's demonstration system and prints plain
 text tables, so the paper's results are reachable without writing any
@@ -231,6 +232,55 @@ def _cmd_admit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.faults import (
+        CampaignConfig,
+        FaultSpec,
+        IntermittentCampaignConfig,
+        run_intermittent_campaign,
+        run_transient_campaign,
+    )
+
+    spec = FaultSpec(
+        comparator_offset_sigma_v=args.offset_mv * 1e-3,
+        flicker_depth_max=args.flicker_depth,
+    )
+    schemes = (
+        ("holistic", "fixed") if args.scheme == "both" else (args.scheme,)
+    )
+    summaries = {}
+    for scheme in schemes:
+        config = CampaignConfig(
+            runs=args.runs,
+            base_seed=args.seed,
+            scheme=scheme,
+            duration_s=args.duration_ms * 1e-3,
+            dim_to=args.dim_to,
+        )
+        summaries[scheme] = run_transient_campaign(spec, config)
+    keys = list(next(iter(summaries.values())).as_dict())
+    rows = [
+        tuple([key] + [f"{summaries[s].as_dict()[key]:.4g}" for s in schemes])
+        for key in keys
+    ]
+    print(format_table(["metric"] + list(schemes), rows))
+
+    if args.intermittent:
+        inter = run_intermittent_campaign(
+            replace(spec, checkpoint_corruption_rate=args.corruption_rate),
+            IntermittentCampaignConfig(runs=args.runs, base_seed=args.seed),
+        )
+        rows = [
+            (key, f"{value:.4g}")
+            for key, value in inter.as_dict().items()
+        ]
+        print()
+        print(format_table(["intermittent metric", "value"], rows))
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
     from repro.experiments.export import FAST_FIGURES, FIGURE_DRIVERS, export_all
 
@@ -315,6 +365,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_admit.add_argument("--regulator", default="sc",
                          choices=["sc", "buck", "ldo"])
     p_admit.set_defaults(func=_cmd_admit)
+
+    p_faults = sub.add_parser(
+        "faults", help="Monte Carlo fault-injection robustness campaign"
+    )
+    p_faults.add_argument("--runs", type=int, default=50)
+    p_faults.add_argument("--seed", type=int, default=1)
+    p_faults.add_argument(
+        "--scheme", default="holistic",
+        choices=["holistic", "fixed", "both"],
+    )
+    p_faults.add_argument("--duration-ms", type=float, default=80.0)
+    p_faults.add_argument("--dim-to", type=float, default=0.35)
+    p_faults.add_argument(
+        "--offset-mv", type=float, default=30.0,
+        help="comparator offset sigma [mV]",
+    )
+    p_faults.add_argument(
+        "--flicker-depth", type=float, default=0.5,
+        help="maximum light flicker depth (0..1)",
+    )
+    p_faults.add_argument(
+        "--intermittent", action="store_true",
+        help="also run the checkpointed intermittent-runtime campaign",
+    )
+    p_faults.add_argument(
+        "--corruption-rate", type=float, default=0.5,
+        help="checkpoint bit-flip probability for --intermittent",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_figures = sub.add_parser(
         "figures", help="export figure data as JSON for plotting"

@@ -169,6 +169,7 @@ class MppTrackingController(DvfsController):
         self._crossings: "dict[tuple[float, str], float]" = {}
         self._last_retune_s = -float("inf")
         self._last_node_v: "float | None" = None
+        self._brownouts_seen = 0
 
     def reset(self) -> None:
         self.retunes.clear()
@@ -177,6 +178,7 @@ class MppTrackingController(DvfsController):
         self._crossings.clear()
         self._last_retune_s = -float("inf")
         self._last_node_v = None
+        self._brownouts_seen = 0
 
     @property
     def operating_point(self) -> OperatingPoint:
@@ -317,10 +319,47 @@ class MppTrackingController(DvfsController):
         self._irradiance_estimate = record.estimated_irradiance
         self._last_retune_s = time_s
 
+    def _retrack_after_brownout(self, view: ControllerView) -> None:
+        """Re-track after a recovery instead of trusting the stale point.
+
+        The pre-brownout LUT point is exactly what browned the node out,
+        and every in-flight crossing pair straddles the collapse, so
+        both are discarded: the estimate restarts conservatively (two
+        probe factors down) and the comparator-driven machinery climbs
+        back up if the light turns out to be better.
+        """
+        self._crossings.clear()
+        lut_min = min(e.irradiance for e in self.tracker.lut.entries)
+        conservative = max(
+            self._irradiance_estimate / (self.probe_factor**2), lut_min
+        )
+        record = RetuneRecord(
+            time_s=view.time_s,
+            estimate=None,
+            estimated_irradiance=conservative,
+            new_point=self.tracker.operating_point_for(conservative),
+        )
+        self._apply(record, view.time_s)
+
     def decide(self, view: ControllerView) -> ControlDecision:
+        if view.recovering:
+            # Power-gated by the supply monitor: hold halt while the
+            # node recharges and drop crossing pairs from the collapse.
+            self._crossings.clear()
+            self._last_node_v = view.node_voltage_v
+            return ControlDecision(mode="halt", frequency_hz=0.0)
+        if view.brownout_count > self._brownouts_seen:
+            self._brownouts_seen = view.brownout_count
+            self._retrack_after_brownout(view)
         self._maybe_retune(view)
         self._last_node_v = view.node_voltage_v
         point = self._point
+        if point.frequency_hz <= 0.0:
+            # Survival point: truly power-gate.  A bypassed f=0 point
+            # would leak at the node voltage and pin the node below the
+            # probe-up window forever -- the "zero draw" the survival
+            # point promises requires halt, not an idle bypass.
+            return ControlDecision(mode="halt", frequency_hz=0.0)
         if point.bypassed:
             return ControlDecision(
                 mode="bypass", frequency_hz=point.frequency_hz

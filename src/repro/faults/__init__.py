@@ -1,0 +1,55 @@
+"""Seeded fault injection and Monte Carlo robustness campaigns.
+
+:mod:`repro.faults.models` samples physical non-idealities (comparator
+offsets, capacitor leakage, converter derating, soiled/flickering
+light, checkpoint bit flips) into deterministic per-seed draws;
+:mod:`repro.faults.campaign` fans those draws across the transient
+simulator and the intermittent runtime and aggregates survival,
+brownout-recovery and throughput-degradation statistics.
+"""
+
+from repro.faults.campaign import (
+    SCHEMES,
+    CampaignConfig,
+    CampaignSummary,
+    IntermittentCampaignConfig,
+    IntermittentCampaignSummary,
+    IntermittentRunRecord,
+    RunRecord,
+    run_intermittent_campaign,
+    run_transient_campaign,
+)
+from repro.faults.models import (
+    FaultDraw,
+    FaultSpec,
+    apply_regulator_derating,
+    describe,
+    draw_faults,
+    faulted_comparator_bank,
+    faulted_node_capacitor,
+    faulted_system,
+    faulted_trace,
+    ideal_draw,
+)
+
+__all__ = [
+    "SCHEMES",
+    "CampaignConfig",
+    "CampaignSummary",
+    "FaultDraw",
+    "FaultSpec",
+    "IntermittentCampaignConfig",
+    "IntermittentCampaignSummary",
+    "IntermittentRunRecord",
+    "RunRecord",
+    "apply_regulator_derating",
+    "describe",
+    "draw_faults",
+    "faulted_comparator_bank",
+    "faulted_node_capacitor",
+    "faulted_system",
+    "faulted_trace",
+    "ideal_draw",
+    "run_intermittent_campaign",
+    "run_transient_campaign",
+]

@@ -1,0 +1,561 @@
+"""Monte Carlo robustness campaign.
+
+The fault models in :mod:`repro.faults.models` only matter in
+aggregate: one unlucky comparator offset tells you little, but the
+*distribution* of outcomes over many seeded draws tells you whether the
+paper's energy-management scheme degrades gracefully or falls off a
+cliff.  This module fans N seeded fault draws across the transient
+simulator (the closed-loop DVFS world) and the intermittent runtime
+(the checkpointed charge-burst world) and aggregates:
+
+* survival rate -- the node still doing useful work at the end of the
+  run (or having finished its workload) instead of being stuck dark;
+* completion rate and completion-time quantiles;
+* brownout counts and accumulated downtime under the engine's
+  halt-and-recharge recovery semantics;
+* throughput relative to an ideal (fault-free) reference run.
+
+Everything is deterministic: the same spec, config and base seed
+reproduce bit-identical summaries, run by run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mppt import DischargeTimeMppTracker, MppTrackingController
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.faults.models import (
+    FaultSpec,
+    draw_faults,
+    faulted_comparator_bank,
+    faulted_node_capacitor,
+    faulted_system,
+    faulted_trace,
+    ideal_draw,
+)
+from repro.intermittent.checkpoint import CheckpointStore
+from repro.intermittent.runtime import IntermittentRuntime
+from repro.intermittent.tasks import Task, TaskChain
+from repro.processor.workloads import Workload
+from repro.pv.traces import IrradianceTrace, constant_trace, step_trace
+from repro.sim.dvfs import DvfsController, FixedOperatingPointController
+from repro.sim.engine import SimulationConfig, TransientSimulator
+
+SCHEMES = ("holistic", "fixed")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of one robustness campaign.
+
+    The default scenario is the paper's "dimmed light" stress: full sun
+    for ``dim_time_s``, then a near-instant step down to ``dim_to``
+    suns for the rest of ``duration_s``.  Fault draws perturb the
+    comparators, capacitor, converters and light on top of that.
+    """
+
+    runs: int = 50
+    base_seed: int = 1
+    scheme: str = "holistic"
+    duration_s: float = 80e-3
+    time_step_s: float = 20e-6
+    initial_voltage_v: float = 1.2
+    recovery_voltage_v: float = 1.05
+    bright: float = 1.0
+    dim_to: float = 0.35
+    dim_time_s: float = 20e-3
+    regulator_name: str = "sc"
+    workload_fraction: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ModelParameterError(f"need at least one run, got {self.runs}")
+        if self.scheme not in SCHEMES:
+            raise ModelParameterError(
+                f"scheme must be one of {SCHEMES}, got {self.scheme!r}"
+            )
+        if self.time_step_s <= 0.0:
+            raise ModelParameterError(
+                f"time step must be positive, got {self.time_step_s}"
+            )
+        if not 0.0 < self.dim_time_s < self.duration_s:
+            raise ModelParameterError(
+                f"dim time {self.dim_time_s} must lie inside "
+                f"(0, {self.duration_s})"
+            )
+        if self.bright <= 0.0 or self.dim_to <= 0.0:
+            raise ModelParameterError("irradiance levels must be positive")
+        if self.initial_voltage_v <= 0.0:
+            raise ModelParameterError(
+                f"initial voltage must be positive, got "
+                f"{self.initial_voltage_v}"
+            )
+        if self.recovery_voltage_v <= 0.0:
+            raise ModelParameterError(
+                f"recovery voltage must be positive, got "
+                f"{self.recovery_voltage_v}"
+            )
+        if not 0.0 < self.workload_fraction <= 1.0:
+            raise ModelParameterError(
+                f"workload fraction must be in (0, 1], got "
+                f"{self.workload_fraction}"
+            )
+
+    def base_trace(self) -> IrradianceTrace:
+        """The un-faulted stress trace every run perturbs."""
+        return step_trace(
+            self.bright, self.dim_to, self.dim_time_s, self.duration_s
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Outcome of one faulted transient run."""
+
+    seed: int
+    survived: bool
+    completed: bool
+    completion_time_s: "float | None"
+    brownout_count: int
+    downtime_s: float
+    final_cycles: float
+    throughput_ratio: float
+    min_node_voltage_v: float
+
+
+@dataclass(frozen=True)
+class CampaignSummary:
+    """Aggregate of a transient robustness campaign.
+
+    ``records`` keeps the per-run outcomes for plotting degradation
+    curves; everything else is the headline statistics over them.
+    Quantile fields are NaN when no run in the relevant subset exists
+    (e.g. completion quantiles with zero completions).
+    """
+
+    scheme: str
+    runs: int
+    survival_rate: float
+    completion_rate: float
+    brownout_run_fraction: float
+    mean_brownouts: float
+    max_brownouts: int
+    total_downtime_s: float
+    p50_downtime_s: float
+    p90_downtime_s: float
+    p50_completion_time_s: float
+    p90_completion_time_s: float
+    mean_throughput_ratio: float
+    min_throughput_ratio: float
+    ideal_cycles: float
+    ideal_brownout_count: int
+    records: "tuple[RunRecord, ...]"
+
+    def as_dict(self) -> "dict[str, float]":
+        """Flat numeric summary (deterministic; for replay tests/CLI)."""
+        return {
+            "runs": float(self.runs),
+            "survival_rate": self.survival_rate,
+            "completion_rate": self.completion_rate,
+            "brownout_run_fraction": self.brownout_run_fraction,
+            "mean_brownouts": self.mean_brownouts,
+            "max_brownouts": float(self.max_brownouts),
+            "total_downtime_s": self.total_downtime_s,
+            "p50_downtime_s": self.p50_downtime_s,
+            "p90_downtime_s": self.p90_downtime_s,
+            "p50_completion_time_s": self.p50_completion_time_s,
+            "p90_completion_time_s": self.p90_completion_time_s,
+            "mean_throughput_ratio": self.mean_throughput_ratio,
+            "min_throughput_ratio": self.min_throughput_ratio,
+            "ideal_cycles": self.ideal_cycles,
+            "ideal_brownout_count": float(self.ideal_brownout_count),
+        }
+
+
+def _make_controller(
+    config: CampaignConfig, system, lut
+) -> DvfsController:
+    """Build the scheme's controller against a (possibly faulted) system."""
+    if config.scheme == "holistic":
+        tracker = DischargeTimeMppTracker(
+            system, config.regulator_name, lut=lut
+        )
+        return MppTrackingController(tracker, config.bright)
+    # "fixed": the conventional design -- pick the bright-light optimum
+    # at design time and hold it forever.
+    point = OperatingPointOptimizer(system).best_point(
+        config.regulator_name, config.bright
+    )
+    return FixedOperatingPointController(
+        point.processor_voltage_v, point.frequency_hz
+    )
+
+
+def _one_run(config, system, lut, trace, capacitor, bank, workload):
+    simulator = TransientSimulator(
+        cell=system.cell,
+        node_capacitor=capacitor,
+        processor=system.processor,
+        regulator=system.regulator(config.regulator_name),
+        controller=_make_controller(config, system, lut),
+        comparators=bank,
+        workload=workload,
+        config=SimulationConfig(
+            time_step_s=config.time_step_s,
+            stop_on_completion=False,
+            stop_on_brownout=False,
+            recover_from_brownout=True,
+            recovery_voltage_v=config.recovery_voltage_v,
+        ),
+    )
+    return simulator.run(trace, duration_s=config.duration_s)
+
+
+def _survived(result, config: CampaignConfig) -> bool:
+    """Forward progress at the end: completed, or clocked in the tail.
+
+    "Survival" asks whether the node is still a computer at the end of
+    the stress, not whether it met its deadline: a run that browned out
+    but recovered and is executing again in the final quarter of the
+    window survived; a run stuck dark did not.
+    """
+    if result.completed:
+        return True
+    if len(result.time_s) == 0:
+        return False
+    tail_start = result.time_s[-1] - 0.25 * config.duration_s
+    tail = result.time_s >= tail_start
+    return bool(np.any(result.frequency_hz[tail] > 0.0))
+
+
+def run_transient_campaign(
+    spec: FaultSpec, config: "CampaignConfig | None" = None
+) -> CampaignSummary:
+    """Fan ``config.runs`` seeded fault draws across the simulator.
+
+    One ideal (fault-free) reference run fixes the workload size (at
+    ``workload_fraction`` of the cycles the ideal system retires over
+    the window) and the throughput denominator; every faulted run then
+    gets its own seeded draw, system, capacitor, comparator bank and
+    perturbed trace.  The MPP lookup table is characterised once and
+    shared -- the cell itself is never faulted, light-path faults live
+    on the trace.
+    """
+    config = config or CampaignConfig()
+    base_trace = config.base_trace()
+    reference_system = paper_system()
+    lut = reference_system.build_mpp_lut()
+    comparator_count = len(reference_system.comparator_thresholds_v)
+
+    # Ideal reference: sizes the workload and the throughput baseline.
+    ideal = ideal_draw(
+        seed=config.base_seed, comparator_count=comparator_count
+    )
+    probe = _one_run(
+        config,
+        reference_system,
+        lut,
+        base_trace,
+        faulted_node_capacitor(
+            reference_system, ideal, config.initial_voltage_v
+        ),
+        faulted_comparator_bank(reference_system, ideal),
+        workload=None,
+    )
+    if probe.final_cycles <= 0.0:
+        raise ModelParameterError(
+            "ideal reference run retires no cycles: the campaign scenario "
+            "is infeasible even without faults"
+        )
+    workload = Workload(
+        name="campaign",
+        cycles=max(1, int(config.workload_fraction * probe.final_cycles)),
+    )
+    ideal_result = _one_run(
+        config,
+        reference_system,
+        lut,
+        base_trace,
+        faulted_node_capacitor(
+            reference_system, ideal, config.initial_voltage_v
+        ),
+        faulted_comparator_bank(reference_system, ideal),
+        workload=workload,
+    )
+    ideal_cycles = float(ideal_result.final_cycles)
+
+    records: "list[RunRecord]" = []
+    for index in range(config.runs):
+        seed = config.base_seed + index
+        draw = draw_faults(spec, seed, comparator_count=comparator_count)
+        system = faulted_system(draw)
+        result = _one_run(
+            config,
+            system,
+            lut,
+            faulted_trace(base_trace, draw),
+            faulted_node_capacitor(system, draw, config.initial_voltage_v),
+            faulted_comparator_bank(system, draw),
+            workload=workload,
+        )
+        records.append(
+            RunRecord(
+                seed=seed,
+                survived=_survived(result, config),
+                completed=result.completed,
+                completion_time_s=result.completion_time_s,
+                brownout_count=result.brownout_count,
+                downtime_s=result.downtime_s,
+                final_cycles=float(result.final_cycles),
+                throughput_ratio=float(result.final_cycles) / ideal_cycles,
+                min_node_voltage_v=result.min_node_voltage_v(),
+            )
+        )
+
+    n = float(len(records))
+    downtimes = np.array([r.downtime_s for r in records])
+    throughputs = np.array([r.throughput_ratio for r in records])
+    completions = np.array(
+        [
+            r.completion_time_s
+            for r in records
+            if r.completed and r.completion_time_s is not None
+        ]
+    )
+    return CampaignSummary(
+        scheme=config.scheme,
+        runs=len(records),
+        survival_rate=sum(r.survived for r in records) / n,
+        completion_rate=sum(r.completed for r in records) / n,
+        brownout_run_fraction=sum(
+            r.brownout_count > 0 for r in records
+        ) / n,
+        mean_brownouts=float(
+            np.mean([r.brownout_count for r in records])
+        ),
+        max_brownouts=max(r.brownout_count for r in records),
+        total_downtime_s=float(np.sum(downtimes)),
+        p50_downtime_s=float(np.quantile(downtimes, 0.5)),
+        p90_downtime_s=float(np.quantile(downtimes, 0.9)),
+        p50_completion_time_s=(
+            float(np.quantile(completions, 0.5))
+            if len(completions)
+            else float("nan")
+        ),
+        p90_completion_time_s=(
+            float(np.quantile(completions, 0.9))
+            if len(completions)
+            else float("nan")
+        ),
+        mean_throughput_ratio=float(np.mean(throughputs)),
+        min_throughput_ratio=float(np.min(throughputs)),
+        ideal_cycles=ideal_cycles,
+        ideal_brownout_count=ideal_result.brownout_count,
+        records=tuple(records),
+    )
+
+
+def replay_transient_run(
+    spec: FaultSpec, config: CampaignConfig, seed: int
+):
+    """Replay one campaign run and return ``(draw, SimulationResult)``.
+
+    Rebuilds the run exactly as :func:`run_transient_campaign` does
+    (same builders, same seeded draw, same workload sizing), but hands
+    back the full waveform result so a specific seed's brownout/
+    recovery behaviour can be inspected in detail.
+    """
+    base_trace = config.base_trace()
+    reference_system = paper_system()
+    lut = reference_system.build_mpp_lut()
+    comparator_count = len(reference_system.comparator_thresholds_v)
+    ideal = ideal_draw(
+        seed=config.base_seed, comparator_count=comparator_count
+    )
+    probe = _one_run(
+        config,
+        reference_system,
+        lut,
+        base_trace,
+        faulted_node_capacitor(
+            reference_system, ideal, config.initial_voltage_v
+        ),
+        faulted_comparator_bank(reference_system, ideal),
+        workload=None,
+    )
+    workload = Workload(
+        name="campaign",
+        cycles=max(1, int(config.workload_fraction * probe.final_cycles)),
+    )
+    draw = draw_faults(spec, seed, comparator_count=comparator_count)
+    system = faulted_system(draw)
+    result = _one_run(
+        config,
+        system,
+        lut,
+        faulted_trace(base_trace, draw),
+        faulted_node_capacitor(system, draw, config.initial_voltage_v),
+        faulted_comparator_bank(system, draw),
+        workload=workload,
+    )
+    return draw, result
+
+
+# -- intermittent (checkpointed charge-burst) leg -----------------------------
+
+
+@dataclass(frozen=True)
+class IntermittentCampaignConfig:
+    """Shape of the intermittent-runtime robustness campaign.
+
+    The scenario: dim steady light (charge-burst regime -- the node
+    power-cycles), a short task chain, and a mid-run pause where a
+    draw's checkpoint-corruption fault flips one bit in the active
+    checkpoint slot's CRC word, exactly as a marginal NVM cell would.
+    """
+
+    runs: int = 50
+    base_seed: int = 1
+    duration_s: float = 0.4
+    irradiance: float = 0.12
+    task_cycles: int = 3_000_000
+    task_count: int = 8
+    operating_voltage_v: float = 0.5
+    time_step_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ModelParameterError(f"need at least one run, got {self.runs}")
+        if self.duration_s <= 0.0:
+            raise ModelParameterError(
+                f"duration must be positive, got {self.duration_s}"
+            )
+        if self.irradiance <= 0.0:
+            raise ModelParameterError(
+                f"irradiance must be positive, got {self.irradiance}"
+            )
+        if self.task_cycles < 1 or self.task_count < 1:
+            raise ModelParameterError("tasks must have positive size/count")
+
+    def chain(self) -> TaskChain:
+        return TaskChain(
+            tuple(
+                Task(name=f"t{i}", cycles=self.task_cycles)
+                for i in range(self.task_count)
+            ),
+            name="campaign",
+        )
+
+
+@dataclass(frozen=True)
+class IntermittentRunRecord:
+    """Outcome of one faulted intermittent run."""
+
+    seed: int
+    completed: bool
+    tasks_committed: int
+    reboots: int
+    waste_fraction: float
+    corruption_injected: bool
+    corruption_detected: int
+
+
+@dataclass(frozen=True)
+class IntermittentCampaignSummary:
+    """Aggregate of the intermittent robustness campaign."""
+
+    runs: int
+    completion_rate: float
+    forward_progress_rate: float
+    mean_reboots: float
+    mean_waste_fraction: float
+    corruptions_injected: int
+    corruptions_detected: int
+    records: "tuple[IntermittentRunRecord, ...]"
+
+    def as_dict(self) -> "dict[str, float]":
+        return {
+            "runs": float(self.runs),
+            "completion_rate": self.completion_rate,
+            "forward_progress_rate": self.forward_progress_rate,
+            "mean_reboots": self.mean_reboots,
+            "mean_waste_fraction": self.mean_waste_fraction,
+            "corruptions_injected": float(self.corruptions_injected),
+            "corruptions_detected": float(self.corruptions_detected),
+        }
+
+
+def run_intermittent_campaign(
+    spec: FaultSpec, config: "IntermittentCampaignConfig | None" = None
+) -> IntermittentCampaignSummary:
+    """Fan seeded fault draws across the checkpointed runtime.
+
+    Each run executes in two segments sharing one checkpoint store and
+    one node capacitor (electrical and progress continuity); between
+    the segments, a draw with ``corrupt_checkpoint`` set flips a bit in
+    the active slot, so the CRC validation path and prior-slot fallback
+    are exercised under real charge-burst execution.
+    """
+    config = config or IntermittentCampaignConfig()
+    chain = config.chain()
+    half = config.duration_s / 2.0
+
+    records: "list[IntermittentRunRecord]" = []
+    for index in range(config.runs):
+        seed = config.base_seed + index
+        draw = draw_faults(spec, seed, comparator_count=3)
+        system = faulted_system(draw)
+        runtime = IntermittentRuntime(
+            system,
+            chain,
+            operating_voltage_v=config.operating_voltage_v,
+            time_step_s=config.time_step_s,
+        )
+        trace = faulted_trace(
+            constant_trace(config.irradiance, config.duration_s), draw
+        )
+        capacitor = faulted_node_capacitor(system, draw, 0.0)
+        store = CheckpointStore()
+        runtime.run(trace, duration_s=half, store=store, capacitor=capacitor)
+        # Corrupt the active slot only once something has committed:
+        # with no commit yet the fallback slot is empty, and bricking
+        # the factory image models NVM manufacturing loss, not the
+        # retention faults this campaign studies.
+        injected = draw.corrupt_checkpoint and store.commit_count > 0
+        if injected:
+            store.inject_bit_flip(bit=draw.seed % 32)
+        report = runtime.run(
+            trace, duration_s=half, store=store, capacitor=capacitor
+        )
+        records.append(
+            IntermittentRunRecord(
+                seed=seed,
+                completed=report.completed,
+                tasks_committed=report.tasks_committed,
+                reboots=report.reboots,
+                waste_fraction=report.waste_fraction,
+                corruption_injected=injected,
+                corruption_detected=store.corruption_detected,
+            )
+        )
+
+    n = float(len(records))
+    return IntermittentCampaignSummary(
+        runs=len(records),
+        completion_rate=sum(r.completed for r in records) / n,
+        forward_progress_rate=sum(
+            r.tasks_committed > 0 for r in records
+        ) / n,
+        mean_reboots=float(np.mean([r.reboots for r in records])),
+        mean_waste_fraction=float(
+            np.mean([r.waste_fraction for r in records])
+        ),
+        corruptions_injected=sum(r.corruption_injected for r in records),
+        corruptions_detected=sum(r.corruption_detected for r in records),
+        records=tuple(records),
+    )

@@ -1,0 +1,323 @@
+"""Seeded fault models for every substrate.
+
+The rest of the library models the paper's chip as *ideal*: comparators
+trip exactly at their design thresholds, the node capacitor neither
+leaks nor ages, converters convert at their characterised efficiency,
+and the light contains only what the trace says.  A real 65 nm part on
+a real bench has none of those luxuries -- and the paper's schemes are
+interesting precisely because they must keep working when their sensors
+lie to them.
+
+This module defines:
+
+* :class:`FaultSpec` -- the *distribution* of non-idealities (offset
+  sigmas, leakage bounds, derating floors ...);
+* :class:`FaultDraw` -- one concrete, seeded sample from a spec; two
+  draws with the same spec and seed are identical, so every faulted
+  experiment replays bit-exactly;
+* builder helpers that apply a draw to the substrates: a faulted
+  comparator bank, a leaky/faded node capacitor, derated regulators,
+  and soiled/flickering irradiance traces.
+
+Everything composes with the existing models rather than replacing
+them: a zero-severity draw reproduces the ideal system exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.system import EnergyHarvestingSoC, paper_system
+from repro.errors import ModelParameterError
+from repro.monitor.comparator import ComparatorBank
+from repro.pv.traces import IrradianceTrace, overlay_flicker, scaled_trace
+from repro.storage.capacitor import Capacitor
+
+#: Default hysteresis of the board comparators (mirrors ComparatorBank).
+_NOMINAL_HYSTERESIS_V = 5e-3
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Distributions the Monte Carlo campaign samples faults from.
+
+    All parameters are physical and per-substrate; see
+    ``docs/models.md`` ("Non-idealities and fault models") for units
+    and provenance.  A default-constructed spec is a *moderately harsh*
+    bench: tens of millivolts of comparator offset, microamp leakage,
+    up to 20% converter derating and deep mains flicker.
+    """
+
+    # Comparator front-end (monitor/comparator.py).
+    comparator_offset_sigma_v: float = 30e-3
+    comparator_noise_sigma_v: float = 2e-3
+    hysteresis_drift_sigma: float = 0.3
+
+    # Storage capacitor (storage/capacitor.py).
+    leakage_current_max_a: float = 5e-6
+    capacitance_fade_max: float = 0.2
+    esr_extra_max_ohm: float = 2.0
+
+    # Converters (regulators/*).
+    derating_min: float = 0.8
+
+    # Light path (pv/traces.py).
+    soiling_min: float = 0.6
+    flicker_depth_max: float = 0.5
+    flicker_hz: float = 120.0
+    flicker_depth_jitter: float = 0.2
+
+    # Non-volatile checkpoint memory (intermittent/checkpoint.py).
+    checkpoint_corruption_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        nonneg = {
+            "comparator_offset_sigma_v": self.comparator_offset_sigma_v,
+            "comparator_noise_sigma_v": self.comparator_noise_sigma_v,
+            "hysteresis_drift_sigma": self.hysteresis_drift_sigma,
+            "leakage_current_max_a": self.leakage_current_max_a,
+            "esr_extra_max_ohm": self.esr_extra_max_ohm,
+        }
+        for name, value in nonneg.items():
+            if value < 0.0:
+                raise ModelParameterError(f"{name} must be >= 0, got {value}")
+        if not 0.0 <= self.capacitance_fade_max < 1.0:
+            raise ModelParameterError(
+                f"capacitance fade must be in [0, 1), got "
+                f"{self.capacitance_fade_max}"
+            )
+        if not 0.0 < self.derating_min <= 1.0:
+            raise ModelParameterError(
+                f"derating floor must be in (0, 1], got {self.derating_min}"
+            )
+        if not 0.0 < self.soiling_min <= 1.0:
+            raise ModelParameterError(
+                f"soiling floor must be in (0, 1], got {self.soiling_min}"
+            )
+        if not 0.0 <= self.flicker_depth_max <= 1.0:
+            raise ModelParameterError(
+                f"flicker depth must be in [0, 1], got {self.flicker_depth_max}"
+            )
+        if self.flicker_hz <= 0.0:
+            raise ModelParameterError(
+                f"flicker frequency must be positive, got {self.flicker_hz}"
+            )
+        if not 0.0 <= self.flicker_depth_jitter <= 1.0:
+            raise ModelParameterError(
+                f"flicker depth jitter must be in [0, 1], got "
+                f"{self.flicker_depth_jitter}"
+            )
+        if not 0.0 <= self.checkpoint_corruption_rate <= 1.0:
+            raise ModelParameterError(
+                f"checkpoint corruption rate must be in [0, 1], got "
+                f"{self.checkpoint_corruption_rate}"
+            )
+
+    @classmethod
+    def ideal(cls) -> "FaultSpec":
+        """A spec whose every draw is the pristine system."""
+        return cls(
+            comparator_offset_sigma_v=0.0,
+            comparator_noise_sigma_v=0.0,
+            hysteresis_drift_sigma=0.0,
+            leakage_current_max_a=0.0,
+            capacitance_fade_max=0.0,
+            esr_extra_max_ohm=0.0,
+            derating_min=1.0,
+            soiling_min=1.0,
+            flicker_depth_max=0.0,
+            checkpoint_corruption_rate=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class FaultDraw:
+    """One concrete, seeded sample of every fault in a spec.
+
+    The draw is pure data -- apply it to substrates with the builder
+    helpers below.  ``seed`` is carried along so downstream stochastic
+    processes (comparator noise, flicker phase) derive their own
+    deterministic streams from it.
+    """
+
+    seed: int
+    comparator_offsets_v: Tuple[float, ...]
+    comparator_noise_sigma_v: float
+    hysteresis_scale: float
+    leakage_current_a: float
+    capacitance_fade: float
+    esr_extra_ohm: float
+    regulator_derating: float
+    pv_scale: float
+    flicker_depth: float
+    flicker_hz: float
+    flicker_depth_jitter: float
+    corrupt_checkpoint: bool
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when this draw perturbs nothing."""
+        return (
+            all(o == 0.0 for o in self.comparator_offsets_v)
+            and self.comparator_noise_sigma_v == 0.0
+            and self.hysteresis_scale == 1.0
+            and self.leakage_current_a == 0.0
+            and self.capacitance_fade == 0.0
+            and self.esr_extra_ohm == 0.0
+            and self.regulator_derating == 1.0
+            and self.pv_scale == 1.0
+            and self.flicker_depth == 0.0
+            and not self.corrupt_checkpoint
+        )
+
+
+def draw_faults(
+    spec: FaultSpec, seed: int, comparator_count: int = 3
+) -> FaultDraw:
+    """Sample one concrete :class:`FaultDraw` from a spec.
+
+    Deterministic: the same ``(spec, seed, comparator_count)`` always
+    yields the identical draw.  Offsets are Gaussian, hysteresis drift
+    is lognormal around 1, bounded quantities are uniform between their
+    ideal value and the spec's worst case.
+    """
+    if comparator_count < 1:
+        raise ModelParameterError(
+            f"need at least one comparator, got {comparator_count}"
+        )
+    rng = np.random.default_rng(seed)
+    offsets = tuple(
+        float(v)
+        for v in spec.comparator_offset_sigma_v
+        * rng.standard_normal(comparator_count)
+    )
+    hysteresis_scale = (
+        float(np.exp(spec.hysteresis_drift_sigma * rng.standard_normal()))
+        if spec.hysteresis_drift_sigma > 0.0
+        else 1.0
+    )
+    return FaultDraw(
+        seed=seed,
+        comparator_offsets_v=offsets,
+        comparator_noise_sigma_v=spec.comparator_noise_sigma_v,
+        hysteresis_scale=hysteresis_scale,
+        leakage_current_a=float(
+            rng.uniform(0.0, spec.leakage_current_max_a)
+        ),
+        capacitance_fade=float(rng.uniform(0.0, spec.capacitance_fade_max)),
+        esr_extra_ohm=float(rng.uniform(0.0, spec.esr_extra_max_ohm)),
+        regulator_derating=float(rng.uniform(spec.derating_min, 1.0)),
+        pv_scale=float(rng.uniform(spec.soiling_min, 1.0)),
+        flicker_depth=float(rng.uniform(0.0, spec.flicker_depth_max)),
+        flicker_hz=spec.flicker_hz,
+        flicker_depth_jitter=spec.flicker_depth_jitter,
+        corrupt_checkpoint=bool(
+            rng.uniform() < spec.checkpoint_corruption_rate
+        ),
+    )
+
+
+def ideal_draw(seed: int = 0, comparator_count: int = 3) -> FaultDraw:
+    """The no-fault draw (for ideal-reference runs)."""
+    return draw_faults(FaultSpec.ideal(), seed, comparator_count)
+
+
+# -- applying a draw to the substrates ---------------------------------------
+
+
+def faulted_comparator_bank(
+    system: EnergyHarvestingSoC, draw: FaultDraw
+) -> ComparatorBank:
+    """The system's comparator bank with the draw's front-end faults.
+
+    Thresholds stay nominal -- events still *report* the design values
+    -- but the physical trip points carry the offsets, the per-sample
+    noise and the drifted hysteresis.
+    """
+    thresholds = system.comparator_thresholds_v
+    offsets = draw.comparator_offsets_v
+    if len(offsets) != len(thresholds):
+        raise ModelParameterError(
+            f"draw has {len(offsets)} comparator offsets but the system "
+            f"has {len(thresholds)} thresholds"
+        )
+    return ComparatorBank(
+        list(thresholds),
+        hysteresis_v=_NOMINAL_HYSTERESIS_V * draw.hysteresis_scale,
+        offsets_v=list(offsets),
+        noise_sigma_v=draw.comparator_noise_sigma_v,
+        seed=draw.seed,
+    )
+
+
+def faulted_node_capacitor(
+    system: EnergyHarvestingSoC,
+    draw: FaultDraw,
+    initial_voltage_v: float,
+) -> Capacitor:
+    """A node capacitor with the draw's leakage, fade and extra ESR."""
+    return Capacitor(
+        system.node_capacitance_f * (1.0 - draw.capacitance_fade),
+        initial_voltage_v=initial_voltage_v,
+        esr_ohm=draw.esr_extra_ohm,
+        leakage_current_a=draw.leakage_current_a,
+    )
+
+
+def apply_regulator_derating(
+    system: EnergyHarvestingSoC, draw: FaultDraw
+) -> EnergyHarvestingSoC:
+    """Derate every converter in the bank in place; returns the system."""
+    for regulator in system.regulators.values():
+        regulator.set_efficiency_derating(draw.regulator_derating)
+    return system
+
+
+def faulted_trace(trace: IrradianceTrace, draw: FaultDraw) -> IrradianceTrace:
+    """Soiling/partial shading plus stochastic flicker on a base trace."""
+    perturbed = trace
+    if draw.pv_scale < 1.0:
+        perturbed = scaled_trace(perturbed, draw.pv_scale)
+    if draw.flicker_depth > 0.0:
+        perturbed = overlay_flicker(
+            perturbed,
+            depth=draw.flicker_depth,
+            flicker_hz=draw.flicker_hz,
+            seed=draw.seed,
+            depth_jitter=draw.flicker_depth_jitter,
+        )
+    return perturbed
+
+
+def faulted_system(draw: FaultDraw) -> EnergyHarvestingSoC:
+    """A fresh paper system with the draw's converter derating applied.
+
+    The cell and processor models are untouched -- light-path faults
+    live on the trace, monitor faults on the comparator bank and
+    storage faults on the capacitor, each built separately so a caller
+    can mix faulted and pristine substrates at will.
+    """
+    return apply_regulator_derating(paper_system(), draw)
+
+
+def describe(draw: FaultDraw) -> "dict[str, float]":
+    """Flat numeric summary of a draw (for reports and replay tests)."""
+    return {
+        "seed": float(draw.seed),
+        **{
+            f"comparator_offset_{i}_mv": 1e3 * offset
+            for i, offset in enumerate(draw.comparator_offsets_v)
+        },
+        "comparator_noise_sigma_mv": 1e3 * draw.comparator_noise_sigma_v,
+        "hysteresis_scale": draw.hysteresis_scale,
+        "leakage_current_ua": 1e6 * draw.leakage_current_a,
+        "capacitance_fade": draw.capacitance_fade,
+        "esr_extra_ohm": draw.esr_extra_ohm,
+        "regulator_derating": draw.regulator_derating,
+        "pv_scale": draw.pv_scale,
+        "flicker_depth": draw.flicker_depth,
+        "corrupt_checkpoint": float(draw.corrupt_checkpoint),
+    }

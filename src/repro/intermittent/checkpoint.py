@@ -6,29 +6,68 @@ slots plus a validity flag; a commit writes the inactive slot first and
 flips the flag last, so a power failure at *any* instant leaves one
 complete, consistent snapshot.  :meth:`CheckpointStore.crash_during_commit`
 exercises exactly that failure window for the tests.
+
+Each snapshot additionally carries a CRC-32 validity word over its
+payload, so *silent* non-volatile corruption (a bit flip from a
+marginal write during a brownout, retention loss in an aged cell) is
+detected at restore time instead of being executed: a restore that
+finds the active slot invalid falls back to the other slot and counts
+the event.  :meth:`CheckpointStore.inject_bit_flip` is the matching
+fault-injection hook.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
+import zlib
+from dataclasses import dataclass, replace
 
 from repro.errors import CheckpointError
 
 
+def _payload_crc(task_index: int, state: dict, commit_count: int) -> int:
+    """CRC-32 validity word over a snapshot's payload.
+
+    ``repr`` of the payload tuple is deterministic for the dict/str/
+    number states the runtimes commit (dict repr follows insertion
+    order, which ``copy.deepcopy`` preserves).
+    """
+    return zlib.crc32(repr((task_index, state, commit_count)).encode())
+
+
 @dataclass(frozen=True)
 class Checkpoint:
-    """One committed snapshot: progress index plus application state."""
+    """One committed snapshot: progress index plus application state.
+
+    ``crc`` is the stored validity word; it is sealed automatically at
+    construction when not given, so hand-built checkpoints are valid by
+    default and only deliberate tampering (or :meth:`CheckpointStore.
+    inject_bit_flip`) produces an invalid one.
+    """
 
     task_index: int
     state: dict
     commit_count: int
+    crc: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.task_index < 0:
             raise CheckpointError(
                 f"task index must be >= 0, got {self.task_index}"
             )
+        if self.crc is None:
+            object.__setattr__(
+                self,
+                "crc",
+                _payload_crc(self.task_index, self.state, self.commit_count),
+            )
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the stored CRC matches the payload."""
+        return self.crc == _payload_crc(
+            self.task_index, self.state, self.commit_count
+        )
 
 
 class CheckpointStore:
@@ -38,6 +77,7 @@ class CheckpointStore:
         self._slots: "list[Checkpoint | None]" = [None, None]
         self._active: int = 0
         self._commits: int = 0
+        self._corruption_detected: int = 0
         # The initial state: nothing done, empty application state.
         self._slots[0] = Checkpoint(task_index=0, state={}, commit_count=0)
 
@@ -46,9 +86,30 @@ class CheckpointStore:
         """Number of successful commits so far."""
         return self._commits
 
+    @property
+    def corruption_detected(self) -> int:
+        """How many restores found a corrupt slot and fell back."""
+        return self._corruption_detected
+
     def restore(self) -> Checkpoint:
-        """The snapshot a reboot resumes from (always consistent)."""
+        """The snapshot a reboot resumes from (always consistent).
+
+        Validates the active slot's CRC first: a corrupt active slot is
+        skipped (counted in :attr:`corruption_detected`) and the other
+        slot -- the previous consistent snapshot -- is restored instead.
+        Raises when no valid slot remains.
+        """
         snapshot = self._slots[self._active]
+        if snapshot is not None and not snapshot.is_valid:
+            self._corruption_detected += 1
+            fallback = self._slots[1 - self._active]
+            if fallback is not None and fallback.is_valid:
+                # Point the flag back at the surviving snapshot so
+                # subsequent commits overwrite the corrupt slot first.
+                self._active = 1 - self._active
+                snapshot = fallback
+            else:
+                snapshot = None
         if snapshot is None:
             raise CheckpointError("no valid checkpoint slot (store corrupt)")
         return snapshot
@@ -58,7 +119,8 @@ class CheckpointStore:
 
         The inactive slot is written completely before the active-slot
         flag flips; only then does the new snapshot become the restore
-        target.
+        target and the commit counter advance -- a validation failure
+        anywhere leaves ``commit_count`` untouched.
         """
         if task_index < self.restore().task_index:
             raise CheckpointError(
@@ -66,16 +128,16 @@ class CheckpointStore:
                 f"{task_index} < {self.restore().task_index}"
             )
         inactive = 1 - self._active
-        self._commits += 1
         snapshot = Checkpoint(
             task_index=task_index,
             state=copy.deepcopy(state),
-            commit_count=self._commits,
+            commit_count=self._commits + 1,
         )
         self._slots[inactive] = snapshot
         # The atomic flag flip: everything before this line is invisible
         # to restore(); everything after it is durable.
         self._active = inactive
+        self._commits += 1
         return snapshot
 
     def crash_during_commit(self, task_index: int, state: dict) -> None:
@@ -92,3 +154,21 @@ class CheckpointStore:
             commit_count=self._commits + 1,
         )
         # No flag flip: the crash hit between the two phases.
+
+    def inject_bit_flip(self, slot: "int | None" = None, bit: int = 0) -> None:
+        """Corrupt a stored snapshot's validity word (fault injection).
+
+        Flips one bit of the CRC of the addressed slot (the active one
+        by default), modelling a non-volatile word silently losing a
+        bit: the payload still parses, but :meth:`restore` detects the
+        mismatch and falls back to the other slot.
+        """
+        index = self._active if slot is None else slot
+        if index not in (0, 1):
+            raise CheckpointError(f"slot must be 0 or 1, got {slot}")
+        if not 0 <= bit < 32:
+            raise CheckpointError(f"bit must be in [0, 32), got {bit}")
+        snapshot = self._slots[index]
+        if snapshot is None:
+            raise CheckpointError(f"slot {index} holds no snapshot to corrupt")
+        self._slots[index] = replace(snapshot, crc=snapshot.crc ^ (1 << bit))

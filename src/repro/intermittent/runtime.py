@@ -204,12 +204,19 @@ class IntermittentRuntime:
         duration_s: "float | None" = None,
         initial_voltage_v: float = 0.0,
         store: "CheckpointStore | None" = None,
+        capacitor: "Capacitor | None" = None,
     ) -> IntermittentReport:
         """Execute the chain over an irradiance trace.
 
         The processor draws directly from the node (charge-burst nodes
         avoid converter overhead -- the bypass configuration), at the
         fixed operating point while powered.
+
+        ``capacitor`` overrides the default ideal node capacitor (it is
+        mutated in place): pass a leaky/faded one for fault studies, or
+        the capacitor from a previous segment to resume a split run
+        with electrical continuity (``initial_voltage_v`` is then
+        ignored).
         """
         if duration_s is None:
             duration_s = trace.duration_s
@@ -218,9 +225,11 @@ class IntermittentRuntime:
                 f"duration must be positive, got {duration_s}"
             )
         store = store or CheckpointStore()
-        capacitor = Capacitor(
-            self.system.node_capacitance_f, initial_voltage_v=initial_voltage_v
-        )
+        if capacitor is None:
+            capacitor = Capacitor(
+                self.system.node_capacitance_f,
+                initial_voltage_v=initial_voltage_v,
+            )
         cell = self.system.cell
         processor = self.system.processor
         dt = self.time_step_s

@@ -9,7 +9,7 @@ mid-task is equivalent to the task never having started.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.errors import ModelParameterError

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.errors import ModelParameterError
 
 
@@ -48,6 +50,17 @@ class ThresholdComparator:
     power_w:
         The comparator's own draw (the paper's are < 0.1 uW); exposed so
         system accounting can include monitor overhead.
+    offset_v:
+        Static input-referred offset: the comparator actually trips at
+        ``threshold + offset`` while *reporting* the nominal threshold
+        in its crossing events -- exactly how a real offset lies to the
+        downstream estimator.  Zero for an ideal part.
+    noise_sigma_v:
+        Standard deviation of per-sample Gaussian input noise on the
+        trip point.  Requires ``seed`` for deterministic replay.
+    seed:
+        Seed for the noise generator; :meth:`reset` re-seeds it so a
+        rerun reproduces the identical noise sequence.
     """
 
     def __init__(
@@ -55,6 +68,9 @@ class ThresholdComparator:
         threshold_v: float,
         hysteresis_v: float = 5e-3,
         power_w: float = 0.1e-6,
+        offset_v: float = 0.0,
+        noise_sigma_v: float = 0.0,
+        seed: "int | None" = None,
     ):
         if threshold_v <= 0.0:
             raise ModelParameterError(
@@ -66,24 +82,51 @@ class ThresholdComparator:
             )
         if power_w < 0.0:
             raise ModelParameterError(f"power must be >= 0, got {power_w}")
+        if noise_sigma_v < 0.0:
+            raise ModelParameterError(
+                f"noise sigma must be >= 0, got {noise_sigma_v}"
+            )
+        if noise_sigma_v > 0.0 and seed is None:
+            raise ModelParameterError(
+                "comparator noise needs a seed for deterministic replay"
+            )
         self.threshold_v = threshold_v
         self.hysteresis_v = hysteresis_v
         self.power_w = power_w
+        self.offset_v = offset_v
+        self.noise_sigma_v = noise_sigma_v
+        self.seed = seed
+        self._rng = np.random.default_rng(seed) if seed is not None else None
         self._state: "bool | None" = None  # True = input above threshold
 
     def reset(self) -> None:
         """Forget the input state (e.g. at simulation restart)."""
         self._state = None
+        if self.seed is not None:
+            self._rng = np.random.default_rng(self.seed)
+
+    def _trip_voltage(self) -> float:
+        """The threshold the comparator actually trips at this sample."""
+        trip = self.threshold_v + self.offset_v
+        if self.noise_sigma_v > 0.0 and self._rng is not None:
+            trip += self.noise_sigma_v * float(self._rng.standard_normal())
+        return trip
 
     def observe(self, time_s: float, voltage_v: float) -> "CrossingEvent | None":
-        """Feed one sample; report a crossing if one occurred."""
+        """Feed one sample; report a crossing if one occurred.
+
+        Crossings always report the *nominal* threshold: the downstream
+        estimator believes the design value even when offset or noise
+        has moved the physical trip point.
+        """
+        trip = self._trip_voltage()
         if self._state is None:
-            self._state = voltage_v >= self.threshold_v
+            self._state = voltage_v >= trip
             return None
-        if self._state and voltage_v < self.threshold_v - 0.5 * self.hysteresis_v:
+        if self._state and voltage_v < trip - 0.5 * self.hysteresis_v:
             self._state = False
             return CrossingEvent(time_s, self.threshold_v, "falling")
-        if not self._state and voltage_v > self.threshold_v + 0.5 * self.hysteresis_v:
+        if not self._state and voltage_v > trip + 0.5 * self.hysteresis_v:
             self._state = True
             return CrossingEvent(time_s, self.threshold_v, "rising")
         return None
@@ -97,13 +140,42 @@ class ComparatorBank:
     estimator to consume.
     """
 
-    def __init__(self, thresholds_v: Sequence[float], hysteresis_v: float = 5e-3):
+    def __init__(
+        self,
+        thresholds_v: Sequence[float],
+        hysteresis_v: float = 5e-3,
+        offsets_v: "Sequence[float] | None" = None,
+        noise_sigma_v: float = 0.0,
+        seed: "int | None" = None,
+    ):
         if not thresholds_v:
             raise ModelParameterError("comparator bank needs at least one threshold")
         if len(set(thresholds_v)) != len(thresholds_v):
             raise ModelParameterError("comparator thresholds must be distinct")
+        ordered = sorted(thresholds_v, reverse=True)
+        if offsets_v is None:
+            offsets = [0.0] * len(ordered)
+        else:
+            if len(offsets_v) != len(thresholds_v):
+                raise ModelParameterError(
+                    f"need one offset per threshold: "
+                    f"{len(offsets_v)} offsets for {len(thresholds_v)} thresholds"
+                )
+            # Offsets are paired with thresholds in the caller's order,
+            # then re-sorted alongside them (highest threshold first).
+            paired = sorted(
+                zip(thresholds_v, offsets_v), key=lambda p: p[0], reverse=True
+            )
+            offsets = [o for _, o in paired]
         self.comparators = [
-            ThresholdComparator(t, hysteresis_v) for t in sorted(thresholds_v, reverse=True)
+            ThresholdComparator(
+                t,
+                hysteresis_v,
+                offset_v=offset,
+                noise_sigma_v=noise_sigma_v,
+                seed=None if seed is None else seed + index,
+            )
+            for index, (t, offset) in enumerate(zip(ordered, offsets))
         ]
         self.history: List[CrossingEvent] = []
 

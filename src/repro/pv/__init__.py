@@ -25,6 +25,8 @@ from repro.pv.traces import (
     ramp_trace,
     cloud_trace,
     random_walk_trace,
+    scaled_trace,
+    overlay_flicker,
 )
 
 __all__ = [
@@ -44,4 +46,6 @@ __all__ = [
     "ramp_trace",
     "cloud_trace",
     "random_walk_trace",
+    "scaled_trace",
+    "overlay_flicker",
 ]

@@ -266,6 +266,80 @@ def diurnal_trace(
     return IrradianceTrace(tuple(times), tuple(np.clip(values, 0.0, None)))
 
 
+def scaled_trace(trace: IrradianceTrace, factor: float) -> IrradianceTrace:
+    """Uniformly attenuate a trace: soiling, partial shading, a dirty
+    diffuser over the bench light.
+
+    ``factor`` is the transmitted fraction in (0, 1]; the breakpoints
+    are preserved so the scaled trace is exact, not resampled.
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ModelParameterError(
+            f"soiling/shading factor must be in (0, 1], got {factor}"
+        )
+    return IrradianceTrace(
+        trace.times_s, tuple(v * factor for v in trace.values)
+    )
+
+
+def overlay_flicker(
+    trace: IrradianceTrace,
+    depth: float,
+    flicker_hz: float,
+    samples_per_cycle: int = 12,
+    seed: "int | None" = None,
+    depth_jitter: float = 0.0,
+) -> IrradianceTrace:
+    """Compose AC-lighting flicker onto an arbitrary base trace.
+
+    Unlike :func:`flicker_trace` (which flickers a constant mean), this
+    multiplies *any* trace -- step, ramp, diurnal -- by a sinusoidal
+    ripple of the given ``depth`` at ``flicker_hz``.  With a ``seed``
+    the ripple gets a random phase and, when ``depth_jitter`` > 0, a
+    per-sample depth perturbation -- the stochastic flicker of a failing
+    ballast.  Deterministic given the seed.
+
+    The result's breakpoints are the union of the base trace's and the
+    flicker sampling grid, so steps in the base survive exactly.
+    """
+    if not 0.0 <= depth <= 1.0:
+        raise ModelParameterError(f"depth must be in [0, 1], got {depth}")
+    if flicker_hz <= 0.0:
+        raise ModelParameterError(
+            f"flicker frequency must be positive, got {flicker_hz}"
+        )
+    if samples_per_cycle < 6:
+        raise ModelParameterError(
+            f"need >= 6 samples per cycle, got {samples_per_cycle}"
+        )
+    if not 0.0 <= depth_jitter <= 1.0:
+        raise ModelParameterError(
+            f"depth jitter must be in [0, 1], got {depth_jitter}"
+        )
+    if depth_jitter > 0.0 and seed is None:
+        raise ModelParameterError(
+            "stochastic flicker (depth_jitter > 0) needs a seed"
+        )
+    duration = trace.duration_s
+    points = max(int(duration * flicker_hz * samples_per_cycle), 2)
+    grid = np.linspace(0.0, duration, points)
+    knots = np.unique(np.concatenate([grid, np.asarray(trace.times_s)]))
+    base = trace.sample(knots)
+    phase = 0.0
+    depths = np.full(len(knots), depth)
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        phase = float(rng.uniform(0.0, 2.0 * np.pi))
+        if depth_jitter > 0.0:
+            depths = depth * (
+                1.0 + depth_jitter * rng.standard_normal(len(knots))
+            )
+            depths = np.clip(depths, 0.0, 1.0)
+    ripple = 1.0 + depths * np.sin(2.0 * np.pi * flicker_hz * knots + phase)
+    values = np.clip(base * ripple, 0.0, None)
+    return IrradianceTrace(tuple(knots), tuple(values))
+
+
 def concatenate(traces: Sequence[IrradianceTrace]) -> IrradianceTrace:
     """Join traces end-to-end, offsetting each by the preceding duration."""
     if not traces:

@@ -88,6 +88,41 @@ class Regulator(abc.ABC):
         self.nominal_input_v = nominal_input_v
         self.min_output_v = min_output_v
         self.max_output_v = max_output_v
+        self._efficiency_derating = 1.0
+
+    # -- aging / fault derating ----------------------------------------------
+
+    @property
+    def efficiency_derating(self) -> float:
+        """Multiplicative efficiency derate in (0, 1]; 1.0 = pristine.
+
+        Models aged switches, increased parasitics or a drifted clock:
+        every input-power figure is scaled by ``1/derating`` so the
+        converter delivers the same output from proportionally more
+        input.  Set via :meth:`set_efficiency_derating` (the fault
+        subsystem draws seeded values here).
+        """
+        return self._efficiency_derating
+
+    def set_efficiency_derating(self, derating: float) -> None:
+        """Apply an efficiency derate (see :attr:`efficiency_derating`)."""
+        if not 0.0 < derating <= 1.0:
+            raise ModelParameterError(
+                f"{self.name}: derating must be in (0, 1], got {derating}"
+            )
+        self._efficiency_derating = derating
+
+    def derate_input_power(self, p_in_ideal: float) -> float:
+        """Scale a pristine-model input power by the derate."""
+        return p_in_ideal / self._efficiency_derating
+
+    def derate_available_power(self, p_in_available: float) -> float:
+        """Input budget usable by the pristine model under the derate.
+
+        The inverse of :meth:`derate_input_power`, for closed-form
+        ``max_output_power`` implementations.
+        """
+        return p_in_available * self._efficiency_derating
 
     # -- range handling ------------------------------------------------------
 

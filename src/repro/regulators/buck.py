@@ -70,7 +70,7 @@ class BuckRegulator(Regulator):
                 f"{self.name}: output power must be >= 0, got {p_out}"
             )
         i_out = p_out / v_out if v_out > 0.0 else 0.0
-        return (
+        return self.derate_input_power(
             p_out
             + self.conduction.power(i_out)
             + self.fixed.power(v_in_resolved)
@@ -91,7 +91,9 @@ class BuckRegulator(Regulator):
         v_in_resolved = self._resolve_input(v_in)
         self.check_output_voltage(v_out)
         self._check_duty(v_out, v_in_resolved)
-        budget = p_in_available - self.fixed.power(v_in_resolved)
+        budget = self.derate_available_power(p_in_available) - self.fixed.power(
+            v_in_resolved
+        )
         if budget <= 0.0:
             return 0.0
         r = self.conduction.resistance_ohm

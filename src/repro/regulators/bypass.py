@@ -59,7 +59,7 @@ class BypassPath(Regulator):
                 f"{v_in_resolved:.3f} V -- output follows input"
             )
         i_out = p_out / v_out if v_out > 0.0 else 0.0
-        return p_out + self.switch.power(i_out)
+        return self.derate_input_power(p_out + self.switch.power(i_out))
 
     def max_output_power(
         self, v_out: float, p_in_available: float, v_in: "float | None" = None
@@ -72,11 +72,12 @@ class BypassPath(Regulator):
         self.check_output_voltage(v_out)
         if abs(v_out - v_in_resolved) > self.VOLTAGE_TOLERANCE_V:
             return 0.0
+        usable = self.derate_available_power(p_in_available)
         r = self.switch.resistance_ohm
         if r == 0.0:
-            return p_in_available
+            return usable
         a = r / (v_out * v_out)
-        return (-1.0 + (1.0 + 4.0 * a * p_in_available) ** 0.5) / (2.0 * a)
+        return (-1.0 + (1.0 + 4.0 * a * usable) ** 0.5) / (2.0 * a)
 
     @staticmethod
     def for_node_voltage(v_node: float) -> "BypassPath":

@@ -62,7 +62,7 @@ class LinearRegulator(Regulator):
                 f"input {v_in:.3f} V provides (dropout {self.dropout_v:.2f} V)"
             )
         i_out = p_out / v_out
-        return v_in * i_out + self.quiescent.power(v_in)
+        return self.derate_input_power(v_in * i_out + self.quiescent.power(v_in))
 
     def max_output_power(
         self, v_out: float, p_in_available: float, v_in: "float | None" = None
@@ -79,7 +79,8 @@ class LinearRegulator(Regulator):
                 f"{self.name}: output {v_out:.3f} V needs more headroom than "
                 f"input {v_in:.3f} V provides (dropout {self.dropout_v:.2f} V)"
             )
-        i_available = p_in_available / v_in - self.quiescent.current_a
+        usable = self.derate_available_power(p_in_available)
+        i_available = usable / v_in - self.quiescent.current_a
         return max(0.0, v_out * i_available)
 
 

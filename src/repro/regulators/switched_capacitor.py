@@ -148,7 +148,9 @@ class SwitchedCapacitorRegulator(Regulator):
         v_in_resolved = self._resolve_input(v_in)
         ratio = self.select_ratio(v_out, p_out, v_in_resolved)
         i_out = p_out / v_out if v_out > 0.0 else 0.0
-        return self._band_input_power(ratio, v_out, i_out, v_in_resolved)
+        return self.derate_input_power(
+            self._band_input_power(ratio, v_out, i_out, v_in_resolved)
+        )
 
     def max_output_power(
         self, v_out: float, p_in_available: float, v_in: "float | None" = None
@@ -165,7 +167,9 @@ class SwitchedCapacitorRegulator(Regulator):
             )
         v_in_resolved = self._resolve_input(v_in)
         self.check_output_voltage(v_out)
-        budget = p_in_available - self.fixed.power(v_in_resolved)
+        budget = self.derate_available_power(p_in_available) - self.fixed.power(
+            v_in_resolved
+        )
         if budget <= 0.0:
             return 0.0
         best = 0.0

@@ -27,6 +27,13 @@ class ControllerView:
     comparator bank); cycle progress is the processor's own counter.
     The true irradiance is deliberately *not* exposed -- controllers
     that need it must estimate it, as the paper's scheme does.
+
+    ``recovering`` is the supply monitor's power-good line held low:
+    the engine has power-gated the load after a brownout and is
+    recharging the node; any work the controller commands is ignored
+    until the line releases.  ``brownout_count`` counts completed
+    brownout entries so far, so a controller can detect "I just came
+    back from a brownout" and re-track instead of trusting stale state.
     """
 
     time_s: float
@@ -34,6 +41,8 @@ class ControllerView:
     processor_voltage_v: float
     cycles_done: float
     comparator_events: tuple
+    recovering: bool = False
+    brownout_count: int = 0
 
     def __post_init__(self) -> None:
         if self.time_s < 0.0:

@@ -41,12 +41,30 @@ from repro.storage.capacitor import Capacitor
 
 @dataclass(frozen=True)
 class SimulationConfig:
-    """Numerical and termination settings for a run."""
+    """Numerical and termination settings for a run.
+
+    Brownout handling comes in three flavours:
+
+    * ``stop_on_brownout=True`` (default): the first brownout ends the
+      run -- the historical terminal semantics.
+    * ``stop_on_brownout=False``: the run continues with the load
+      stalled; the node may or may not recover on its own.
+    * ``recover_from_brownout=True`` (requires ``stop_on_brownout=
+      False``): halt-and-recharge recovery -- on brownout the load is
+      power-gated, the node recharges until it reaches
+      ``recovery_voltage_v`` (the supply monitor's power-good level,
+      hysteretically above the collapse voltage), the controller is
+      notified through :class:`~repro.sim.dvfs.ControllerView`, and the
+      run continues.  Downtime and brownout counts are accounted in the
+      result.
+    """
 
     time_step_s: float = 10e-6
     record_every: int = 1
     stop_on_completion: bool = False
     stop_on_brownout: bool = True
+    recover_from_brownout: bool = False
+    recovery_voltage_v: float = 1.0
     max_steps: int = 20_000_000
 
     def __post_init__(self) -> None:
@@ -61,6 +79,16 @@ class SimulationConfig:
         if self.max_steps < 1:
             raise ModelParameterError(
                 f"max_steps must be >= 1, got {self.max_steps}"
+            )
+        if self.recovery_voltage_v <= 0.0:
+            raise ModelParameterError(
+                f"recovery voltage must be positive, got "
+                f"{self.recovery_voltage_v}"
+            )
+        if self.recover_from_brownout and self.stop_on_brownout:
+            raise ModelParameterError(
+                "recover_from_brownout requires stop_on_brownout=False "
+                "(a run cannot both terminate and recover on brownout)"
             )
 
 
@@ -199,6 +227,11 @@ class TransientSimulator:
         completion_time = None
         browned_out = False
         brownout_time = None
+        brownout_count = 0
+        downtime_s = 0.0
+        recovering = False
+        in_brownout = False
+        node_collapsed = False
         events: list = []
         recorded = 0
 
@@ -207,15 +240,27 @@ class TransientSimulator:
             v_node = self.node_capacitor.voltage_v
             irr = trace(t)
 
+            # Power-good release: the node has recharged past the
+            # recovery threshold, so the load may reconnect this step.
+            if recovering and v_node >= cfg.recovery_voltage_v:
+                recovering = False
+                events.append(("recovered", t))
+
             view = ControllerView(
                 time_s=t,
                 node_voltage_v=v_node,
                 processor_voltage_v=prev_v_proc,
                 cycles_done=cycles,
                 comparator_events=pending_events,
+                recovering=recovering,
+                brownout_count=brownout_count,
             )
             decision = self.controller.decide(view)
             v_proc, f, p_proc, p_draw, mode = self._resolve_decision(decision, v_node)
+            if recovering:
+                # Load power-gated while the node recharges; whatever
+                # the controller commanded is ignored until power-good.
+                v_proc, f, p_proc, p_draw, mode = (0.0, 0.0, 0.0, 0.0, "halt")
             prev_v_proc = v_proc
 
             # DVFS transition accounting: settle lockout + rail recharge.
@@ -255,17 +300,21 @@ class TransientSimulator:
                         p_draw = p_proc
 
             # Brownout: the controller asked for work the supply cannot run.
-            if (
+            stalled = (
                 decision.frequency_hz > 0.0
                 and f == 0.0
                 and mode == "halt"
                 and decision.mode != "halt"
                 and not completed
-            ):
+                and not recovering
+            )
+            if stalled and not in_brownout:
+                in_brownout = True
                 browned_out = True
+                brownout_count += 1
                 if brownout_time is None:
                     brownout_time = t
-                    events.append(("brownout", t))
+                events.append(("brownout", t))
                 if cfg.stop_on_brownout:
                     if step % cfg.record_every == 0:
                         rec_t[recorded] = t
@@ -279,6 +328,17 @@ class TransientSimulator:
                         rec_mode[recorded] = mode_codes["halt"]
                         recorded += 1
                     break
+                if cfg.recover_from_brownout:
+                    # Enter halt-and-recharge: power-gate the load until
+                    # the node climbs back to the recovery threshold.
+                    recovering = True
+                    v_proc, f, p_proc, p_draw, mode = (
+                        0.0, 0.0, 0.0, 0.0, "halt",
+                    )
+                    prev_v_proc = 0.0
+            elif f > 0.0:
+                # Work resumed: the next stall is a fresh brownout.
+                in_brownout = False
 
             p_pv = float(self.cell.power(v_node, irr))
             if step % cfg.record_every == 0:
@@ -315,9 +375,27 @@ class TransientSimulator:
                     break
             cycles = new_cycles
 
+            # Downtime: the load is power-gated because of a brownout
+            # (either recharging in recovery mode or stalled dark).
+            if recovering or (in_brownout and f == 0.0):
+                downtime_s += dt
+
             # Node update: PV source in, converter + comparators out.
             i_pv = float(self.cell.current(v_node, irr))
-            i_draw = (p_draw + comparator_power) / v_node if v_node > 1e-6 else 0.0
+            demand_w = p_draw + comparator_power
+            if v_node > 1e-6:
+                i_draw = demand_w / v_node
+                node_collapsed = False
+            else:
+                # Fully collapsed node: a 0 V supply cannot source the
+                # converter or the monitor electronics, so the demand is
+                # explicitly dropped (everything downstream is dead) and
+                # the collapse is recorded instead of the power
+                # silently vanishing from the energy balance.
+                i_draw = 0.0
+                if demand_w > 0.0 and not node_collapsed:
+                    node_collapsed = True
+                    events.append(("node_collapse", t))
             self.node_capacitor.apply_current(i_pv - i_draw, dt)
             if not np.isfinite(self.node_capacitor.voltage_v):
                 raise SimulationError(f"node voltage became non-finite at t={t}")
@@ -346,6 +424,8 @@ class TransientSimulator:
             completion_time_s=completion_time,
             browned_out=browned_out,
             brownout_time_s=brownout_time,
+            brownout_count=brownout_count,
+            downtime_s=downtime_s,
             final_cycles=cycles,
             events=events,
         )

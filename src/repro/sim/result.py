@@ -35,6 +35,8 @@ class SimulationResult:
     completion_time_s: "float | None" = None
     browned_out: bool = False
     brownout_time_s: "float | None" = None
+    brownout_count: int = 0
+    downtime_s: float = 0.0
     final_cycles: float = 0.0
     events: list = field(default_factory=list)
 
@@ -137,6 +139,8 @@ class SimulationResult:
                 else self.completion_time_s
             ),
             "browned_out": float(self.browned_out),
+            "brownout_count": float(self.brownout_count),
+            "downtime_s": self.downtime_s,
             "harvested_energy_j": self.harvested_energy_j(),
             "consumed_energy_j": self.consumed_energy_j(),
             "conversion_loss_j": self.conversion_loss_j(),

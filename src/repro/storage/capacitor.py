@@ -33,6 +33,11 @@ class Capacitor:
         Equivalent series resistance; drops terminal voltage under load.
     max_voltage_v:
         Rating above which :meth:`charge` refuses to go.
+    leakage_current_a:
+        Constant self-discharge current while the capacitor holds any
+        voltage (dielectric absorption / soakage of an aged or cheap
+        part).  Zero for the ideal capacitor; the fault models draw a
+        seeded value here.
     """
 
     def __init__(
@@ -41,6 +46,7 @@ class Capacitor:
         initial_voltage_v: float = 0.0,
         esr_ohm: float = 0.0,
         max_voltage_v: float = 5.0,
+        leakage_current_a: float = 0.0,
     ):
         if capacitance_f <= 0.0:
             raise ModelParameterError(
@@ -60,9 +66,14 @@ class Capacitor:
             raise ModelParameterError(
                 f"initial voltage {initial_voltage_v} exceeds rating {max_voltage_v}"
             )
+        if leakage_current_a < 0.0:
+            raise ModelParameterError(
+                f"leakage current must be >= 0, got {leakage_current_a}"
+            )
         self.capacitance_f = capacitance_f
         self.esr_ohm = esr_ohm
         self.max_voltage_v = max_voltage_v
+        self.leakage_current_a = leakage_current_a
         self._voltage_v = initial_voltage_v
 
     # -- state ---------------------------------------------------------------
@@ -105,6 +116,8 @@ class Capacitor:
         """
         if dt_s < 0.0:
             raise OperatingRangeError(f"time step must be >= 0, got {dt_s}")
+        if self.leakage_current_a > 0.0 and self._voltage_v > 0.0:
+            current_a -= self.leakage_current_a
         self._voltage_v += current_a * dt_s / self.capacitance_f
         self._voltage_v = min(max(self._voltage_v, 0.0), self.max_voltage_v)
         return self._voltage_v
@@ -117,6 +130,8 @@ class Capacitor:
         """
         if dt_s < 0.0:
             raise OperatingRangeError(f"time step must be >= 0, got {dt_s}")
+        if self.leakage_current_a > 0.0 and self._voltage_v > 0.0:
+            power_w -= self.leakage_current_a * self._voltage_v
         squared = self._voltage_v * self._voltage_v + (
             2.0 * power_w * dt_s / self.capacitance_f
         )
@@ -156,6 +171,7 @@ class Capacitor:
             initial_voltage_v=self._voltage_v,
             esr_ohm=self.esr_ohm,
             max_voltage_v=self.max_voltage_v,
+            leakage_current_a=self.leakage_current_a,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

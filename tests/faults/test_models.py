@@ -1,0 +1,162 @@
+"""Tests for the seeded fault models and their substrate builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.faults.models import (
+    FaultDraw,
+    FaultSpec,
+    apply_regulator_derating,
+    describe,
+    draw_faults,
+    faulted_comparator_bank,
+    faulted_node_capacitor,
+    faulted_system,
+    faulted_trace,
+    ideal_draw,
+)
+from repro.pv.traces import constant_trace
+
+
+class TestFaultSpec:
+    def test_default_spec_is_valid(self):
+        FaultSpec()
+
+    def test_ideal_spec_draws_ideal(self):
+        for seed in range(5):
+            assert draw_faults(FaultSpec.ideal(), seed).is_ideal
+
+    def test_rejects_negative_offset_sigma(self):
+        with pytest.raises(ModelParameterError):
+            FaultSpec(comparator_offset_sigma_v=-1e-3)
+
+    def test_rejects_fade_of_one(self):
+        with pytest.raises(ModelParameterError):
+            FaultSpec(capacitance_fade_max=1.0)
+
+    def test_rejects_zero_derating_floor(self):
+        with pytest.raises(ModelParameterError):
+            FaultSpec(derating_min=0.0)
+
+    def test_rejects_corruption_rate_above_one(self):
+        with pytest.raises(ModelParameterError):
+            FaultSpec(checkpoint_corruption_rate=1.5)
+
+    def test_rejects_nonpositive_flicker_frequency(self):
+        with pytest.raises(ModelParameterError):
+            FaultSpec(flicker_hz=0.0)
+
+
+class TestDrawFaults:
+    def test_same_seed_is_identical(self):
+        spec = FaultSpec()
+        assert draw_faults(spec, 42) == draw_faults(spec, 42)
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec()
+        assert draw_faults(spec, 1) != draw_faults(spec, 2)
+
+    def test_draw_respects_spec_bounds(self):
+        spec = FaultSpec()
+        for seed in range(20):
+            draw = draw_faults(spec, seed)
+            assert 0.0 <= draw.leakage_current_a <= spec.leakage_current_max_a
+            assert 0.0 <= draw.capacitance_fade <= spec.capacitance_fade_max
+            assert 0.0 <= draw.esr_extra_ohm <= spec.esr_extra_max_ohm
+            assert spec.derating_min <= draw.regulator_derating <= 1.0
+            assert spec.soiling_min <= draw.pv_scale <= 1.0
+            assert 0.0 <= draw.flicker_depth <= spec.flicker_depth_max
+            assert draw.hysteresis_scale > 0.0
+
+    def test_comparator_count_sets_offset_count(self):
+        draw = draw_faults(FaultSpec(), 1, comparator_count=5)
+        assert len(draw.comparator_offsets_v) == 5
+
+    def test_rejects_zero_comparators(self):
+        with pytest.raises(ModelParameterError):
+            draw_faults(FaultSpec(), 1, comparator_count=0)
+
+    def test_ideal_draw_is_ideal(self):
+        assert ideal_draw().is_ideal
+
+    def test_corruption_rate_one_always_corrupts(self):
+        spec = FaultSpec(checkpoint_corruption_rate=1.0)
+        assert all(
+            draw_faults(spec, seed).corrupt_checkpoint for seed in range(5)
+        )
+
+    def test_describe_is_flat_and_numeric(self):
+        report = describe(draw_faults(FaultSpec(), 3))
+        assert all(isinstance(v, float) for v in report.values())
+        assert report["seed"] == 3.0
+
+
+class TestBuilders:
+    def test_bank_reports_nominal_thresholds(self):
+        system = paper_system()
+        draw = draw_faults(FaultSpec(comparator_offset_sigma_v=50e-3), 7)
+        bank = faulted_comparator_bank(system, draw)
+        reported = tuple(
+            sorted((c.threshold_v for c in bank.comparators), reverse=True)
+        )
+        assert reported == system.comparator_thresholds_v
+
+    def test_bank_offset_count_must_match(self):
+        system = paper_system()
+        draw = draw_faults(FaultSpec(), 1, comparator_count=2)
+        with pytest.raises(ModelParameterError):
+            faulted_comparator_bank(system, draw)
+
+    def test_capacitor_carries_fade_and_leakage(self):
+        system = paper_system()
+        draw = draw_faults(FaultSpec(), 9)
+        cap = faulted_node_capacitor(system, draw, 1.0)
+        expected_c = system.node_capacitance_f * (1.0 - draw.capacitance_fade)
+        assert cap.capacitance_f == pytest.approx(expected_c)
+        assert cap.leakage_current_a == pytest.approx(draw.leakage_current_a)
+        assert cap.voltage_v == pytest.approx(1.0)
+
+    def test_derating_raises_converter_input_power(self):
+        pristine = paper_system()
+        derated = apply_regulator_derating(
+            paper_system(), draw_faults(FaultSpec(derating_min=0.8), 11)
+        )
+        p_ideal = pristine.regulator("sc").input_power(0.5, 1e-3, v_in=1.1)
+        p_faulted = derated.regulator("sc").input_power(0.5, 1e-3, v_in=1.1)
+        assert p_faulted > p_ideal
+
+    def test_ideal_draw_leaves_trace_untouched(self):
+        trace = constant_trace(0.8, 0.1)
+        faulted = faulted_trace(trace, ideal_draw())
+        for t in np.linspace(0.0, 0.1, 13):
+            assert faulted(t) == pytest.approx(trace(t))
+
+    def test_faulted_trace_scales_and_flickers(self):
+        trace = constant_trace(1.0, 0.1)
+        draw = FaultDraw(
+            seed=13,
+            comparator_offsets_v=(0.0, 0.0, 0.0),
+            comparator_noise_sigma_v=0.0,
+            hysteresis_scale=1.0,
+            leakage_current_a=0.0,
+            capacitance_fade=0.0,
+            esr_extra_ohm=0.0,
+            regulator_derating=1.0,
+            pv_scale=0.7,
+            flicker_depth=0.4,
+            flicker_hz=120.0,
+            flicker_depth_jitter=0.0,
+            corrupt_checkpoint=False,
+        )
+        faulted = faulted_trace(trace, draw)
+        values = np.array([faulted(t) for t in np.linspace(0.0, 0.1, 400)])
+        # The mean-preserving ripple oscillates around the soiled level.
+        assert values.min() >= 0.0
+        assert values.min() < 0.7 < values.max()
+        assert np.mean(values) == pytest.approx(0.7, rel=0.05)
+
+    def test_faulted_system_is_fresh_instance(self):
+        draw = draw_faults(FaultSpec(), 17)
+        assert faulted_system(draw) is not faulted_system(draw)

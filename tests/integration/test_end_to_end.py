@@ -1,6 +1,5 @@
 """Integration tests: whole-system scenarios across module boundaries."""
 
-import numpy as np
 import pytest
 
 from repro.core import (

@@ -1,0 +1,197 @@
+"""Tests for halt-and-recharge brownout recovery in the engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.pv.traces import constant_trace, step_trace
+from repro.sim.dvfs import FixedOperatingPointController
+from repro.sim.engine import SimulationConfig, TransientSimulator
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+def make_sim(system, controller, **config):
+    return TransientSimulator(
+        cell=system.cell,
+        node_capacitor=system.new_node_capacitor(1.2),
+        processor=system.processor,
+        regulator=system.regulator("sc"),
+        controller=controller,
+        config=SimulationConfig(**config),
+    )
+
+
+#: A load far too heavy for the dim phase: forces a brownout after the
+#: step without the controller ever backing off.
+def stress_trace():
+    return step_trace(1.0, 0.25, 10e-3, 120e-3)
+
+
+@pytest.fixture(scope="module")
+def recovered_result(system):
+    controller = FixedOperatingPointController(0.7, 800e6)
+    sim = make_sim(
+        system,
+        controller,
+        time_step_s=20e-6,
+        stop_on_brownout=False,
+        recover_from_brownout=True,
+        recovery_voltage_v=1.05,
+    )
+    return sim.run(stress_trace())
+
+
+class TestConfigValidation:
+    def test_recovery_requires_continuing_runs(self):
+        with pytest.raises(ModelParameterError):
+            SimulationConfig(
+                stop_on_brownout=True, recover_from_brownout=True
+            )
+
+    def test_rejects_nonpositive_recovery_voltage(self):
+        with pytest.raises(ModelParameterError):
+            SimulationConfig(recovery_voltage_v=0.0)
+
+
+class TestHaltAndRecharge:
+    def test_run_continues_past_the_brownout(self, recovered_result):
+        assert recovered_result.browned_out
+        assert recovered_result.duration_s == pytest.approx(120e-3, rel=1e-3)
+
+    def test_brownouts_are_counted_per_episode(self, recovered_result):
+        assert recovered_result.brownout_count >= 1
+        brownout_events = [
+            e for e in recovered_result.events if e[0] == "brownout"
+        ]
+        assert len(brownout_events) == recovered_result.brownout_count
+
+    def test_every_brownout_recovers(self, recovered_result):
+        """Brownout and recovered events strictly alternate."""
+        phases = [
+            e for e in recovered_result.events
+            if e[0] in ("brownout", "recovered")
+        ]
+        for first, second in zip(phases, phases[1:]):
+            assert first[0] != second[0]
+        assert phases[0][0] == "brownout"
+        assert any(e[0] == "recovered" for e in phases)
+
+    def test_node_recharges_to_power_good(self, recovered_result):
+        """After each recovered event the node sits at the recovery
+        threshold (power-good released exactly there)."""
+        recovered_times = [
+            t for kind, t in recovered_result.events if kind == "recovered"
+        ]
+        for t in recovered_times:
+            index = int(np.searchsorted(recovered_result.time_s, t))
+            assert recovered_result.node_voltage_v[index] >= 1.05 - 1e-6
+
+    def test_work_resumes_after_recovery(self, recovered_result):
+        first_brownout = recovered_result.brownout_time_s
+        after = recovered_result.time_s > first_brownout
+        assert np.any(recovered_result.frequency_hz[after] > 0.0)
+
+    def test_downtime_is_accounted(self, recovered_result):
+        assert recovered_result.downtime_s > 0.0
+        assert recovered_result.downtime_s < recovered_result.duration_s
+        assert recovered_result.summary()["downtime_s"] == pytest.approx(
+            recovered_result.downtime_s
+        )
+
+    def test_load_is_gated_while_recharging(self, recovered_result):
+        """Between a brownout and its recovery the processor draws
+        nothing (halt mode, zero frequency)."""
+        pairs = []
+        start = None
+        for kind, t in recovered_result.events:
+            if kind == "brownout":
+                start = t
+            elif kind == "recovered" and start is not None:
+                pairs.append((start, t))
+                start = None
+        assert pairs
+        for t0, t1 in pairs:
+            inside = (recovered_result.time_s > t0) & (
+                recovered_result.time_s < t1
+            )
+            assert np.all(recovered_result.frequency_hz[inside] == 0.0)
+            assert np.all(recovered_result.draw_power_w[inside] == 0.0)
+
+
+class TestTerminalSemanticsUnchanged:
+    def test_stop_on_brownout_still_terminates(self, system):
+        controller = FixedOperatingPointController(0.7, 800e6)
+        sim = make_sim(
+            system,
+            controller,
+            time_step_s=20e-6,
+            stop_on_brownout=True,
+        )
+        result = sim.run(stress_trace())
+        assert result.browned_out
+        assert result.brownout_count == 1
+        assert result.time_s[-1] == pytest.approx(result.brownout_time_s)
+        assert result.duration_s < 120e-3
+
+    def test_continue_without_recovery_stays_stalled(self, system):
+        """stop_on_brownout=False without recovery keeps the legacy
+        behaviour: the load stays connected and stalled dark."""
+        controller = FixedOperatingPointController(0.7, 800e6)
+        sim = make_sim(
+            system,
+            controller,
+            time_step_s=20e-6,
+            stop_on_brownout=False,
+        )
+        result = sim.run(stress_trace())
+        assert result.browned_out
+        assert not any(e[0] == "recovered" for e in result.events)
+
+    def test_no_brownout_run_reports_zero_recovery_stats(self, system):
+        controller = FixedOperatingPointController(0.5, 50e6)
+        sim = make_sim(
+            system,
+            controller,
+            time_step_s=20e-6,
+            stop_on_brownout=False,
+            recover_from_brownout=True,
+        )
+        result = sim.run(constant_trace(1.0, 0.02))
+        assert result.brownout_count == 0
+        assert result.downtime_s == 0.0
+        assert not result.browned_out
+
+
+class TestNodeCollapseAccounting:
+    def test_collapse_is_recorded_not_silent(self, system):
+        """A fully collapsed node with live monitor electronics records
+        a node_collapse event instead of silently zeroing the demand
+        (the old charge-accounting leak)."""
+        controller = FixedOperatingPointController(0.7, 800e6)
+        sim = TransientSimulator(
+            cell=system.cell,
+            node_capacitor=system.new_node_capacitor(0.0),
+            processor=system.processor,
+            regulator=system.regulator("sc"),
+            controller=controller,
+            comparators=system.new_comparator_bank(),
+            config=SimulationConfig(
+                time_step_s=20e-6, stop_on_brownout=False
+            ),
+        )
+        result = sim.run(constant_trace(0.0, 1e-3))
+        assert result.min_node_voltage_v() <= 1e-6
+        assert any(e[0] == "node_collapse" for e in result.events)
+
+    def test_healthy_run_never_collapses(self, system):
+        controller = FixedOperatingPointController(0.5, 50e6)
+        sim = make_sim(
+            system, controller, time_step_s=20e-6, stop_on_brownout=False
+        )
+        result = sim.run(constant_trace(1.0, 0.02))
+        assert not any(e[0] == "node_collapse" for e in result.events)

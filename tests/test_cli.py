@@ -91,3 +91,19 @@ class TestAdmitAndFigures:
     def test_figures_unknown_id(self, capsys):
         assert main(["figures", "--figures", "fig42"]) == 1
         assert "unknown" in capsys.readouterr().err
+
+
+class TestFaults:
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--scheme", "lucky"])
+
+    def test_small_campaign_prints_summary(self, capsys):
+        assert main(
+            ["faults", "--runs", "2", "--duration-ms", "40",
+             "--scheme", "holistic"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "survival_rate" in out
+        assert "mean_throughput_ratio" in out
+        assert "holistic" in out

@@ -5,7 +5,6 @@ and model parameters, tying several modules together -- the class of
 bug unit tests on a single module cannot catch.
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
