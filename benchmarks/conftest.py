@@ -9,12 +9,30 @@ claims so a model regression fails loudly.
 import pytest
 
 from repro.core.system import paper_system
+from repro.faults import run_transient_campaign
+from repro.parallel.ids import stable_fingerprint
+
+#: Campaign summaries shared across benchmark modules, keyed by the
+#: stable fingerprint of ``(spec, config)`` -- a pure function of the
+#: campaign inputs, never of wall-clock, session or module state, so
+#: every bench that asks for the same campaign gets the cached one.
+_CAMPAIGN_CACHE = {}
 
 
 @pytest.fixture(scope="session")
 def system():
     """One shared system instance (its MPP cache warms across benches)."""
     return paper_system()
+
+
+def cached_campaign(spec, config, **kwargs):
+    """Run (or reuse) a transient campaign keyed by its inputs."""
+    key = stable_fingerprint(spec, config)
+    if key not in _CAMPAIGN_CACHE:
+        _CAMPAIGN_CACHE[key] = run_transient_campaign(
+            spec, config, **kwargs
+        )
+    return _CAMPAIGN_CACHE[key]
 
 
 def emit(title: str, body: str) -> None:

@@ -17,14 +17,10 @@ under halt-and-recharge recovery semantics; the claims checked:
 """
 
 import numpy as np
-from conftest import emit
+from conftest import cached_campaign, emit
 
 from repro.experiments.report import format_table
-from repro.faults import (
-    CampaignConfig,
-    FaultSpec,
-    run_transient_campaign,
-)
+from repro.faults import CampaignConfig, FaultSpec
 from repro.faults.campaign import replay_transient_run
 
 #: Comparator-offset + light-flicker faults only: the two families the
@@ -55,17 +51,16 @@ COMPARISON_RUNS = 30
 
 _SPECS = {"sensing": STRESS_SPEC, "full": FULL_SPEC}
 _RUN_COUNTS = {"sensing": RUNS, "full": COMPARISON_RUNS}
-_CACHE = {}
 
 
 def campaign(scheme: str, kind: str = "sensing"):
-    key = (scheme, kind)
-    if key not in _CACHE:
-        _CACHE[key] = run_transient_campaign(
-            _SPECS[kind],
-            CampaignConfig(runs=_RUN_COUNTS[kind], scheme=scheme),
-        )
-    return _CACHE[key]
+    # Cached under the stable (spec, config) fingerprint -- a pure
+    # function of the campaign inputs -- so other benchmark modules
+    # asking for the same campaign share the result.
+    return cached_campaign(
+        _SPECS[kind],
+        CampaignConfig(runs=_RUN_COUNTS[kind], scheme=scheme),
+    )
 
 
 def summary_rows(summary):

@@ -59,6 +59,12 @@ from repro.faults import (
     run_intermittent_campaign,
     run_transient_campaign,
 )
+from repro.parallel import (
+    ProgressReporter,
+    campaign_run_id,
+    run_sharded,
+    stable_fingerprint,
+)
 from repro.processor import (
     ProcessorModel,
     Workload,
@@ -153,6 +159,11 @@ __all__ = [
     "IntermittentCampaignSummary",
     "run_transient_campaign",
     "run_intermittent_campaign",
+    # parallel execution
+    "run_sharded",
+    "ProgressReporter",
+    "stable_fingerprint",
+    "campaign_run_id",
     # errors
     "ReproError",
     "ModelParameterError",

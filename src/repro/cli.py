@@ -21,7 +21,6 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.core.duty_cycle import DutyCycleScheduler
 from repro.core.mep import HolisticMepOptimizer
 from repro.core.policies import Policy
 from repro.core.scheduler import HolisticEnergyManager
@@ -129,24 +128,25 @@ def _cmd_mep(args: argparse.Namespace) -> int:
 
 
 def _cmd_throughput(args: argparse.Namespace) -> int:
-    system = paper_system()
-    scheduler = DutyCycleScheduler(system, args.regulator)
-    workload = image_frame_workload(None)
+    from repro.experiments.sweep import throughput_sweep
+
+    points = throughput_sweep(
+        args.irradiances, args.regulator, workers=args.workers
+    )
     rows = []
-    for irradiance in args.irradiances:
-        try:
-            rate = scheduler.sustainable_rate(workload, irradiance)
+    for point in points:
+        if point.feasible:
             rows.append(
                 (
-                    irradiance,
-                    f"{rate.jobs_per_second:.1f}",
-                    f"{rate.duty_fraction:.2f}",
-                    f"{rate.operating_point.processor_voltage_v:.2f}",
-                    "bypass" if rate.operating_point.bypassed else args.regulator,
+                    point.irradiance,
+                    f"{point.jobs_per_second:.1f}",
+                    f"{point.duty_fraction:.2f}",
+                    f"{point.processor_voltage_v:.2f}",
+                    point.path,
                 )
             )
-        except ReproError:
-            rows.append((irradiance, "0.0", "-", "-", "infeasible"))
+        else:
+            rows.append((point.irradiance, "0.0", "-", "-", "infeasible"))
     print(
         format_table(
             ["irradiance", "frames/s", "duty", "Vdd [V]", "path"], rows
@@ -243,6 +243,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         run_transient_campaign,
     )
 
+    from repro.parallel.progress import ProgressReporter
+
     spec = FaultSpec(
         comparator_offset_sigma_v=args.offset_mv * 1e-3,
         flicker_depth_max=args.flicker_depth,
@@ -250,6 +252,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     schemes = (
         ("holistic", "fixed") if args.scheme == "both" else (args.scheme,)
     )
+
+    def reporter(label: str):
+        if not args.progress:
+            return None
+        return ProgressReporter(
+            sink=lambda line: print(line, file=sys.stderr), label=label
+        )
+
     summaries = {}
     for scheme in schemes:
         config = CampaignConfig(
@@ -259,7 +269,13 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             duration_s=args.duration_ms * 1e-3,
             dim_to=args.dim_to,
         )
-        summaries[scheme] = run_transient_campaign(spec, config)
+        summaries[scheme] = run_transient_campaign(
+            spec,
+            config,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            progress=reporter(f"faults[{scheme}]"),
+        )
     keys = list(next(iter(summaries.values())).as_dict())
     rows = [
         tuple([key] + [f"{summaries[s].as_dict()[key]:.4g}" for s in schemes])
@@ -271,6 +287,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         inter = run_intermittent_campaign(
             replace(spec, checkpoint_corruption_rate=args.corruption_rate),
             IntermittentCampaignConfig(runs=args.runs, base_seed=args.seed),
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            progress=reporter("faults[intermittent]"),
         )
         rows = [
             (key, f"{value:.4g}")
@@ -339,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_tp.add_argument("--regulator", default="sc",
                       choices=["sc", "buck", "ldo"])
+    p_tp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the irradiance sweep",
+    )
     p_tp.set_defaults(func=_cmd_throughput)
 
     p_track = sub.add_parser(
@@ -392,6 +415,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument(
         "--corruption-rate", type=float, default=0.5,
         help="checkpoint bit-flip probability for --intermittent",
+    )
+    p_faults.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the campaign (1 = serial; results "
+        "are bit-identical at any worker count)",
+    )
+    p_faults.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="seeds per worker dispatch (default: auto load-balance)",
+    )
+    p_faults.add_argument(
+        "--progress", action="store_true",
+        help="report runs/s, ETA and worker utilization on stderr",
     )
     p_faults.set_defaults(func=_cmd_faults)
 

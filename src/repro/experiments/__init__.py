@@ -22,6 +22,7 @@ from repro.experiments.fig7_light_and_mep import (
     fig7b_mep_comparison,
 )
 from repro.experiments.fig8_mppt import fig8_mppt_tracking
+from repro.experiments.sweep import ThroughputPoint, throughput_sweep
 from repro.experiments.fig9_sprint import (
     fig9a_completion_time,
     fig9b_sprint_gains,
@@ -48,4 +49,6 @@ __all__ = [
     "fig11a_chip_characteristics",
     "fig11b_sprint_waveform",
     "headline_claims",
+    "ThroughputPoint",
+    "throughput_sweep",
 ]

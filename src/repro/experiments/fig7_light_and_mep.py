@@ -17,12 +17,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.core.mep import HolisticMepOptimizer, MepComparison
 from repro.core.operating_point import OperatingPointOptimizer
 from repro.core.system import EnergyHarvestingSoC, paper_system
+from repro.parallel.cache import characterized_system
+from repro.parallel.executor import run_sharded
 
 #: Voltage window in which the processor realistically operates for
 #: the Fig. 7(a) matched-voltage comparison.
@@ -41,44 +44,76 @@ class LightSweepEntry:
     window_gain: float
 
 
+def _light_sweep_entry(
+    irradiance: float,
+    *,
+    regulator_name: str,
+    points: int,
+    system: "EnergyHarvestingSoC | None" = None,
+) -> LightSweepEntry:
+    """One Fig. 7(a) light condition (spawn-safe process-pool task)."""
+    if system is None:
+        system, _ = characterized_system()
+    optimizer = OperatingPointOptimizer(system)
+    lo, hi = COMPARISON_WINDOW_V
+    regulator = system.regulator(regulator_name)
+    voltages = np.linspace(
+        regulator.min_output_v,
+        min(regulator.max_output_v, system.mpp(irradiance).voltage_v),
+        points,
+    )
+    _, regulated = optimizer.output_power_curve(
+        regulator_name, irradiance, voltages
+    )
+    raw = np.asarray(system.cell.power(voltages, irradiance))
+    window = (voltages >= lo) & (voltages <= hi) & np.isfinite(regulated)
+    if np.any(window):
+        gain = float(np.mean(regulated[window] / raw[window])) - 1.0
+    else:
+        gain = float("nan")
+    return LightSweepEntry(
+        irradiance=irradiance,
+        voltage_v=voltages,
+        raw_power_w=raw,
+        regulated_power_w=regulated,
+        window_gain=gain,
+    )
+
+
 def fig7a_light_sweep(
     system: "EnergyHarvestingSoC | None" = None,
     regulator_name: str = "sc",
     irradiances: "tuple[float, ...]" = (1.0, 0.5, 0.25),
     points: int = 120,
+    workers: int = 1,
+    chunk_size: "int | None" = None,
 ) -> "list[LightSweepEntry]":
-    """The Fig. 7(a) curves: regulated out-power vs raw cell power."""
-    if system is None:
-        system = paper_system()
-    optimizer = OperatingPointOptimizer(system)
-    lo, hi = COMPARISON_WINDOW_V
-    entries = []
-    for irradiance in irradiances:
-        regulator = system.regulator(regulator_name)
-        voltages = np.linspace(
-            regulator.min_output_v,
-            min(regulator.max_output_v, system.mpp(irradiance).voltage_v),
-            points,
-        )
-        _, regulated = optimizer.output_power_curve(
-            regulator_name, irradiance, voltages
-        )
-        raw = np.asarray(system.cell.power(voltages, irradiance))
-        window = (voltages >= lo) & (voltages <= hi) & np.isfinite(regulated)
-        if np.any(window):
-            gain = float(np.mean(regulated[window] / raw[window])) - 1.0
-        else:
-            gain = float("nan")
-        entries.append(
-            LightSweepEntry(
-                irradiance=irradiance,
-                voltage_v=voltages,
-                raw_power_w=raw,
-                regulated_power_w=regulated,
-                window_gain=gain,
+    """The Fig. 7(a) curves: regulated out-power vs raw cell power.
+
+    ``workers>1`` fans the irradiance points across worker processes
+    (each characterising the paper system once); entries come back in
+    ``irradiances`` order either way.  An explicitly supplied
+    ``system`` pins execution to the serial path -- live objects do
+    not cross the process boundary.
+    """
+    if system is not None:
+        return [
+            _light_sweep_entry(
+                irradiance,
+                regulator_name=regulator_name,
+                points=points,
+                system=system,
             )
-        )
-    return entries
+            for irradiance in irradiances
+        ]
+    return run_sharded(
+        partial(
+            _light_sweep_entry, regulator_name=regulator_name, points=points
+        ),
+        list(irradiances),
+        workers=workers,
+        chunk_size=chunk_size,
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,89 @@
+"""Parallel sweep drivers.
+
+The experiment layer's sweeps (sustainable throughput across
+irradiance, the Fig. 7(a) light sweep) loop over independent operating
+conditions -- exactly the shape :mod:`repro.parallel` handles.  Each
+sweep point is computed by a module-level task that characterises the
+paper system once per worker, and the executor's ordered reduce keeps
+the result list identical to the serial loop at any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Optional, Sequence
+
+from repro.core.duty_cycle import DutyCycleScheduler
+from repro.errors import ReproError
+from repro.parallel.cache import characterized_system
+from repro.parallel.executor import run_sharded
+from repro.processor.workloads import image_frame_workload
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """Sustainable frame-processing rate at one irradiance.
+
+    ``feasible`` is False when no operating point closes the energy
+    budget at this light level; the rate fields are zero/NaN then.
+    """
+
+    irradiance: float
+    feasible: bool
+    jobs_per_second: float
+    duty_fraction: float
+    processor_voltage_v: float
+    path: str
+
+
+def _throughput_point(
+    irradiance: float, *, regulator_name: str
+) -> ThroughputPoint:
+    """One sweep point (process-pool task; characterises once/worker)."""
+    system, _ = characterized_system()
+    scheduler = DutyCycleScheduler(system, regulator_name)
+    workload = image_frame_workload(None)
+    try:
+        rate = scheduler.sustainable_rate(workload, irradiance)
+    except ReproError:
+        return ThroughputPoint(
+            irradiance=irradiance,
+            feasible=False,
+            jobs_per_second=0.0,
+            duty_fraction=float("nan"),
+            processor_voltage_v=float("nan"),
+            path="infeasible",
+        )
+    return ThroughputPoint(
+        irradiance=irradiance,
+        feasible=True,
+        jobs_per_second=rate.jobs_per_second,
+        duty_fraction=rate.duty_fraction,
+        processor_voltage_v=rate.operating_point.processor_voltage_v,
+        path="bypass" if rate.operating_point.bypassed else regulator_name,
+    )
+
+
+def throughput_sweep(
+    irradiances: Sequence[float],
+    regulator_name: str = "sc",
+    *,
+    workers: int = 1,
+    chunk_size: "int | None" = None,
+    progress: Optional[object] = None,
+) -> "list[ThroughputPoint]":
+    """Sustainable frame rate per irradiance, optionally fanned out.
+
+    Results come back in the order of ``irradiances`` regardless of
+    worker count (ordered reduce), and every point is a deterministic
+    function of its irradiance -- the parallel sweep is bit-identical
+    to the serial one.
+    """
+    return run_sharded(
+        partial(_throughput_point, regulator_name=regulator_name),
+        list(irradiances),
+        workers=workers,
+        chunk_size=chunk_size,
+        progress=progress,
+    )

@@ -16,18 +16,24 @@ simulator (the closed-loop DVFS world) and the intermittent runtime
 * throughput relative to an ideal (fault-free) reference run.
 
 Everything is deterministic: the same spec, config and base seed
-reproduce bit-identical summaries, run by run.
+reproduce bit-identical summaries, run by run.  Campaigns accept a
+``workers`` argument: ``workers=1`` is the serial reference path, and
+``workers>1`` fans the seeded runs across spawn-safe processes through
+:mod:`repro.parallel` -- sharded into chunks, reduced back in seed
+order, with the expensive pre-characterization (MPP LUT) memoized once
+per worker -- so the aggregate statistics stay **bit-identical** to the
+serial path at any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from repro.core.mppt import DischargeTimeMppTracker, MppTrackingController
 from repro.core.operating_point import OperatingPointOptimizer
-from repro.core.system import paper_system
 from repro.errors import ModelParameterError
 from repro.faults.models import (
     FaultSpec,
@@ -41,6 +47,9 @@ from repro.faults.models import (
 from repro.intermittent.checkpoint import CheckpointStore
 from repro.intermittent.runtime import IntermittentRuntime
 from repro.intermittent.tasks import Task, TaskChain
+from repro.parallel.cache import characterized_system
+from repro.parallel.executor import run_sharded
+from repro.parallel.ids import campaign_run_id
 from repro.processor.workloads import Workload
 from repro.pv.traces import IrradianceTrace, constant_trace, step_trace
 from repro.sim.dvfs import DvfsController, FixedOperatingPointController
@@ -115,9 +124,15 @@ class CampaignConfig:
 
 @dataclass(frozen=True)
 class RunRecord:
-    """Outcome of one faulted transient run."""
+    """Outcome of one faulted transient run.
+
+    ``run_id`` is a pure function of ``(spec, config, seed)`` (see
+    :func:`repro.parallel.ids.campaign_run_id`): stable across
+    processes and sessions, so it is safe as a replay or cache key.
+    """
 
     seed: int
+    run_id: str
     survived: bool
     completed: bool
     completion_time_s: "float | None"
@@ -233,26 +248,19 @@ def _survived(result, config: CampaignConfig) -> bool:
     return bool(np.any(result.frequency_hz[tail] > 0.0))
 
 
-def run_transient_campaign(
-    spec: FaultSpec, config: "CampaignConfig | None" = None
-) -> CampaignSummary:
-    """Fan ``config.runs`` seeded fault draws across the simulator.
+def _campaign_reference(config: CampaignConfig):
+    """Size the workload and run the ideal (fault-free) reference.
 
-    One ideal (fault-free) reference run fixes the workload size (at
-    ``workload_fraction`` of the cycles the ideal system retires over
-    the window) and the throughput denominator; every faulted run then
-    gets its own seeded draw, system, capacitor, comparator bank and
-    perturbed trace.  The MPP lookup table is characterised once and
-    shared -- the cell itself is never faulted, light-path faults live
-    on the trace.
+    Returns ``(workload, ideal_result, ideal_cycles)``.  The probe run
+    (no workload) fixes the workload size at ``workload_fraction`` of
+    the cycles the ideal system retires over the window; the second
+    ideal run with that workload is the throughput denominator.  Uses
+    the per-process characterised system, so repeated campaigns in one
+    process pay the LUT characterization once.
     """
-    config = config or CampaignConfig()
     base_trace = config.base_trace()
-    reference_system = paper_system()
-    lut = reference_system.build_mpp_lut()
+    reference_system, lut = characterized_system()
     comparator_count = len(reference_system.comparator_thresholds_v)
-
-    # Ideal reference: sizes the workload and the throughput baseline.
     ideal = ideal_draw(
         seed=config.base_seed, comparator_count=comparator_count
     )
@@ -287,35 +295,99 @@ def run_transient_campaign(
         faulted_comparator_bank(reference_system, ideal),
         workload=workload,
     )
-    ideal_cycles = float(ideal_result.final_cycles)
+    return workload, ideal_result, float(ideal_result.final_cycles)
 
-    records: "list[RunRecord]" = []
-    for index in range(config.runs):
-        seed = config.base_seed + index
-        draw = draw_faults(spec, seed, comparator_count=comparator_count)
-        system = faulted_system(draw)
-        result = _one_run(
-            config,
-            system,
-            lut,
-            faulted_trace(base_trace, draw),
-            faulted_node_capacitor(system, draw, config.initial_voltage_v),
-            faulted_comparator_bank(system, draw),
-            workload=workload,
-        )
-        records.append(
-            RunRecord(
-                seed=seed,
-                survived=_survived(result, config),
-                completed=result.completed,
-                completion_time_s=result.completion_time_s,
-                brownout_count=result.brownout_count,
-                downtime_s=result.downtime_s,
-                final_cycles=float(result.final_cycles),
-                throughput_ratio=float(result.final_cycles) / ideal_cycles,
-                min_node_voltage_v=result.min_node_voltage_v(),
-            )
-        )
+
+def _faulted_transient_result(
+    spec: FaultSpec, config: CampaignConfig, workload_cycles: int, seed: int
+):
+    """One faulted run, built exactly as the serial campaign does.
+
+    Module-level and fully determined by its picklable arguments, so it
+    serves as the process-pool task: each worker characterises the
+    reference system once (per-worker cache) and then executes runs.
+    """
+    reference_system, lut = characterized_system()
+    comparator_count = len(reference_system.comparator_thresholds_v)
+    draw = draw_faults(spec, seed, comparator_count=comparator_count)
+    system = faulted_system(draw)
+    result = _one_run(
+        config,
+        system,
+        lut,
+        faulted_trace(config.base_trace(), draw),
+        faulted_node_capacitor(system, draw, config.initial_voltage_v),
+        faulted_comparator_bank(system, draw),
+        workload=Workload(name="campaign", cycles=workload_cycles),
+    )
+    return draw, result
+
+
+def _transient_run_task(
+    seed: int,
+    *,
+    spec: FaultSpec,
+    config: CampaignConfig,
+    workload_cycles: int,
+    ideal_cycles: float,
+) -> RunRecord:
+    """Execute one seeded run and reduce it to its :class:`RunRecord`."""
+    _, result = _faulted_transient_result(spec, config, workload_cycles, seed)
+    return RunRecord(
+        seed=seed,
+        run_id=campaign_run_id(spec, config, seed),
+        survived=_survived(result, config),
+        completed=result.completed,
+        completion_time_s=result.completion_time_s,
+        brownout_count=result.brownout_count,
+        downtime_s=result.downtime_s,
+        final_cycles=float(result.final_cycles),
+        throughput_ratio=float(result.final_cycles) / ideal_cycles,
+        min_node_voltage_v=result.min_node_voltage_v(),
+    )
+
+
+def run_transient_campaign(
+    spec: FaultSpec,
+    config: "CampaignConfig | None" = None,
+    *,
+    workers: int = 1,
+    chunk_size: "int | None" = None,
+    progress=None,
+) -> CampaignSummary:
+    """Fan ``config.runs`` seeded fault draws across the simulator.
+
+    One ideal (fault-free) reference run fixes the workload size (at
+    ``workload_fraction`` of the cycles the ideal system retires over
+    the window) and the throughput denominator; every faulted run then
+    gets its own seeded draw, system, capacitor, comparator bank and
+    perturbed trace.  The MPP lookup table is characterised once per
+    process and shared -- the cell itself is never faulted, light-path
+    faults live on the trace.
+
+    ``workers=1`` executes runs serially in-process; ``workers>1``
+    shards the seeds across spawn-safe worker processes and reduces
+    the records back in seed order, so the summary is bit-identical at
+    any worker count (see :mod:`repro.parallel`).  ``chunk_size``
+    tunes seeds-per-dispatch; ``progress`` accepts a
+    :class:`repro.parallel.progress.ProgressReporter`.
+    """
+    config = config or CampaignConfig()
+    workload, ideal_result, ideal_cycles = _campaign_reference(config)
+    task = partial(
+        _transient_run_task,
+        spec=spec,
+        config=config,
+        workload_cycles=workload.cycles,
+        ideal_cycles=ideal_cycles,
+    )
+    records = run_sharded(
+        task,
+        [config.base_seed + index for index in range(config.runs)],
+        workers=workers,
+        chunk_size=chunk_size,
+        progress=progress,
+    )
 
     n = float(len(records))
     downtimes = np.array([r.downtime_s for r in records])
@@ -370,40 +442,8 @@ def replay_transient_run(
     back the full waveform result so a specific seed's brownout/
     recovery behaviour can be inspected in detail.
     """
-    base_trace = config.base_trace()
-    reference_system = paper_system()
-    lut = reference_system.build_mpp_lut()
-    comparator_count = len(reference_system.comparator_thresholds_v)
-    ideal = ideal_draw(
-        seed=config.base_seed, comparator_count=comparator_count
-    )
-    probe = _one_run(
-        config,
-        reference_system,
-        lut,
-        base_trace,
-        faulted_node_capacitor(
-            reference_system, ideal, config.initial_voltage_v
-        ),
-        faulted_comparator_bank(reference_system, ideal),
-        workload=None,
-    )
-    workload = Workload(
-        name="campaign",
-        cycles=max(1, int(config.workload_fraction * probe.final_cycles)),
-    )
-    draw = draw_faults(spec, seed, comparator_count=comparator_count)
-    system = faulted_system(draw)
-    result = _one_run(
-        config,
-        system,
-        lut,
-        faulted_trace(base_trace, draw),
-        faulted_node_capacitor(system, draw, config.initial_voltage_v),
-        faulted_comparator_bank(system, draw),
-        workload=workload,
-    )
-    return draw, result
+    workload, _, _ = _campaign_reference(config)
+    return _faulted_transient_result(spec, config, workload.cycles, seed)
 
 
 # -- intermittent (checkpointed charge-burst) leg -----------------------------
@@ -454,9 +494,14 @@ class IntermittentCampaignConfig:
 
 @dataclass(frozen=True)
 class IntermittentRunRecord:
-    """Outcome of one faulted intermittent run."""
+    """Outcome of one faulted intermittent run.
+
+    ``run_id`` is a pure function of ``(spec, config, seed)``, as for
+    :class:`RunRecord`.
+    """
 
     seed: int
+    run_id: str
     completed: bool
     tasks_committed: int
     reboots: int
@@ -490,59 +535,77 @@ class IntermittentCampaignSummary:
         }
 
 
-def run_intermittent_campaign(
-    spec: FaultSpec, config: "IntermittentCampaignConfig | None" = None
-) -> IntermittentCampaignSummary:
-    """Fan seeded fault draws across the checkpointed runtime.
+def _intermittent_run_task(
+    seed: int, *, spec: FaultSpec, config: IntermittentCampaignConfig
+) -> IntermittentRunRecord:
+    """Execute one seeded intermittent run (process-pool task).
 
-    Each run executes in two segments sharing one checkpoint store and
+    The run executes in two segments sharing one checkpoint store and
     one node capacitor (electrical and progress continuity); between
     the segments, a draw with ``corrupt_checkpoint`` set flips a bit in
     the active slot, so the CRC validation path and prior-slot fallback
     are exercised under real charge-burst execution.
     """
-    config = config or IntermittentCampaignConfig()
-    chain = config.chain()
     half = config.duration_s / 2.0
+    draw = draw_faults(spec, seed, comparator_count=3)
+    system = faulted_system(draw)
+    runtime = IntermittentRuntime(
+        system,
+        config.chain(),
+        operating_voltage_v=config.operating_voltage_v,
+        time_step_s=config.time_step_s,
+    )
+    trace = faulted_trace(
+        constant_trace(config.irradiance, config.duration_s), draw
+    )
+    capacitor = faulted_node_capacitor(system, draw, 0.0)
+    store = CheckpointStore()
+    runtime.run(trace, duration_s=half, store=store, capacitor=capacitor)
+    # Corrupt the active slot only once something has committed:
+    # with no commit yet the fallback slot is empty, and bricking
+    # the factory image models NVM manufacturing loss, not the
+    # retention faults this campaign studies.
+    injected = draw.corrupt_checkpoint and store.commit_count > 0
+    if injected:
+        store.inject_bit_flip(bit=draw.seed % 32)
+    report = runtime.run(
+        trace, duration_s=half, store=store, capacitor=capacitor
+    )
+    return IntermittentRunRecord(
+        seed=seed,
+        run_id=campaign_run_id(spec, config, seed),
+        completed=report.completed,
+        tasks_committed=report.tasks_committed,
+        reboots=report.reboots,
+        waste_fraction=report.waste_fraction,
+        corruption_injected=injected,
+        corruption_detected=store.corruption_detected,
+    )
 
-    records: "list[IntermittentRunRecord]" = []
-    for index in range(config.runs):
-        seed = config.base_seed + index
-        draw = draw_faults(spec, seed, comparator_count=3)
-        system = faulted_system(draw)
-        runtime = IntermittentRuntime(
-            system,
-            chain,
-            operating_voltage_v=config.operating_voltage_v,
-            time_step_s=config.time_step_s,
-        )
-        trace = faulted_trace(
-            constant_trace(config.irradiance, config.duration_s), draw
-        )
-        capacitor = faulted_node_capacitor(system, draw, 0.0)
-        store = CheckpointStore()
-        runtime.run(trace, duration_s=half, store=store, capacitor=capacitor)
-        # Corrupt the active slot only once something has committed:
-        # with no commit yet the fallback slot is empty, and bricking
-        # the factory image models NVM manufacturing loss, not the
-        # retention faults this campaign studies.
-        injected = draw.corrupt_checkpoint and store.commit_count > 0
-        if injected:
-            store.inject_bit_flip(bit=draw.seed % 32)
-        report = runtime.run(
-            trace, duration_s=half, store=store, capacitor=capacitor
-        )
-        records.append(
-            IntermittentRunRecord(
-                seed=seed,
-                completed=report.completed,
-                tasks_committed=report.tasks_committed,
-                reboots=report.reboots,
-                waste_fraction=report.waste_fraction,
-                corruption_injected=injected,
-                corruption_detected=store.corruption_detected,
-            )
-        )
+
+def run_intermittent_campaign(
+    spec: FaultSpec,
+    config: "IntermittentCampaignConfig | None" = None,
+    *,
+    workers: int = 1,
+    chunk_size: "int | None" = None,
+    progress=None,
+) -> IntermittentCampaignSummary:
+    """Fan seeded fault draws across the checkpointed runtime.
+
+    See :func:`_intermittent_run_task` for the per-run scenario and
+    :func:`run_transient_campaign` for the ``workers``/``chunk_size``/
+    ``progress`` semantics (identical here: seed-ordered reduction,
+    bit-identical summaries at any worker count).
+    """
+    config = config or IntermittentCampaignConfig()
+    records = run_sharded(
+        partial(_intermittent_run_task, spec=spec, config=config),
+        [config.base_seed + index for index in range(config.runs)],
+        workers=workers,
+        chunk_size=chunk_size,
+        progress=progress,
+    )
 
     n = float(len(records))
     return IntermittentCampaignSummary(

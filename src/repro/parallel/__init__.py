@@ -1,0 +1,48 @@
+"""Deterministic process-pool execution for campaign-scale workloads.
+
+The Monte Carlo campaigns and irradiance sweeps are embarrassingly
+parallel: every seeded run is an independent, deterministic function of
+``(spec, config, seed)``.  This package fans those runs across
+``multiprocessing`` workers while keeping the results *bit-identical*
+to the serial path:
+
+* :mod:`repro.parallel.executor` -- shard a work list into chunks, fan
+  the chunks across spawn-safe workers, and reduce the results back
+  **in submission order** so aggregation never sees scheduler
+  non-determinism;
+* :mod:`repro.parallel.cache` -- a per-worker memoization cache so each
+  worker characterises expensive pre-computation (MPP lookup tables,
+  regulator efficiency grids) once instead of once per run;
+* :mod:`repro.parallel.progress` -- a throughput/ETA/utilization
+  reporter for long campaigns;
+* :mod:`repro.parallel.ids` -- stable fingerprints and run identifiers
+  that are pure functions of ``(spec, config, seed)``, used as cache
+  and replay keys.
+
+``workers=1`` everywhere falls back to a plain in-process loop, so the
+serial path stays the reference implementation.
+"""
+
+from repro.parallel.cache import (
+    characterized_system,
+    clear_worker_cache,
+    memoize,
+    worker_cache,
+)
+from repro.parallel.executor import ShardResult, run_sharded, shard
+from repro.parallel.ids import campaign_run_id, stable_fingerprint
+from repro.parallel.progress import NullProgress, ProgressReporter
+
+__all__ = [
+    "NullProgress",
+    "ProgressReporter",
+    "ShardResult",
+    "campaign_run_id",
+    "characterized_system",
+    "clear_worker_cache",
+    "memoize",
+    "run_sharded",
+    "shard",
+    "stable_fingerprint",
+    "worker_cache",
+]

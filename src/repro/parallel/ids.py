@@ -1,0 +1,66 @@
+"""Stable identifiers for runs, specs and cache keys.
+
+Replay, memoization and golden-regression fixtures all need to name "a
+run" in a way that survives process boundaries and repeated sessions.
+Anything derived from wall-clock time, object identity or dict ordering
+is useless for that, so every identifier here is a *pure function* of
+the value it names: the same ``(spec, config, seed)`` always maps to
+the same id, on every machine, in every process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import ModelParameterError
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a value to canonical JSON-encodable data.
+
+    Dataclasses become ``{"__type__": name, fields...}`` with fields in
+    sorted order; containers recurse; floats pass through (``repr``
+    round-trips them exactly under ``json``).  Rejects anything without
+    an obvious canonical form rather than silently falling back to
+    ``id()``-flavoured ``repr``.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__type__": type(value).__name__, **dict(sorted(fields.items()))}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ModelParameterError(
+        f"cannot build a stable fingerprint for {type(value).__name__!r}"
+    )
+
+
+def stable_fingerprint(*values: Any, digest_size: int = 12) -> str:
+    """A short hex digest that is a pure function of the values.
+
+    Used as cache and replay keys: two calls with equal values (by
+    field content, not identity) return the identical string.
+    """
+    payload = json.dumps(
+        [_canonical(v) for v in values], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[: 2 * digest_size]
+
+
+def campaign_run_id(spec: Any, config: Any, seed: int) -> str:
+    """Identifier of one campaign run: pure in ``(spec, config, seed)``.
+
+    The id embeds the seed in clear (handy when scanning reports) and a
+    fingerprint of the spec and config, so runs from different
+    campaigns can never collide in a shared cache.
+    """
+    return f"s{seed:06d}-{stable_fingerprint(spec, config, digest_size=6)}"

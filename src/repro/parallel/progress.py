@@ -1,0 +1,107 @@
+"""Lightweight progress reporting for long-running campaigns.
+
+A 10k-run sweep that prints nothing is indistinguishable from a hung
+one.  :class:`ProgressReporter` tracks completed items, throughput,
+ETA and per-worker utilization and emits a single-line report through
+a caller-supplied sink (the CLI passes a stderr printer; tests pass a
+list appender).  Timing here is *observability only* -- nothing
+derived from the clock ever feeds back into results, identifiers or
+cache keys, so determinism is untouched.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from repro.errors import ModelParameterError
+
+
+class NullProgress:
+    """The do-nothing reporter (default for library callers)."""
+
+    def start(self, total: int, workers: int) -> None:
+        pass
+
+    def update(self, completed: int, worker_id: "int | str", busy_s: float) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+
+class ProgressReporter(NullProgress):
+    """Throughput/ETA/utilization reporting over a sink callable.
+
+    Parameters
+    ----------
+    sink:
+        Called with one formatted line per report (e.g.
+        ``lambda line: print(line, file=sys.stderr)``).
+    label:
+        Prefix naming the campaign in every line.
+    min_interval_s:
+        Rate limit between intermediate reports; the start and finish
+        lines always emit.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[str], None],
+        label: str = "campaign",
+        min_interval_s: float = 1.0,
+    ):
+        if min_interval_s < 0.0:
+            raise ModelParameterError(
+                f"report interval must be >= 0, got {min_interval_s}"
+            )
+        self._sink = sink
+        self._label = label
+        self._min_interval_s = min_interval_s
+        self._total = 0
+        self._workers = 1
+        self._completed = 0
+        self._busy_s: Dict["int | str", float] = {}
+        self._started_at: Optional[float] = None
+        self._last_report_at = float("-inf")
+
+    # -- executor-facing API -------------------------------------------------
+
+    def start(self, total: int, workers: int) -> None:
+        self._total = total
+        self._workers = max(1, workers)
+        self._completed = 0
+        self._busy_s = {}
+        self._started_at = time.perf_counter()
+        self._last_report_at = self._started_at
+        self._sink(
+            f"{self._label}: starting {total} runs on "
+            f"{self._workers} worker(s)"
+        )
+
+    def update(self, completed: int, worker_id: "int | str", busy_s: float) -> None:
+        self._completed += completed
+        self._busy_s[worker_id] = self._busy_s.get(worker_id, 0.0) + busy_s
+        now = time.perf_counter()
+        if now - self._last_report_at >= self._min_interval_s:
+            self._last_report_at = now
+            self._sink(self._render(now))
+
+    def finish(self) -> None:
+        self._sink(self._render(time.perf_counter()) + " -- done")
+
+    # -- formatting ----------------------------------------------------------
+
+    def _render(self, now: float) -> str:
+        elapsed = max(now - (self._started_at or now), 1e-9)
+        rate = self._completed / elapsed
+        remaining = max(self._total - self._completed, 0)
+        eta = remaining / rate if rate > 0.0 else float("inf")
+        utilization = min(
+            sum(self._busy_s.values()) / (elapsed * self._workers), 1.0
+        )
+        return (
+            f"{self._label}: {self._completed}/{self._total} runs, "
+            f"{rate:.2f} runs/s, ETA {eta:.1f}s, "
+            f"worker utilization {utilization:.0%}"
+        )

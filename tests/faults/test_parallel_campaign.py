@@ -1,0 +1,78 @@
+"""Determinism of the parallel campaign path.
+
+The contract under test: ``run_transient_campaign(..., workers=N)``
+produces a :class:`CampaignSummary` that is **bit-identical** to the
+serial path -- every per-run record field, every aggregate statistic,
+and the record (event) ordering after the reducer -- for any worker
+count and chunk size.  CI runs this module on 2 workers so a
+parallel-path regression fails there, not on user machines.
+"""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.faults import (
+    CampaignConfig,
+    FaultSpec,
+    IntermittentCampaignConfig,
+    run_intermittent_campaign,
+    run_transient_campaign,
+)
+
+#: Small but non-trivial: long enough for the dimmed-light stress to
+#: induce real brownout/recovery dynamics in some seeds.
+CONFIG = CampaignConfig(runs=4, duration_s=30e-3, dim_time_s=10e-3)
+SPEC = FaultSpec(comparator_offset_sigma_v=80e-3, flicker_depth_max=0.6)
+
+
+@pytest.fixture(scope="module")
+def serial_summary():
+    return run_transient_campaign(SPEC, CONFIG, workers=1)
+
+
+@pytest.fixture(scope="module")
+def parallel_summary():
+    return run_transient_campaign(SPEC, CONFIG, workers=2, chunk_size=1)
+
+
+class TestTransientDeterminism:
+    def test_aggregates_bit_identical(self, serial_summary, parallel_summary):
+        # Strict equality, not approx: the ordered reduce must make the
+        # parallel aggregates byte-for-byte the serial ones.
+        assert parallel_summary.as_dict() == serial_summary.as_dict()
+
+    def test_records_bit_identical_and_seed_ordered(
+        self, serial_summary, parallel_summary
+    ):
+        assert parallel_summary.records == serial_summary.records
+        seeds = [r.seed for r in parallel_summary.records]
+        assert seeds == sorted(seeds)
+
+    def test_run_ids_are_stable_pure_identifiers(
+        self, serial_summary, parallel_summary
+    ):
+        serial_ids = [r.run_id for r in serial_summary.records]
+        parallel_ids = [r.run_id for r in parallel_summary.records]
+        assert serial_ids == parallel_ids
+        assert len(set(serial_ids)) == len(serial_ids)
+
+    def test_chunk_size_cannot_change_results(self, serial_summary):
+        chunked = run_transient_campaign(SPEC, CONFIG, workers=2,
+                                         chunk_size=3)
+        assert chunked.as_dict() == serial_summary.as_dict()
+        assert chunked.records == serial_summary.records
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ModelParameterError):
+            run_transient_campaign(SPEC, CONFIG, workers=0)
+
+
+class TestIntermittentDeterminism:
+    def test_parallel_matches_serial(self):
+        spec = FaultSpec(checkpoint_corruption_rate=0.5)
+        config = IntermittentCampaignConfig(runs=3, duration_s=0.2)
+        serial = run_intermittent_campaign(spec, config, workers=1)
+        fanned = run_intermittent_campaign(spec, config, workers=2,
+                                           chunk_size=1)
+        assert fanned.as_dict() == serial.as_dict()
+        assert fanned.records == serial.records

@@ -1,0 +1,84 @@
+"""Builders for the golden-regression payloads.
+
+Shared by the regression test (``tests/test_golden_regression.py``)
+and the fixture regenerator (``python -m tests.golden.regen``), so the
+committed JSON and the freshly computed values always come from the
+same code path.  Every payload is a plain JSON-serialisable tree of
+floats/strings/bools -- scalars chosen to pin the *physics* (operating
+points, gains, campaign statistics), not incidental array layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.experiments.fig6_operating_points import (
+    fig6a_power_curves,
+    fig6b_regulated_comparison,
+)
+from repro.faults import CampaignConfig, FaultSpec, run_transient_campaign
+
+#: The canonical 5-seed campaign: sensing faults over the dimmed-light
+#: stress, small enough to run in seconds, rich enough that any drift
+#: in the fault models, simulator or aggregation shows up.
+CAMPAIGN_SPEC = FaultSpec(
+    comparator_offset_sigma_v=80e-3, flicker_depth_max=0.6
+)
+CAMPAIGN_CONFIG = CampaignConfig(
+    runs=5, duration_s=40e-3, dim_time_s=15e-3
+)
+
+
+def _point_payload(point) -> "dict[str, object]":
+    return {
+        "processor_voltage_v": point.processor_voltage_v,
+        "frequency_hz": point.frequency_hz,
+        "delivered_power_w": point.delivered_power_w,
+        "extracted_power_w": point.extracted_power_w,
+        "node_voltage_v": point.node_voltage_v,
+        "regulator_name": point.regulator_name,
+        "bypassed": point.bypassed,
+    }
+
+
+def fig6_payload() -> "dict[str, object]":
+    """Fig. 6 operating points: curves summary + per-converter bests."""
+    curves = fig6a_power_curves()
+    comparisons = fig6b_regulated_comparison()
+    return {
+        "unregulated": _point_payload(curves.unregulated),
+        "mpp_voltage_v": curves.mpp_voltage_v,
+        "mpp_power_w": curves.mpp_power_w,
+        "pv_power_mean_w": float(np.mean(curves.pv_power_w)),
+        "processor_power_mean_w": float(np.mean(curves.processor_power_w)),
+        "converters": {
+            entry.regulator_name: {
+                "point": _point_payload(entry.point),
+                "power_gain": entry.power_gain,
+                "speed_gain": entry.speed_gain,
+                "extraction_gain": entry.extraction_gain,
+                "output_curve_mean_w": float(
+                    np.nanmean(entry.output_curve_w)
+                ),
+            }
+            for entry in comparisons
+        },
+    }
+
+
+def campaign_payload() -> "dict[str, object]":
+    """The canonical 5-seed transient campaign, summary + records."""
+    summary = run_transient_campaign(CAMPAIGN_SPEC, CAMPAIGN_CONFIG)
+    return {
+        "summary": summary.as_dict(),
+        "records": [asdict(record) for record in summary.records],
+    }
+
+
+#: fixture file name -> builder
+PAYLOADS = {
+    "fig6_operating_points.json": fig6_payload,
+    "transient_campaign.json": campaign_payload,
+}

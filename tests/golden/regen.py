@@ -1,0 +1,35 @@
+"""Regenerate the committed golden fixtures.
+
+Run deliberately, after an *intentional* physics change, and commit the
+diff together with the change that caused it::
+
+    PYTHONPATH=src python -m tests.golden.regen
+
+Never regenerate to silence a failing regression test you cannot
+explain -- that is exactly the drift the fixtures exist to catch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from tests.golden.builders import PAYLOADS
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def regenerate() -> "list[Path]":
+    written = []
+    for name, builder in PAYLOADS.items():
+        path = GOLDEN_DIR / name
+        path.write_text(
+            json.dumps(builder(), indent=2, sort_keys=True) + "\n"
+        )
+        written.append(path)
+    return written
+
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(path)

@@ -1,0 +1,83 @@
+"""Tests for the sharded order-preserving executor.
+
+The spawn-pool tasks below must live at module top level so worker
+processes can import them by qualified name.
+"""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.parallel.executor import (
+    default_chunk_size,
+    run_sharded,
+    shard,
+)
+
+
+def square(x):
+    return x * x
+
+
+def flaky_on_even(x):
+    if x % 2 == 0:
+        raise ValueError(f"even input {x}")
+    return x
+
+
+class TestShard:
+    def test_contiguous_chunks_cover_all_items(self):
+        chunks = shard(list(range(10)), 3)
+        assert [c for _, c in chunks] == [
+            (0, 1, 2), (3, 4, 5), (6, 7, 8), (9,)
+        ]
+        assert [i for i, _ in chunks] == [0, 1, 2, 3]
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ModelParameterError):
+            shard([1, 2], 0)
+
+    def test_empty_items_shard_to_nothing(self):
+        assert shard([], 4) == []
+
+
+class TestDefaultChunkSize:
+    def test_targets_multiple_chunks_per_worker(self):
+        assert default_chunk_size(100, 4) == 7
+        assert default_chunk_size(0, 4) == 1
+        assert default_chunk_size(3, 8) == 1
+
+
+class TestSerialPath:
+    def test_maps_in_order(self):
+        assert run_sharded(square, [3, 1, 4, 1, 5]) == [9, 1, 16, 1, 25]
+
+    def test_empty_input(self):
+        assert run_sharded(square, []) == []
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ModelParameterError):
+            run_sharded(square, [1], workers=0)
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(ValueError):
+            run_sharded(flaky_on_even, [1, 2, 3])
+
+
+class TestParallelPath:
+    def test_matches_serial_output_and_order(self):
+        items = list(range(23))
+        serial = run_sharded(square, items, workers=1)
+        fanned = run_sharded(square, items, workers=2, chunk_size=3)
+        assert fanned == serial
+
+    def test_chunk_size_does_not_change_results(self):
+        items = list(range(11))
+        expected = [square(i) for i in items]
+        for chunk_size in (1, 2, 5, 11, 100):
+            assert (
+                run_sharded(square, items, workers=2, chunk_size=chunk_size)
+                == expected
+            )
+
+    def test_more_workers_than_chunks(self):
+        assert run_sharded(square, [2, 3], workers=8, chunk_size=1) == [4, 9]

@@ -1,0 +1,129 @@
+"""Tests for the parallel support modules: ids, cache, progress."""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.faults import CampaignConfig, FaultSpec
+from repro.parallel.cache import (
+    characterized_system,
+    clear_worker_cache,
+    memoize,
+    worker_cache,
+)
+from repro.parallel.ids import campaign_run_id, stable_fingerprint
+from repro.parallel.progress import NullProgress, ProgressReporter
+
+
+@dataclass(frozen=True)
+class Point:
+    x: float
+    y: float
+
+
+class TestStableFingerprint:
+    def test_pure_function_of_value_not_identity(self):
+        a = Point(1.0, 2.0)
+        b = Point(1.0, 2.0)
+        assert a is not b
+        assert stable_fingerprint(a) == stable_fingerprint(b)
+
+    def test_distinguishes_different_values(self):
+        assert stable_fingerprint(Point(1.0, 2.0)) != stable_fingerprint(
+            Point(1.0, 2.5)
+        )
+
+    def test_spec_and_config_fingerprints_are_stable(self):
+        spec = FaultSpec()
+        config = CampaignConfig()
+        first = stable_fingerprint(spec, config)
+        second = stable_fingerprint(FaultSpec(), CampaignConfig())
+        assert first == second
+
+    def test_rejects_unfingerprintable_values(self):
+        with pytest.raises(ModelParameterError):
+            stable_fingerprint(object())
+
+
+class TestCampaignRunId:
+    def test_pure_in_spec_config_seed(self):
+        spec, config = FaultSpec(), CampaignConfig()
+        assert campaign_run_id(spec, config, 7) == campaign_run_id(
+            FaultSpec(), CampaignConfig(), 7
+        )
+
+    def test_embeds_seed_and_varies_with_inputs(self):
+        spec, config = FaultSpec(), CampaignConfig()
+        base = campaign_run_id(spec, config, 7)
+        assert base.startswith("s000007-")
+        assert base != campaign_run_id(spec, config, 8)
+        assert base != campaign_run_id(
+            replace(spec, soiling_min=0.9), config, 7
+        )
+        assert base != campaign_run_id(
+            spec, replace(config, dim_to=0.5), 7
+        )
+
+
+class TestWorkerCache:
+    def test_memoize_builds_once(self):
+        clear_worker_cache()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return 42
+
+        assert memoize("answer", factory) == 42
+        assert memoize("answer", factory) == 42
+        assert len(calls) == 1
+        assert worker_cache()["answer"] == 42
+        clear_worker_cache()
+        assert "answer" not in worker_cache()
+
+    def test_characterized_system_is_cached_per_process(self):
+        clear_worker_cache()
+        system_a, lut_a = characterized_system()
+        system_b, lut_b = characterized_system()
+        assert system_a is system_b
+        assert lut_a is lut_b
+        # A different characterization grid is a different cache entry.
+        _, lut_c = characterized_system(lut_points=12)
+        assert lut_c is not lut_a
+
+
+class TestProgressReporter:
+    def test_reports_start_updates_and_finish(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, label="bench",
+                                    min_interval_s=0.0)
+        reporter.start(total=4, workers=2)
+        reporter.update(2, "w1", busy_s=0.5)
+        reporter.update(2, "w2", busy_s=0.5)
+        reporter.finish()
+        assert lines[0] == "bench: starting 4 runs on 2 worker(s)"
+        assert "2/4 runs" in lines[1]
+        assert "4/4 runs" in lines[2]
+        assert lines[-1].endswith("-- done")
+        assert "worker utilization" in lines[-1]
+
+    def test_rate_limit_suppresses_intermediate_reports(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, min_interval_s=3600.0)
+        reporter.start(total=3, workers=1)
+        for _ in range(3):
+            reporter.update(1, "w", busy_s=0.0)
+        reporter.finish()
+        # start + finish only; the hourly rate limit ate the rest.
+        assert len(lines) == 2
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ModelParameterError):
+            ProgressReporter(lambda _line: None, min_interval_s=-1.0)
+
+    def test_null_progress_is_silent_no_op(self):
+        progress = NullProgress()
+        progress.start(10, 2)
+        progress.update(1, "w", 0.1)
+        progress.finish()

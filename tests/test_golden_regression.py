@@ -1,0 +1,83 @@
+"""Golden-regression fixtures: the physics must not drift silently.
+
+Small canonical runs (the Fig. 6 operating points and a 5-seed
+transient fault campaign) are serialized to committed JSON under
+``tests/golden/``.  Each test recomputes the payload and compares it
+against the fixture within tight tolerances, so a refactor -- the
+parallel campaign executor especially -- cannot silently change the
+numbers while keeping the code green.
+
+After an *intentional* physics change, regenerate with
+``PYTHONPATH=src python -m tests.golden.regen`` and commit the diff
+alongside the change.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from tests.golden.builders import PAYLOADS
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: Relative tolerance for float comparisons.  Tight enough that any
+#: model drift fails, loose enough to absorb libm/BLAS noise across
+#: platforms.
+REL_TOL = 1e-9
+ABS_TOL = 1e-12
+
+
+def assert_matches(expected, actual, path="$"):
+    """Recursive structural comparison with float tolerance."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert isinstance(actual, (int, float)), f"{path}: {actual!r}"
+        if math.isnan(expected):
+            assert math.isnan(actual), f"{path}: expected NaN, got {actual!r}"
+            return
+        assert actual == pytest.approx(
+            expected, rel=REL_TOL, abs=ABS_TOL
+        ), f"{path}: expected {expected!r}, got {actual!r}"
+        return
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: {actual!r}"
+        assert sorted(expected) == sorted(actual), (
+            f"{path}: keys {sorted(actual)} != {sorted(expected)}"
+        )
+        for key in expected:
+            assert_matches(expected[key], actual[key], f"{path}.{key}")
+        return
+    if isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: {actual!r}"
+        assert len(expected) == len(actual), (
+            f"{path}: length {len(actual)} != {len(expected)}"
+        )
+        for index, (e, a) in enumerate(zip(expected, actual)):
+            assert_matches(e, a, f"{path}[{index}]")
+        return
+    # str / bool / int / None: exact.
+    assert expected == actual, f"{path}: expected {expected!r}, got {actual!r}"
+
+
+@pytest.mark.parametrize("name", sorted(PAYLOADS))
+def test_golden_fixture_matches_fresh_run(name):
+    fixture_path = GOLDEN_DIR / name
+    assert fixture_path.exists(), (
+        f"missing golden fixture {fixture_path}; generate it with "
+        f"'PYTHONPATH=src python -m tests.golden.regen' and commit it"
+    )
+    expected = json.loads(fixture_path.read_text())
+    actual = PAYLOADS[name]()
+    assert_matches(expected, actual)
+
+
+def test_fixture_json_round_trips_exactly():
+    """The committed files parse and re-serialize stably (sorted keys,
+    so regeneration diffs are minimal and reviewable)."""
+    for name in PAYLOADS:
+        text = (GOLDEN_DIR / name).read_text()
+        parsed = json.loads(text)
+        assert (
+            json.dumps(parsed, indent=2, sort_keys=True) + "\n" == text
+        ), f"{name} is not in canonical serialized form"

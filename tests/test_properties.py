@@ -11,6 +11,7 @@ from hypothesis import given, settings, strategies as st
 from repro.core.operating_point import OperatingPointOptimizer
 from repro.core.system import paper_system
 from repro.errors import InfeasibleOperatingPointError, OperatingRangeError
+from repro.faults.models import FaultSpec, describe, draw_faults
 from repro.monitor.estimator import DischargeTimePowerEstimator
 from repro.processor.energy import paper_processor
 from repro.pv.cell import kxob22_cell
@@ -179,3 +180,166 @@ class TestProcessorChainInvariants:
         e_here = float(proc.energy_per_cycle(voltage))
         e_mep = mep.energy_per_cycle_j
         assert e_here >= e_mep * (1.0 - 1e-9)
+
+
+class TestRegulatorEfficiencyDomain:
+    @given(
+        st.sampled_from(sorted(REGULATORS)),
+        st.floats(0.9, 1.4),  # V_in: around the 1.2 V solar node
+        st.floats(0.35, 0.8),  # V_out: processor operating window
+        st.floats(1e-4, 20e-3),  # I_load
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_efficiency_in_unit_interval_over_full_domain(
+        self, name, v_in, v_out, i_load
+    ):
+        """eta in (0, 1] anywhere in the converter's valid
+        (V_in, V_out, I_load) domain: a converter can neither create
+        energy nor deliver power for free."""
+        regulator = REGULATORS[name]
+        try:
+            eta = regulator.efficiency(v_out, v_out * i_load, v_in=v_in)
+        except OperatingRangeError:
+            return  # outside the converter's valid domain
+        assert 0.0 < eta <= 1.0
+
+    @given(
+        st.sampled_from(sorted(REGULATORS)),
+        st.floats(0.4, 0.75),
+        st.floats(0.5e-3, 10e-3),
+        st.floats(0.5, 1.0, exclude_min=True),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_derated_efficiency_stays_in_unit_interval(
+        self, name, v_out, i_load, derating
+    ):
+        """A seeded fault derating scales eta by the derate but can
+        never push it outside (0, 1]."""
+        regulator = REGULATORS[name]
+        try:
+            pristine = regulator.efficiency(v_out, v_out * i_load)
+        except OperatingRangeError:
+            return
+        regulator.set_efficiency_derating(derating)
+        try:
+            derated = regulator.efficiency(v_out, v_out * i_load)
+        finally:
+            regulator.set_efficiency_derating(1.0)
+        assert 0.0 < derated <= 1.0
+        assert derated == pytest.approx(pristine * derating, rel=1e-9)
+
+
+class TestCapacitorEnergyInvariants:
+    @given(
+        st.floats(10e-6, 500e-6),
+        st.floats(0.0, 1.5),
+        st.floats(0.0, 10e-6),
+        st.lists(
+            st.tuples(
+                st.booleans(),  # True: apply_power, False: apply_current
+                st.floats(-50e-3, 50e-3),  # power [W] / current [A]
+                st.floats(0.0, 10e-3),  # dt [s]
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_energy_never_negative_across_charge_discharge(
+        self, capacitance, initial_v, leakage, steps
+    ):
+        """No sequence of charge/discharge steps -- power- or
+        current-mode, with leakage -- can drive the stored energy
+        negative or the voltage outside [0, rating]."""
+        cap = Capacitor(
+            capacitance,
+            initial_voltage_v=initial_v,
+            leakage_current_a=leakage,
+        )
+        for use_power, magnitude, dt in steps:
+            if use_power:
+                cap.apply_power(magnitude, dt)
+            else:
+                cap.apply_current(magnitude, dt)
+            assert cap.energy_j >= 0.0
+            assert 0.0 <= cap.voltage_v <= cap.max_voltage_v
+
+    @given(st.floats(10e-6, 500e-6), st.floats(0.2, 2.0), st.floats(0.0, 1.9))
+    @settings(max_examples=60, deadline=None)
+    def test_energy_between_is_antisymmetric(self, capacitance, v_a, v_b):
+        """Discharging A->B releases exactly what charging B->A costs
+        (the eq. (6)/(11) bookkeeping cannot leak energy)."""
+        cap = Capacitor(capacitance)
+        assert cap.energy_between(v_a, v_b) == pytest.approx(
+            -cap.energy_between(v_b, v_a)
+        )
+
+
+class TestEstimatorMonotonicity:
+    @given(
+        st.floats(10e-6, 500e-6),
+        st.floats(0.9, 1.3),
+        st.floats(0.05, 0.3),
+        st.floats(1e-3, 20e-3),
+        st.floats(1e-4, 1.0),
+        st.floats(1.0, 10.0, exclude_min=True),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_estimate_monotone_in_discharge_time(
+        self, capacitance, upper, gap, draw, interval, stretch
+    ):
+        """eq. (7): a *slower* discharge means more of the draw was
+        covered by harvest, so the power estimate must be monotone
+        non-decreasing in the measured interval."""
+        estimator = DischargeTimePowerEstimator(Capacitor(capacitance))
+        lower = upper - gap
+        fast = estimator.estimate(upper, lower, interval, draw)
+        slow = estimator.estimate(upper, lower, interval * stretch, draw)
+        assert slow.input_power_w >= fast.input_power_w - 1e-15
+        # And the estimate can never exceed the known node draw.
+        assert slow.input_power_w <= draw
+
+
+def _fault_specs() -> st.SearchStrategy:
+    """Valid FaultSpec values across the whole parameter domain."""
+    return st.builds(
+        FaultSpec,
+        comparator_offset_sigma_v=st.floats(0.0, 0.2),
+        comparator_noise_sigma_v=st.floats(0.0, 10e-3),
+        hysteresis_drift_sigma=st.floats(0.0, 1.0),
+        leakage_current_max_a=st.floats(0.0, 20e-6),
+        capacitance_fade_max=st.floats(0.0, 0.9),
+        esr_extra_max_ohm=st.floats(0.0, 5.0),
+        derating_min=st.floats(0.5, 1.0, exclude_min=True),
+        soiling_min=st.floats(0.3, 1.0, exclude_min=True),
+        flicker_depth_max=st.floats(0.0, 1.0),
+        checkpoint_corruption_rate=st.floats(0.0, 1.0),
+    )
+
+
+class TestFaultDrawDeterminism:
+    @given(_fault_specs(), st.integers(0, 2**31 - 1), st.integers(1, 6))
+    @settings(max_examples=100, deadline=None)
+    def test_draw_fully_determined_by_spec_and_seed(
+        self, spec, seed, comparators
+    ):
+        """draw_faults is a pure function of (spec, seed): repeated
+        draws are field-for-field identical, including the flat
+        describe() report used by replay tooling."""
+        first = draw_faults(spec, seed, comparator_count=comparators)
+        second = draw_faults(spec, seed, comparator_count=comparators)
+        assert first == second
+        assert describe(first) == describe(second)
+
+    @given(_fault_specs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_draw_respects_spec_bounds(self, spec, seed):
+        """Every sampled fault lies inside its spec's stated bounds."""
+        draw = draw_faults(spec, seed)
+        assert 0.0 <= draw.leakage_current_a <= spec.leakage_current_max_a
+        assert 0.0 <= draw.capacitance_fade <= spec.capacitance_fade_max
+        assert 0.0 <= draw.esr_extra_ohm <= spec.esr_extra_max_ohm
+        assert spec.derating_min <= draw.regulator_derating <= 1.0
+        assert spec.soiling_min <= draw.pv_scale <= 1.0
+        assert 0.0 <= draw.flicker_depth <= spec.flicker_depth_max
+        assert draw.hysteresis_scale > 0.0

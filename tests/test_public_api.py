@@ -48,6 +48,7 @@ class TestSubpackagesImport:
             "repro.baselines",
             "repro.experiments",
             "repro.intermittent",
+            "repro.parallel",
             "repro.cli",
         ],
     )
@@ -65,6 +66,7 @@ class TestSubpackagesImport:
             "repro.sim",
             "repro.harvesters",
             "repro.intermittent",
+            "repro.parallel",
         ],
     )
     def test_subpackage_all_resolves(self, module):
