@@ -20,7 +20,7 @@ class ConventionalMepBaseline:
 
     name = "conventional-mep"
 
-    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "sc"):
+    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "sc") -> None:
         self.system = system
         self.regulator_name = regulator_name
         self._optimizer = HolisticMepOptimizer(system)

@@ -21,7 +21,7 @@ class FixedSpeedBaseline:
 
     name = "fixed-speed"
 
-    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "buck"):
+    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "buck") -> None:
         self.system = system
         self.regulator_name = regulator_name
 

@@ -29,7 +29,7 @@ class MpptOnlyBaseline:
         system: EnergyHarvestingSoC,
         regulator_name: str = "sc",
         setpoint_v: float = DATASHEET_SETPOINT_V,
-    ):
+    ) -> None:
         self.system = system
         self.regulator_name = regulator_name
         self.setpoint_v = setpoint_v

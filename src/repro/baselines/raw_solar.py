@@ -19,7 +19,7 @@ class RawSolarBaseline:
 
     name = "raw-solar"
 
-    def __init__(self, system: EnergyHarvestingSoC):
+    def __init__(self, system: EnergyHarvestingSoC) -> None:
         self.system = system
         self._optimizer = OperatingPointOptimizer(system)
 

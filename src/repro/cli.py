@@ -253,7 +253,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         ("holistic", "fixed") if args.scheme == "both" else (args.scheme,)
     )
 
-    def reporter(label: str):
+    def reporter(label: str) -> "ProgressReporter | None":
         if not args.progress:
             return None
         return ProgressReporter(
@@ -298,6 +298,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         print()
         print(format_table(["intermittent metric", "value"], rows))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import lint_command
+
+    return lint_command(args)
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -430,6 +436,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="report runs/s, ETA and worker utilization on stderr",
     )
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="domain-aware static analysis (determinism, units, spawn-safety)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_figures = sub.add_parser(
         "figures", help="export figure data as JSON for plotting"

@@ -110,7 +110,7 @@ class AdmissionController:
         system: EnergyHarvestingSoC,
         regulator_name: str = "sc",
         margin: float = 0.1,
-    ):
+    ) -> None:
         if not 0.0 <= margin < 1.0:
             raise ModelParameterError(
                 f"margin must be in [0, 1), got {margin}"

@@ -28,6 +28,8 @@ and its ablation bench.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from dataclasses import dataclass
 
 from repro.core.operating_point import OperatingPoint, OperatingPointOptimizer
@@ -70,7 +72,7 @@ class DutyCycleScheduler:
         point may still choose bypass where that wins.
     """
 
-    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "sc"):
+    def __init__(self, system: EnergyHarvestingSoC, regulator_name: str = "sc") -> None:
         self.system = system
         self.regulator_name = regulator_name
         self.optimizer = OperatingPointOptimizer(system)
@@ -215,7 +217,7 @@ class DutyCycleScheduler:
         return self._rate_at_point(workload, irradiance, point)
 
     def rate_curve(
-        self, workload: Workload, irradiances
+        self, workload: Workload, irradiances: "Sequence[float]"
     ) -> "list[tuple[float, float]]":
         """(irradiance, jobs/s) pairs; zero where operation is infeasible."""
         curve = []
@@ -244,7 +246,7 @@ class DutyCycleController(DvfsController):
         cycles_per_job: int,
         start_above_v: float,
         abort_below_v: float,
-    ):
+    ) -> None:
         if cycles_per_job <= 0:
             raise ModelParameterError(
                 f"cycles per job must be positive, got {cycles_per_job}"

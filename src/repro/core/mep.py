@@ -81,7 +81,7 @@ class HolisticMepOptimizer:
         system: EnergyHarvestingSoC,
         input_voltage_v: "float | None" = None,
         grid_points: int = 320,
-    ):
+    ) -> None:
         if grid_points < 16:
             raise ModelParameterError(
                 f"grid_points must be >= 16, got {grid_points}"

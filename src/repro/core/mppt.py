@@ -64,7 +64,7 @@ class DischargeTimeMppTracker:
         system: EnergyHarvestingSoC,
         regulator_name: str,
         lut: "MppLookupTable | None" = None,
-    ):
+    ) -> None:
         self.system = system
         self.regulator_name = regulator_name
         self.lut = lut or system.build_mpp_lut()
@@ -144,7 +144,7 @@ class MppTrackingController(DvfsController):
         max_interval_s: float = 10e-3,
         probe_factor: float = 1.4,
         probe_margin_v: float = 0.03,
-    ):
+    ) -> None:
         if settle_time_s < 0.0:
             raise ModelParameterError(
                 f"settle time must be >= 0, got {settle_time_s}"

@@ -74,7 +74,7 @@ class OperatingPointOptimizer:
         0.15-1.1 V range at ~4 mV.
     """
 
-    def __init__(self, system: EnergyHarvestingSoC, grid_points: int = 240):
+    def __init__(self, system: EnergyHarvestingSoC, grid_points: int = 240) -> None:
         if grid_points < 16:
             raise ModelParameterError(
                 f"grid_points must be >= 16, got {grid_points}"

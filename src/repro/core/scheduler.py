@@ -74,7 +74,7 @@ class HolisticEnergyManager:
         system: EnergyHarvestingSoC,
         regulator_name: str = "sc",
         sprint_factor: float = 0.2,
-    ):
+    ) -> None:
         self.system = system
         self.regulator_name = regulator_name
         self.optimizer = OperatingPointOptimizer(system)
@@ -193,7 +193,7 @@ class HolisticEnergyManager:
         if point.bypassed:
             frequency = point.frequency_hz
 
-            def law(v_node: float, _f=frequency) -> float:
+            def law(v_node: float, _f: float = frequency) -> float:
                 return _f
 
             return BypassController(law)

@@ -29,6 +29,7 @@ simulator for the waveform-level reproductions (Figs. 9(b), 11(b)).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.system import EnergyHarvestingSoC
 from repro.errors import (
@@ -130,7 +131,7 @@ class SprintScheduler:
         system: EnergyHarvestingSoC,
         regulator_name: str = "buck",
         sprint_factor: float = 0.2,
-    ):
+    ) -> None:
         if not 0.0 <= sprint_factor < 1.0:
             raise ModelParameterError(
                 f"sprint factor must be in [0, 1), got {sprint_factor}"
@@ -365,7 +366,7 @@ class SprintScheduler:
                 f_cap = min(frequency_hz, float(processor.max_frequency(v_eval)))
                 return float(processor.power(v_eval, f_cap))
 
-        def integrate(schedule) -> float:
+        def integrate(schedule: "Callable[[float], float]") -> float:
             capacitance = self.system.node_capacitance_f
             v_node = v_start
             dt = t_total / steps
@@ -429,7 +430,7 @@ class SprintController(DvfsController):
     recovers slightly after the load change).
     """
 
-    def __init__(self, plan: SprintPlan, allow_bypass: bool = True):
+    def __init__(self, plan: SprintPlan, allow_bypass: bool = True) -> None:
         self.plan = plan
         self.allow_bypass = allow_bypass
         self._bypassed = False

@@ -56,7 +56,7 @@ class BrownoutError(SimulationError):
     schedulers and tests can reason about how far execution got.
     """
 
-    def __init__(self, message: str, time_s: float):
+    def __init__(self, message: str, time_s: float) -> None:
         super().__init__(message)
         self.time_s = time_s
 

@@ -14,6 +14,7 @@ import dataclasses
 import json
 import math
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -46,7 +47,7 @@ FAST_FIGURES = ("fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig7a",
                 "fig7b", "fig9a")
 
 
-def to_jsonable(value, max_array: int = 100_000):
+def to_jsonable(value: object, max_array: int = 100_000) -> object:
     """Recursively convert experiment results to JSON-serialisable data.
 
     Handles dataclasses, numpy arrays/scalars, dicts, sequences, and
@@ -112,7 +113,7 @@ def export_figure(
 
 def export_all(
     directory: "str | Path",
-    figures=FAST_FIGURES,
+    figures: "Sequence[str]" = FAST_FIGURES,
     system: "EnergyHarvestingSoC | None" = None,
 ) -> "list[Path]":
     """Write each requested figure to ``<directory>/<fig>.json``."""

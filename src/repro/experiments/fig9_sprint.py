@@ -150,7 +150,7 @@ def fig9b_sprint_gains(
     baseline = FixedSpeedBaseline(system, regulator_name)
     trace = step_trace(1.0, dim_to, dim_time_s, max(4 * deadline_s, 40e-3))
 
-    def run(controller) -> SimulationResult:
+    def run(controller: DvfsController) -> SimulationResult:
         simulator = TransientSimulator(
             cell=system.cell,
             node_capacitor=system.new_node_capacitor(v_start),

@@ -23,7 +23,7 @@ def format_table(
     if not headers:
         raise ModelParameterError("a table needs at least one header")
 
-    def fmt(value) -> str:
+    def fmt(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.{precision}f}"
         return str(value)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
+from typing import Tuple
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from repro.core.mppt import DischargeTimeMppTracker, MppTrackingController
 from repro.core.operating_point import OperatingPointOptimizer
 from repro.errors import ModelParameterError
 from repro.faults.models import (
+    FaultDraw,
     FaultSpec,
     draw_faults,
     faulted_comparator_bank,
@@ -44,16 +46,22 @@ from repro.faults.models import (
     faulted_trace,
     ideal_draw,
 )
+from repro.core.system import EnergyHarvestingSoC
 from repro.intermittent.checkpoint import CheckpointStore
 from repro.intermittent.runtime import IntermittentRuntime
 from repro.intermittent.tasks import Task, TaskChain
+from repro.monitor.comparator import ComparatorBank
+from repro.monitor.lut import MppLookupTable
 from repro.parallel.cache import characterized_system
 from repro.parallel.executor import run_sharded
 from repro.parallel.ids import campaign_run_id
+from repro.parallel.progress import ProgressReporter
 from repro.processor.workloads import Workload
 from repro.pv.traces import IrradianceTrace, constant_trace, step_trace
 from repro.sim.dvfs import DvfsController, FixedOperatingPointController
 from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.sim.result import SimulationResult
+from repro.storage.capacitor import Capacitor
 
 SCHEMES = ("holistic", "fixed")
 
@@ -193,7 +201,9 @@ class CampaignSummary:
 
 
 def _make_controller(
-    config: CampaignConfig, system, lut
+    config: CampaignConfig,
+    system: EnergyHarvestingSoC,
+    lut: MppLookupTable,
 ) -> DvfsController:
     """Build the scheme's controller against a (possibly faulted) system."""
     if config.scheme == "holistic":
@@ -211,7 +221,15 @@ def _make_controller(
     )
 
 
-def _one_run(config, system, lut, trace, capacitor, bank, workload):
+def _one_run(
+    config: CampaignConfig,
+    system: EnergyHarvestingSoC,
+    lut: MppLookupTable,
+    trace: IrradianceTrace,
+    capacitor: Capacitor,
+    bank: ComparatorBank,
+    workload: "Workload | None",
+) -> SimulationResult:
     simulator = TransientSimulator(
         cell=system.cell,
         node_capacitor=capacitor,
@@ -231,7 +249,7 @@ def _one_run(config, system, lut, trace, capacitor, bank, workload):
     return simulator.run(trace, duration_s=config.duration_s)
 
 
-def _survived(result, config: CampaignConfig) -> bool:
+def _survived(result: SimulationResult, config: CampaignConfig) -> bool:
     """Forward progress at the end: completed, or clocked in the tail.
 
     "Survival" asks whether the node is still a computer at the end of
@@ -248,7 +266,9 @@ def _survived(result, config: CampaignConfig) -> bool:
     return bool(np.any(result.frequency_hz[tail] > 0.0))
 
 
-def _campaign_reference(config: CampaignConfig):
+def _campaign_reference(
+    config: CampaignConfig,
+) -> "Tuple[Workload, SimulationResult, float]":
     """Size the workload and run the ideal (fault-free) reference.
 
     Returns ``(workload, ideal_result, ideal_cycles)``.  The probe run
@@ -300,7 +320,7 @@ def _campaign_reference(config: CampaignConfig):
 
 def _faulted_transient_result(
     spec: FaultSpec, config: CampaignConfig, workload_cycles: int, seed: int
-):
+) -> "Tuple[FaultDraw, SimulationResult]":
     """One faulted run, built exactly as the serial campaign does.
 
     Module-level and fully determined by its picklable arguments, so it
@@ -353,7 +373,7 @@ def run_transient_campaign(
     *,
     workers: int = 1,
     chunk_size: "int | None" = None,
-    progress=None,
+    progress: "ProgressReporter | None" = None,
 ) -> CampaignSummary:
     """Fan ``config.runs`` seeded fault draws across the simulator.
 
@@ -434,7 +454,7 @@ def run_transient_campaign(
 
 def replay_transient_run(
     spec: FaultSpec, config: CampaignConfig, seed: int
-):
+) -> "Tuple[FaultDraw, SimulationResult]":
     """Replay one campaign run and return ``(draw, SimulationResult)``.
 
     Rebuilds the run exactly as :func:`run_transient_campaign` does
@@ -589,7 +609,7 @@ def run_intermittent_campaign(
     *,
     workers: int = 1,
     chunk_size: "int | None" = None,
-    progress=None,
+    progress: "ProgressReporter | None" = None,
 ) -> IntermittentCampaignSummary:
     """Fan seeded fault draws across the checkpointed runtime.
 

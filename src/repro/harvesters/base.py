@@ -16,15 +16,21 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
+import numpy as np
+
 
 @runtime_checkable
 class Harvester(Protocol):
     """Structural interface of an energy harvester."""
 
-    def current(self, voltage, irradiance: float = 1.0):
+    def current(
+        self, voltage: "float | np.ndarray", irradiance: float = 1.0
+    ) -> "float | np.ndarray":
         """Terminal current at the given voltage(s) [A]."""
 
-    def power(self, voltage, irradiance: float = 1.0):
+    def power(
+        self, voltage: "float | np.ndarray", irradiance: float = 1.0
+    ) -> "float | np.ndarray":
         """Delivered power ``V * I(V)`` [W]."""
 
     def open_circuit_voltage(self, irradiance: float = 1.0) -> float:

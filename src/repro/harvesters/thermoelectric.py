@@ -40,7 +40,7 @@ class ThermoelectricGenerator:
         seebeck_v_per_k: float,
         reference_gradient_k: float,
         internal_resistance_ohm: float,
-    ):
+    ) -> None:
         if seebeck_v_per_k <= 0.0:
             raise ModelParameterError(
                 f"Seebeck coefficient must be positive, got {seebeck_v_per_k}"
@@ -74,7 +74,9 @@ class ThermoelectricGenerator:
         """``Voc / R`` [A]."""
         return self.open_circuit_voltage(irradiance) / self.internal_resistance_ohm
 
-    def current(self, voltage, irradiance: float = 1.0):
+    def current(
+        self, voltage: "float | np.ndarray", irradiance: float = 1.0
+    ) -> "float | np.ndarray":
         """Linear I-V: ``(Voc - V) / R``; negative past Voc."""
         v = np.asarray(voltage, dtype=float)
         voc = self.open_circuit_voltage(irradiance)
@@ -83,7 +85,9 @@ class ThermoelectricGenerator:
             return float(result)
         return result
 
-    def power(self, voltage, irradiance: float = 1.0):
+    def power(
+        self, voltage: "float | np.ndarray", irradiance: float = 1.0
+    ) -> "float | np.ndarray":
         """Delivered power ``V * I(V)`` [W]."""
         return np.asarray(voltage, dtype=float) * self.current(
             voltage, irradiance

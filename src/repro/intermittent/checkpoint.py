@@ -73,7 +73,7 @@ class Checkpoint:
 class CheckpointStore:
     """Double-buffered snapshot storage with atomic flag flip."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._slots: "list[Checkpoint | None]" = [None, None]
         self._active: int = 0
         self._commits: int = 0

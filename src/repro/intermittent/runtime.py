@@ -18,6 +18,7 @@ can be compared directly (see the intermittent example).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.system import EnergyHarvestingSoC
 from repro.errors import ModelParameterError
@@ -80,7 +81,7 @@ class IntermittentRuntime:
         power_off_v: float = 0.55,
         boot_cycles: int = 20_000,
         time_step_s: float = 20e-6,
-    ):
+    ) -> None:
         if power_off_v >= power_on_v:
             raise ModelParameterError(
                 f"power-off {power_off_v} must lie below power-on {power_on_v}"
@@ -119,7 +120,7 @@ class IntermittentRuntime:
         operating_voltage_v: float = 0.5,
         margin: float = 1.5,
         power_off_v: float = 0.55,
-        **kwargs,
+        **kwargs: Any,
     ) -> "IntermittentRuntime":
         """Size the power-on threshold from the chain's granularity.
 

@@ -1,0 +1,43 @@
+"""Domain-aware static analysis for the repro codebase.
+
+The dynamic layers of this repository -- golden 1e-9 fixtures, seeded
+fault campaigns, bit-identical parallel execution -- only *detect*
+determinism and unit violations after the fact.  :mod:`repro.lint`
+catches the same classes of bug at the AST, before anything runs:
+
+========  ==============================================================
+REP001    unseeded / global-state randomness
+REP002    wall-clock or OS-entropy calls in sim/, faults/, parallel/
+REP003    raw out-of-scale literals passed to unit-suffixed parameters
+REP004    in-place mutation of ``*Spec`` / ``*Config`` parameters
+REP005    module-level mutable state in worker-imported modules
+REP006    public RNG construction without a seed parameter to thread
+========  ==============================================================
+
+Run it as ``repro lint [paths]`` or ``python -m repro.lint [paths]``.
+Suppress a finding inline with ``# repro-lint: disable=REP001 -- why``.
+See ``docs/linting.md`` for the full rule catalogue and rationale.
+"""
+
+from repro.lint.core import (
+    Diagnostic,
+    ModuleInfo,
+    Project,
+    Rule,
+    build_project,
+    lint_paths,
+    run_rules,
+)
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Diagnostic",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "build_project",
+    "lint_paths",
+    "run_rules",
+]

@@ -1,0 +1,153 @@
+"""Command-line front end for :mod:`repro.lint`.
+
+Reachable three ways (all share :func:`run_lint`):
+
+* ``repro lint [paths]`` -- subcommand of the main CLI;
+* ``python -m repro.lint [paths]`` -- standalone module;
+* :func:`main` -- for tests.
+
+Exit codes: 0 clean, 1 diagnostics found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Sequence, TextIO
+
+from repro.lint.core import Diagnostic, lint_paths
+from repro.lint.rules import ALL_RULES, RULES_BY_ID
+
+
+def default_target() -> Path:
+    """The repro package directory: what a bare ``repro lint`` checks."""
+    return Path(__file__).resolve().parent.parent
+
+
+def self_check_target() -> Path:
+    """The linter's own source tree (for ``--self-check``)."""
+    return Path(__file__).resolve().parent
+
+
+def render_human(
+    diagnostics: Sequence[Diagnostic], stream: TextIO
+) -> None:
+    for diag in diagnostics:
+        print(diag.format(), file=stream)
+    noun = "issue" if len(diagnostics) == 1 else "issues"
+    print(f"repro lint: {len(diagnostics)} {noun} found", file=stream)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic], stream: TextIO
+) -> None:
+    payload = {
+        "tool": "repro-lint",
+        "count": len(diagnostics),
+        "diagnostics": [diag.as_dict() for diag in diagnostics],
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    print(file=stream)
+
+
+def run_lint(
+    paths: Sequence[str],
+    *,
+    output_format: str = "human",
+    select: "Sequence[str] | None" = None,
+    self_check: bool = False,
+    stream: "TextIO | None" = None,
+) -> int:
+    """Lint ``paths`` (or the defaults) and render; returns exit code."""
+    stream = stream if stream is not None else sys.stdout
+    targets: List[Path]
+    if self_check:
+        targets = [self_check_target()]
+    elif paths:
+        targets = [Path(p) for p in paths]
+    else:
+        targets = [default_target()]
+    missing = [p for p in targets if not p.exists()]
+    if missing:
+        print(
+            f"repro lint: no such path: {', '.join(map(str, missing))}",
+            file=sys.stderr,
+        )
+        return 2
+    if select:
+        unknown = sorted(
+            {r.upper() for r in select} - set(RULES_BY_ID)
+        )
+        if unknown:
+            print(
+                f"repro lint: unknown rule id(s): {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(RULES_BY_ID))}",
+                file=sys.stderr,
+            )
+            return 2
+    diagnostics = lint_paths(targets, ALL_RULES, select=select)
+    if output_format == "json":
+        render_json(diagnostics, stream)
+    else:
+        render_human(diagnostics, stream)
+    return 1 if diagnostics else 0
+
+
+def list_rules(stream: "TextIO | None" = None) -> int:
+    """Print the rule catalogue (id, title, rationale)."""
+    stream = stream if stream is not None else sys.stdout
+    for rule in ALL_RULES:
+        print(f"{rule.rule_id}  {rule.title}", file=stream)
+        print(f"        {rule.rationale}", file=stream)
+    return 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared with the ``repro lint`` subcommand)."""
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--format", dest="output_format", default="human",
+        choices=["human", "json"],
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--select", nargs="+", metavar="RULE", default=None,
+        help="run only these rule ids (e.g. REP001 REP003)",
+    )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="lint the linter's own source tree",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation (used by both CLIs)."""
+    if args.list_rules:
+        return list_rules()
+    return run_lint(
+        args.paths,
+        output_format=args.output_format,
+        select=args.select,
+        self_check=args.self_check,
+    )
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "domain-aware static analysis: determinism, unit discipline "
+            "and spawn-safety for the repro codebase"
+        ),
+    )
+    add_lint_arguments(parser)
+    return lint_command(parser.parse_args(argv))

@@ -1,0 +1,332 @@
+"""Rule engine for :mod:`repro.lint`.
+
+The engine is a two-pass AST analyzer:
+
+1. **prepass** -- every target file is parsed once into a
+   :class:`ModuleInfo` (source, AST, import edges, suppression table)
+   and collected into a :class:`Project`.  The project also derives the
+   intra-package import graph, which whole-program rules (REP005's
+   worker-import closure) consume.
+2. **rule pass** -- each :class:`Rule` visits each module with the
+   project in hand and yields :class:`Diagnostic` records.
+
+Diagnostics carry ``path:line:col RULEID message`` and can be silenced
+per line with an inline marker::
+
+    risky_line()  # repro-lint: disable=REP001 -- justification here
+
+Several rule ids separate with commas (``disable=REP001,REP003``) and
+``disable=all`` silences every rule on that line.  Suppressions are
+expected to carry a justification; the linter does not parse it, humans
+do in review.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
+
+#: Inline suppression marker, e.g. ``# repro-lint: disable=REP001,REP002``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+|all)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, which rule, and what is wrong."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (stable key order via dataclass order)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything rules need to know."""
+
+    path: Path
+    #: Dotted module name (``repro.sim.engine``) when the file lives
+    #: under a ``src`` root or an importable package; file stem otherwise.
+    module_name: str
+    source: str
+    tree: ast.Module
+    #: Absolute module names this module imports (best-effort static).
+    imports: Tuple[str, ...]
+    #: line number -> frozenset of suppressed rule ids ("all" wildcard).
+    suppressions: Mapping[int, frozenset] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return "all" in rules or rule_id in rules
+
+
+@dataclass
+class Project:
+    """All modules under analysis plus the derived import graph."""
+
+    modules: Dict[str, ModuleInfo]
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """module name -> set of *in-project* modules it imports."""
+        graph: Dict[str, Set[str]] = {}
+        names = set(self.modules)
+        for name, info in self.modules.items():
+            edges: Set[str] = set()
+            for imported in info.imports:
+                resolved = self._resolve(imported, names)
+                if resolved is not None:
+                    edges.add(resolved)
+            graph[name] = edges
+        return graph
+
+    @staticmethod
+    def _resolve(imported: str, names: Set[str]) -> "str | None":
+        """Map an import target onto a project module if possible.
+
+        ``from repro.sim.engine import TransientSimulator`` records
+        ``repro.sim.engine``; ``from repro.sim import engine`` records
+        ``repro.sim`` whose ``__init__`` is the project module -- both
+        forms, plus the ``from package import symbol`` case where the
+        symbol is itself a submodule, are resolved here.
+        """
+        if imported in names:
+            return imported
+        # "pkg.sub.symbol" where pkg.sub is a module: walk prefixes.
+        parts = imported.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in names:
+                return prefix
+        return None
+
+    def closure(self, roots: Iterable[str]) -> Set[str]:
+        """Transitive import closure of ``roots`` over project modules."""
+        graph = self.import_graph()
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in graph]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(graph.get(node, ()) - seen)
+        return seen
+
+
+class Rule:
+    """Base class every lint rule derives from.
+
+    Subclasses set :attr:`rule_id` / :attr:`title` / :attr:`rationale`
+    and implement :meth:`check`.  Rules yield diagnostics freely; the
+    engine applies suppressions afterwards, so a rule never needs to
+    look at comments itself.
+    """
+
+    rule_id: str = "REP000"
+    title: str = ""
+    rationale: str = ""
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diagnostic(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def parse_suppressions(source: str) -> Dict[int, frozenset]:
+    """Extract ``# repro-lint: disable=...`` markers per physical line.
+
+    Uses the tokenizer, not a regex over raw lines, so markers inside
+    string literals are not mistaken for suppressions.
+    """
+    table: Dict[int, frozenset] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            raw = match.group("rules")
+            if raw.strip().lower() == "all":
+                rules = frozenset(["all"])
+            else:
+                rules = frozenset(
+                    part.strip().upper()
+                    for part in raw.split(",")
+                    if part.strip()
+                )
+            line = token.start[0]
+            table[line] = table.get(line, frozenset()) | rules
+    except tokenize.TokenError:
+        # Unterminated constructs: fall back to no suppressions; the
+        # parse error will surface through ast.parse anyway.
+        pass
+    return table
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Walks up from the file collecting package directories (those with
+    an ``__init__.py``); a ``src`` layout root or the first
+    non-package directory terminates the walk.
+    """
+    resolved = path.resolve()
+    parts: List[str] = []
+    if resolved.name != "__init__.py":
+        parts.append(resolved.stem)
+    current = resolved.parent
+    while (current / "__init__.py").exists():
+        parts.append(current.name)
+        current = current.parent
+    if not parts:
+        parts.append(resolved.stem)
+    return ".".join(reversed(parts))
+
+
+def _collect_imports(tree: ast.Module, module_name: str) -> Tuple[str, ...]:
+    """Absolute dotted names imported anywhere in the module.
+
+    ``from X import a, b`` records both ``X`` and ``X.a``/``X.b`` --
+    the latter matter when ``a`` is itself a submodule.  Relative
+    imports are resolved against ``module_name``.
+    """
+    package_parts = module_name.split(".")
+    names: List[str] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.append(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Relative: strip `level` trailing components (one for
+                # the module itself, more for each extra dot).
+                anchor = package_parts[: len(package_parts) - node.level]
+                base = ".".join(anchor + ([node.module] if node.module else []))
+            if base:
+                names.append(base)
+                for alias in node.names:
+                    if alias.name != "*":
+                        names.append(f"{base}.{alias.name}")
+    return tuple(dict.fromkeys(names))
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse one file into its :class:`ModuleInfo` (raises SyntaxError)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    name = module_name_for(path)
+    return ModuleInfo(
+        path=path,
+        module_name=name,
+        source=source,
+        tree=tree,
+        imports=_collect_imports(tree, name),
+        suppressions=parse_suppressions(source),
+    )
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            found.append(path)
+    unique: Dict[Path, None] = {}
+    for path in found:
+        unique.setdefault(path.resolve(), None)
+    return sorted(unique)
+
+
+def build_project(paths: Sequence[Path]) -> Tuple[Project, List[Diagnostic]]:
+    """Prepass: parse every target file; syntax errors become diagnostics."""
+    modules: Dict[str, ModuleInfo] = {}
+    errors: List[Diagnostic] = []
+    for path in discover_files(paths):
+        try:
+            info = load_module(path)
+        except SyntaxError as err:
+            errors.append(
+                Diagnostic(
+                    path=str(path),
+                    line=err.lineno or 1,
+                    col=(err.offset or 0) + 1 if err.offset else 1,
+                    rule_id="REP000",
+                    message=f"syntax error: {err.msg}",
+                )
+            )
+            continue
+        modules[info.module_name] = info
+    return Project(modules=modules), errors
+
+
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    *,
+    select: "Iterable[str] | None" = None,
+) -> List[Diagnostic]:
+    """Run ``rules`` over every project module, applying suppressions."""
+    wanted = None if select is None else {r.upper() for r in select}
+    diagnostics: List[Diagnostic] = []
+    for rule in rules:
+        if wanted is not None and rule.rule_id not in wanted:
+            continue
+        for info in project.modules.values():
+            for diag in rule.check(info, project):
+                if not info.is_suppressed(diag.line, diag.rule_id):
+                    diagnostics.append(diag)
+    return sorted(diagnostics)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    *,
+    select: "Iterable[str] | None" = None,
+) -> List[Diagnostic]:
+    """Parse ``paths`` and run ``rules``; the library entry point."""
+    project, errors = build_project(paths)
+    return sorted(errors + run_rules(project, rules, select=select))

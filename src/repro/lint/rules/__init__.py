@@ -1,0 +1,40 @@
+"""Rule registry for :mod:`repro.lint`.
+
+Importing this package yields :data:`ALL_RULES`, the ordered tuple of
+rule instances the CLI runs by default.  Rules are stateless, so the
+shared instances are safe to reuse across projects and invocations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.lint.core import Rule
+from repro.lint.rules.module_state import ModuleStateRule
+from repro.lint.rules.randomness import UnseededRandomnessRule
+from repro.lint.rules.seed_threading import SeedThreadingRule
+from repro.lint.rules.spec_mutation import SpecMutationRule
+from repro.lint.rules.units import UnitDisciplineRule
+from repro.lint.rules.wallclock import WallClockRule
+
+ALL_RULES: Tuple[Rule, ...] = (
+    UnseededRandomnessRule(),
+    WallClockRule(),
+    UnitDisciplineRule(),
+    SpecMutationRule(),
+    ModuleStateRule(),
+    SeedThreadingRule(),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "UnseededRandomnessRule",
+    "WallClockRule",
+    "UnitDisciplineRule",
+    "SpecMutationRule",
+    "ModuleStateRule",
+    "SeedThreadingRule",
+]

@@ -1,0 +1,190 @@
+"""Shared AST helpers for the rule implementations.
+
+Every rule needs the same two primitives: turning an attribute chain
+back into a dotted name, and knowing what the module's imports bound
+each local name to (``import numpy as np`` makes ``np.random`` the
+numpy RNG namespace; ``from random import choice`` makes a bare
+``choice(...)`` a stdlib-random call).  Centralising them keeps each
+rule a short, readable visitor.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass
+class ImportBindings:
+    """What the module's import statements bound local names to.
+
+    Each set/dict maps *local* names: ``import numpy as np`` puts
+    ``np`` in :attr:`numpy`; ``from numpy import random as nr`` puts
+    ``nr`` in :attr:`numpy_random`; ``from random import choice as c``
+    maps ``c -> choice`` in :attr:`from_random`.
+    """
+
+    numpy: Set[str] = field(default_factory=set)
+    numpy_random: Set[str] = field(default_factory=set)
+    stdlib_random: Set[str] = field(default_factory=set)
+    from_random: Dict[str, str] = field(default_factory=dict)
+    from_numpy_random: Dict[str, str] = field(default_factory=dict)
+    time: Set[str] = field(default_factory=set)
+    os: Set[str] = field(default_factory=set)
+    datetime_module: Set[str] = field(default_factory=set)
+    datetime_class: Set[str] = field(default_factory=set)
+    date_class: Set[str] = field(default_factory=set)
+    uuid: Set[str] = field(default_factory=set)
+    secrets: Set[str] = field(default_factory=set)
+    #: local name -> original name, for ``from time import ...`` /
+    #: ``from os import urandom`` style bindings of banned callables.
+    from_wallclock: Dict[str, str] = field(default_factory=dict)
+
+
+def collect_imports(tree: ast.Module) -> ImportBindings:
+    """Scan import statements and classify the bindings rules care about."""
+    bind = ImportBindings()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                if alias.name == "numpy":
+                    bind.numpy.add(local)
+                elif alias.name == "numpy.random":
+                    # `import numpy.random` binds `numpy` (or asname
+                    # binds the submodule directly).
+                    if alias.asname:
+                        bind.numpy_random.add(local)
+                    else:
+                        bind.numpy.add(local)
+                elif alias.name == "random":
+                    bind.stdlib_random.add(local)
+                elif alias.name == "time":
+                    bind.time.add(local)
+                elif alias.name == "os":
+                    bind.os.add(local)
+                elif alias.name == "datetime":
+                    bind.datetime_module.add(local)
+                elif alias.name == "uuid":
+                    bind.uuid.add(local)
+                elif alias.name == "secrets":
+                    bind.secrets.add(local)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            module = node.module or ""
+            for alias in node.names:
+                local = alias.asname or alias.name
+                if module == "numpy" and alias.name == "random":
+                    bind.numpy_random.add(local)
+                elif module == "numpy.random":
+                    bind.from_numpy_random[local] = alias.name
+                elif module == "random":
+                    bind.from_random[local] = alias.name
+                elif module == "time" and alias.name in ("time", "time_ns"):
+                    bind.from_wallclock[local] = f"time.{alias.name}"
+                elif module == "os" and alias.name == "urandom":
+                    bind.from_wallclock[local] = "os.urandom"
+                elif module == "datetime" and alias.name == "datetime":
+                    bind.datetime_class.add(local)
+                elif module == "datetime" and alias.name == "date":
+                    bind.date_class.add(local)
+                elif module == "uuid" and alias.name in ("uuid1", "uuid4"):
+                    bind.from_wallclock[local] = f"uuid.{alias.name}"
+                elif module == "secrets":
+                    bind.from_wallclock[local] = f"secrets.{alias.name}"
+    return bind
+
+
+def enclosing_function_map(
+    tree: ast.Module,
+) -> Dict[ast.AST, Optional[ast.AST]]:
+    """Map every node to its nearest enclosing function def (or None).
+
+    Lambdas and comprehensions do not count as enclosing scopes here:
+    a call inside them is attributed to the surrounding ``def``, which
+    is the unit seed-threading reasons about.
+    """
+    owner: Dict[ast.AST, Optional[ast.AST]] = {}
+
+    def visit(node: ast.AST, current: Optional[ast.AST]) -> None:
+        owner[node] = current
+        next_current = current
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            next_current = node
+        for child in ast.iter_child_nodes(node):
+            visit(child, next_current)
+
+    visit(tree, None)
+    return owner
+
+
+def annotation_base_name(annotation: Optional[ast.AST]) -> Set[str]:
+    """Candidate type names mentioned by a parameter annotation.
+
+    Unwraps ``Optional[X]``, ``X | None``, string annotations and
+    attribute-qualified names so REP004 can match ``*Spec``/``*Config``
+    regardless of spelling.
+    """
+    names: Set[str] = set()
+    if annotation is None:
+        return names
+    stack = [annotation]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                stack.append(ast.parse(node.value, mode="eval").body)
+            except SyntaxError:
+                continue
+        elif isinstance(node, ast.Subscript):
+            stack.append(node.value)
+            stack.append(node.slice)
+        elif isinstance(node, ast.BinOp):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif isinstance(node, ast.Tuple):
+            stack.extend(node.elts)
+    return names
+
+
+def literal_float(node: ast.AST) -> Optional[float]:
+    """Value of a bare numeric literal (with optional unary minus)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = literal_float(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+def mentions_seed(node: ast.AST) -> bool:
+    """True when any identifier/attribute in ``node`` contains 'seed'."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and "seed" in child.id.lower():
+            return True
+        if isinstance(child, ast.Attribute) and "seed" in child.attr.lower():
+            return True
+        if isinstance(child, ast.arg) and "seed" in child.arg.lower():
+            return True
+    return False

@@ -1,0 +1,177 @@
+"""REP005 -- module-level mutable state visible to spawn workers.
+
+The parallel executor promises results bit-identical to the serial
+path because every worker task is a pure function of its picklable
+work item.  Module-level dicts/lists/sets in any module a worker
+imports are the classic way that promise dies: the serial path
+accumulates state across runs that fresh spawn workers never see (or
+vice versa), and suddenly worker count changes results.
+
+The rule computes the worker-visible module set statically: the
+transitive import closure (over the linted project) of
+``repro.parallel.executor`` and of every module that uses
+``run_sharded`` (those modules define the task callables that workers
+import).  Inside that closure it flags module-level assignments of
+mutable containers, with two exemptions:
+
+* dunder names (``__all__`` etc.) -- interpreter/packaging protocol;
+* ``UPPER_CASE`` names that the module itself never mutates --
+  constant lookup tables, mutable only by type.
+
+Intentional per-worker caches (see ``repro.parallel.cache``) must be
+suppressed inline with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+
+#: Call-constructor names treated as mutable containers.
+_MUTABLE_CONSTRUCTORS = (
+    "dict",
+    "list",
+    "set",
+    "defaultdict",
+    "deque",
+    "Counter",
+    "OrderedDict",
+)
+
+_MUTATOR_METHODS = (
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "appendleft",
+    "extendleft",
+)
+
+
+class ModuleStateRule(Rule):
+    rule_id = "REP005"
+    title = "module-level mutable state in a worker-imported module"
+    rationale = (
+        "spawn workers import modules fresh; shared module state makes "
+        "results depend on worker count and run history"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        closure = _worker_closure(project)
+        if module.module_name not in closure:
+            return
+        mutated = _mutated_names(module.tree)
+        for node in module.tree.body:
+            target = _module_level_target(node)
+            if target is None:
+                continue
+            name, value = target
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if not _is_mutable_container(value):
+                continue
+            if name.isupper() and name not in mutated:
+                # Constant lookup table: mutable only by type, and the
+                # module never touches it after construction.
+                continue
+            yield self.diagnostic(
+                module,
+                node,
+                f"module-level mutable `{name}` in a module imported by "
+                "spawn workers; serial and parallel paths will see "
+                "different state (pass state explicitly, or suppress "
+                "with a justification if per-process caching is the point)",
+            )
+
+
+def _worker_closure(project: Project) -> Set[str]:
+    """Modules a spawn worker can see, per the static import graph."""
+    roots = set()
+    for name, info in project.modules.items():
+        if name.endswith("parallel.executor"):
+            roots.add(name)
+            continue
+        for imported in info.imports:
+            last = imported.rsplit(".", 1)[-1]
+            if last == "run_sharded" or imported.endswith("parallel.executor"):
+                roots.add(name)
+                break
+    return project.closure(roots)
+
+
+def _module_level_target(
+    node: ast.stmt,
+) -> "Optional[tuple[str, ast.AST]]":
+    if (
+        isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+    ):
+        return node.targets[0].id, node.value
+    if (
+        isinstance(node, ast.AnnAssign)
+        and isinstance(node.target, ast.Name)
+        and node.value is not None
+    ):
+        return node.target.id, node.value
+    return None
+
+
+def _is_mutable_container(value: ast.AST) -> bool:
+    if isinstance(
+        value,
+        (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _mutated_names(tree: ast.Module) -> Set[str]:
+    """Names the module mutates (method calls, item writes, rebinding)."""
+    names: Set[str] = set()
+    module_level = {
+        target[0]
+        for target in map(_module_level_target, tree.body)
+        if target is not None
+    }
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.attr in _MUTATOR_METHODS
+        ):
+            names.add(node.func.value.id)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else (node.targets if isinstance(node, ast.Delete) else [node.target])
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    names.add(target.value.id)
+                elif (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(target, ast.Name)
+                    and target.id in module_level
+                ):
+                    names.add(target.id)
+    return names

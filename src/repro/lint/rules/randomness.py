@@ -1,0 +1,121 @@
+"""REP001 -- unseeded randomness.
+
+Every random draw in this repository must flow from a seeded
+``numpy.random.Generator`` so that campaigns, fault draws and golden
+fixtures are bit-reproducible.  The legacy numpy global RNG
+(``np.random.uniform`` and friends) and the stdlib ``random`` module
+functions share hidden process-global state that parallel workers and
+test ordering can perturb; ``default_rng()`` without a seed pulls OS
+entropy.  All three defeat the determinism contract.
+
+Allowed forms: ``np.random.default_rng(seed)`` and seeded
+``random.Random(seed)`` instances.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import collect_imports, dotted_name
+
+
+class UnseededRandomnessRule(Rule):
+    rule_id = "REP001"
+    title = "unseeded or global-state randomness"
+    rationale = (
+        "all randomness must flow from numpy.random.default_rng(seed) "
+        "(or a seeded random.Random) so runs are bit-reproducible"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        bind = collect_imports(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            head, fn = parts[0], parts[-1]
+
+            # numpy.random namespace: np.random.<fn> / nr.<fn>
+            is_np_random = (
+                (len(parts) >= 3 and head in bind.numpy and parts[1] == "random")
+                or (len(parts) == 2 and head in bind.numpy_random)
+            )
+            if is_np_random:
+                if fn == "default_rng":
+                    if not _has_seed_argument(node):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "default_rng() without a seed pulls OS entropy; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"numpy global-state RNG `{name}`; use a seeded "
+                        "np.random.default_rng(seed) Generator instead",
+                    )
+                continue
+
+            # `from numpy.random import <fn>`
+            if len(parts) == 1 and head in bind.from_numpy_random:
+                original = bind.from_numpy_random[head]
+                if original == "default_rng":
+                    if not _has_seed_argument(node):
+                        yield self.diagnostic(
+                            module,
+                            node,
+                            "default_rng() without a seed pulls OS entropy; "
+                            "pass an explicit seed",
+                        )
+                else:
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"numpy global-state RNG `numpy.random.{original}`; "
+                        "use a seeded np.random.default_rng(seed) instead",
+                    )
+                continue
+
+            # stdlib random module: random.<fn>
+            if len(parts) == 2 and head in bind.stdlib_random:
+                if fn == "Random" and _has_seed_argument(node):
+                    continue
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"stdlib `{name}` uses hidden global state; use a "
+                    "seeded np.random.default_rng(seed) (or random.Random(seed))",
+                )
+                continue
+
+            # `from random import <fn>`
+            if len(parts) == 1 and head in bind.from_random:
+                original = bind.from_random[head]
+                if original == "Random" and _has_seed_argument(node):
+                    continue
+                yield self.diagnostic(
+                    module,
+                    node,
+                    f"stdlib `random.{original}` uses hidden global state; "
+                    "use a seeded np.random.default_rng(seed) instead",
+                )
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    """An explicit, non-None seed argument is present."""
+    for arg in call.args:
+        if not (isinstance(arg, ast.Constant) and arg.value is None):
+            return True
+    for kw in call.keywords:
+        if kw.arg in (None, "seed") and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return True
+    return False

@@ -1,0 +1,116 @@
+"""REP006 -- public RNG constructors without a seed to thread.
+
+The campaign layer reproduces any run from ``(spec, config, seed)``
+alone, which only works if every function on the path from a public
+entry point to an RNG accepts -- and threads -- a seed.  A public
+function that builds a Generator from anything other than a caller-
+supplied seed (a parameter, a config field, ``self.seed``) has severed
+that thread: callers can no longer pin its randomness.
+
+The rule fires on public functions/methods (no leading underscore)
+that construct ``np.random.default_rng(...)`` / ``random.Random(...)``
+where neither (a) any parameter name contains ``seed`` nor (b) the
+constructor's argument expression mentions a seed-named identifier or
+attribute.  Unseeded constructions (no argument at all) are REP001's
+business and are skipped here to avoid double reporting.  Module-level
+RNG construction is always flagged: import-time randomness can never
+be threaded from a caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import (
+    ImportBindings,
+    collect_imports,
+    dotted_name,
+    enclosing_function_map,
+    mentions_seed,
+)
+
+
+class SeedThreadingRule(Rule):
+    rule_id = "REP006"
+    title = "public function constructs an RNG without accepting a seed"
+    rationale = (
+        "replaying any run from (spec, config, seed) requires every "
+        "public path to an RNG to thread a caller-supplied seed"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        bind = collect_imports(module.tree)
+        owner = enclosing_function_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not _is_rng_constructor(node, bind):
+                continue
+            if not (node.args or node.keywords):
+                continue  # unseeded: REP001 reports it
+            function = owner.get(node)
+            if function is None:
+                yield self.diagnostic(
+                    module,
+                    node,
+                    "module-level RNG construction runs at import time; "
+                    "no caller can thread a seed into it",
+                )
+                continue
+            assert isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if function.name.startswith("_"):
+                continue
+            if _accepts_seed(function):
+                continue
+            if any(mentions_seed(arg) for arg in node.args) or any(
+                mentions_seed(kw.value) for kw in node.keywords
+            ):
+                # Seeded from captured state (self.seed, config.base_seed):
+                # the seed was threaded in earlier; good enough.
+                continue
+            yield self.diagnostic(
+                module,
+                node,
+                f"public `{function.name}` constructs an RNG but accepts "
+                "no `seed` parameter; thread a seed so callers can "
+                "reproduce its randomness",
+            )
+
+
+def _is_rng_constructor(call: ast.Call, bind: ImportBindings) -> bool:
+    name = dotted_name(call.func)
+    if name is None:
+        return False
+    parts = name.split(".")
+    head, fn = parts[0], parts[-1]
+    if fn == "default_rng":
+        return (
+            (len(parts) >= 3 and head in bind.numpy and parts[1] == "random")
+            or (len(parts) == 2 and head in bind.numpy_random)
+            or (
+                len(parts) == 1
+                and bind.from_numpy_random.get(head) == "default_rng"
+            )
+        )
+    if fn in ("Random", "RandomState"):
+        return (
+            (len(parts) == 2 and head in bind.stdlib_random)
+            or (len(parts) >= 3 and head in bind.numpy and parts[1] == "random")
+            or (len(parts) == 2 and head in bind.numpy_random)
+            or (len(parts) == 1 and bind.from_random.get(head) == "Random")
+        )
+    return False
+
+
+def _accepts_seed(
+    function: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> bool:
+    args = function.args
+    every = args.posonlyargs + args.args + args.kwonlyargs
+    if args.vararg is not None:
+        every = every + [args.vararg]
+    if args.kwarg is not None:
+        every = every + [args.kwarg]
+    return any("seed" in arg.arg.lower() for arg in every)

@@ -1,0 +1,98 @@
+"""REP004 -- mutation of ``*Spec`` / ``*Config`` parameters.
+
+Campaign code passes frozen dataclasses (``FaultSpec``,
+``CampaignConfig``, ``SimulationConfig``...) by reference into worker
+tasks, cache keys and fingerprints.  Assigning to an attribute of such
+a parameter -- even on an unfrozen one -- silently aliases state across
+runs and invalidates every fingerprint computed from the original
+value.  Derivation must go through ``dataclasses.replace(spec, ...)``,
+which is what keeps ``campaign_run_id`` a pure function of its inputs.
+
+The rule fires on ``param.attr = ...``, ``param.attr += ...`` and
+``setattr(param, ...)`` where ``param`` is a function parameter whose
+annotation names a ``*Spec`` or ``*Config`` type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import annotation_base_name
+
+_TYPE_SUFFIXES = ("Spec", "Config")
+
+
+class SpecMutationRule(Rule):
+    rule_id = "REP004"
+    title = "in-place mutation of a Spec/Config dataclass parameter"
+    rationale = (
+        "specs and configs are value objects shared across runs and "
+        "fingerprints; derive variants with dataclasses.replace"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            spec_params = _spec_parameters(node)
+            if not spec_params:
+                continue
+            yield from self._check_body(module, node, spec_params)
+
+    def _check_body(
+        self,
+        module: ModuleInfo,
+        function: "ast.FunctionDef | ast.AsyncFunctionDef",
+        spec_params: Set[str],
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "setattr"
+                    and node.args
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id in spec_params
+                ):
+                    yield self.diagnostic(
+                        module,
+                        node,
+                        f"setattr on spec/config parameter "
+                        f"`{node.args[0].id}`; use dataclasses.replace",
+                    )
+                continue
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in spec_params
+                ):
+                    yield self.diagnostic(
+                        module,
+                        target,
+                        f"assignment to `{target.value.id}.{target.attr}` "
+                        "mutates a spec/config parameter in place; use "
+                        "dataclasses.replace to derive a new value",
+                    )
+
+
+def _spec_parameters(
+    function: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Set[str]:
+    """Parameter names annotated with a ``*Spec`` / ``*Config`` type."""
+    params: Set[str] = set()
+    args = function.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        for name in annotation_base_name(arg.annotation):
+            if name.endswith(_TYPE_SUFFIXES):
+                params.add(arg.arg)
+                break
+    return params

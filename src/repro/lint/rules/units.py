@@ -1,0 +1,90 @@
+"""REP003 -- unit discipline at call boundaries.
+
+Every quantity in :mod:`repro` is base SI (volts, amps, watts,
+seconds, hertz, farads, joules; see ``repro/units.py``).  A bare
+literal like ``3300.0`` or ``2e-5`` passed to a ``*_v`` / ``*_s``
+parameter is exactly how a millivolts-vs-volts (or us-vs-ms) slip
+enters the physics: the reader cannot tell which unit the author
+meant.  Such magnitudes must spell their unit via a ``repro.units``
+helper -- ``micro_seconds(20)`` instead of ``2e-5``.
+
+The rule fires on **keyword arguments at call sites** whose name ends
+in a recognised unit suffix and whose value is a bare numeric literal
+with magnitude >= 1e3 or <= 1e-3 (zero is exempt: "none of this
+quantity" needs no unit spelling, and exact zero is representable in
+any scale).  Values routed through any call -- a units helper, an
+expression, a variable -- are never flagged: the rule polices raw
+magic numbers, not arithmetic.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Tuple
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import literal_float
+
+#: Parameter-name suffix -> (unit, helper suggestions small/large).
+UNIT_SUFFIXES: Dict[str, Tuple[str, str, str]] = {
+    "_v": ("volts", "milli_volts", "as_milli_volts"),
+    "_a": ("amperes", "micro_amps", "as_milli_amps"),
+    "_w": ("watts", "micro_watts", "as_milli_watts"),
+    "_s": ("seconds", "micro_seconds", "as_milli_seconds"),
+    "_hz": ("hertz", "mega_hertz", "mega_hertz"),
+    "_f": ("farads", "pico_farads", "micro_farads"),
+    "_j": ("joules", "pico_joules", "micro_joules"),
+}
+
+#: Magnitudes outside (1e-3, 1e3) must spell their unit.
+LARGE_MAGNITUDE = 1e3
+SMALL_MAGNITUDE = 1e-3
+
+
+class UnitDisciplineRule(Rule):
+    rule_id = "REP003"
+    title = "raw out-of-scale literal passed to a unit-suffixed parameter"
+    rationale = (
+        "base-SI bookkeeping (eqs. 1-7) dies on silent mV/V and us/s "
+        "mixups; out-of-scale magnitudes must go through repro.units"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue
+                suffix = _unit_suffix(keyword.arg)
+                if suffix is None:
+                    continue
+                value = literal_float(keyword.value)
+                if value is None or value == 0.0:
+                    continue
+                magnitude = abs(value)
+                if SMALL_MAGNITUDE < magnitude < LARGE_MAGNITUDE:
+                    continue
+                unit, small_helper, large_helper = UNIT_SUFFIXES[suffix]
+                helper = (
+                    small_helper if magnitude <= SMALL_MAGNITUDE else large_helper
+                )
+                yield Diagnostic(
+                    path=str(module.path),
+                    line=keyword.value.lineno,
+                    col=keyword.value.col_offset + 1,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"raw literal {value!r} for `{keyword.arg}` [{unit}]; "
+                        f"spell the unit via repro.units (e.g. "
+                        f"`{helper}(...)`) so the scale is explicit"
+                    ),
+                )
+
+
+def _unit_suffix(name: str) -> "str | None":
+    lowered = name.lower()
+    for suffix in UNIT_SUFFIXES:
+        if lowered.endswith(suffix):
+            return suffix
+    return None

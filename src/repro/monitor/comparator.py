@@ -71,7 +71,7 @@ class ThresholdComparator:
         offset_v: float = 0.0,
         noise_sigma_v: float = 0.0,
         seed: "int | None" = None,
-    ):
+    ) -> None:
         if threshold_v <= 0.0:
             raise ModelParameterError(
                 f"threshold must be positive, got {threshold_v}"
@@ -147,7 +147,7 @@ class ComparatorBank:
         offsets_v: "Sequence[float] | None" = None,
         noise_sigma_v: float = 0.0,
         seed: "int | None" = None,
-    ):
+    ) -> None:
         if not thresholds_v:
             raise ModelParameterError("comparator bank needs at least one threshold")
         if len(set(thresholds_v)) != len(thresholds_v):

@@ -51,7 +51,7 @@ class DischargeTimePowerEstimator:
         estimator never mutates it).
     """
 
-    def __init__(self, capacitor: Capacitor):
+    def __init__(self, capacitor: Capacitor) -> None:
         self.capacitor = capacitor
 
     def estimate(

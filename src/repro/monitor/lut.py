@@ -36,7 +36,7 @@ class MppEntry:
 class MppLookupTable:
     """Nearest / interpolated lookup from input power to MPP targets."""
 
-    def __init__(self, entries: Sequence[MppEntry]):
+    def __init__(self, entries: Sequence[MppEntry]) -> None:
         if len(entries) < 2:
             raise ModelParameterError("LUT needs at least two entries")
         ordered = sorted(entries, key=lambda e: e.input_power_w)

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, Tuple
 #: The per-process memoization store.  One per worker (and one in the
 #: parent for the serial path -- memoization is value-transparent, so
 #: sharing it is safe).
-_CACHE: Dict[str, Any] = {}
+_CACHE: Dict[str, Any] = {}  # repro-lint: disable=REP005 -- per-process memoization is this module's whole point: spawn workers start empty, and cached values are value-transparent (bit-identical to rebuilding)
 
 
 def worker_cache() -> Dict[str, Any]:

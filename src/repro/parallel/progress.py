@@ -50,7 +50,7 @@ class ProgressReporter(NullProgress):
         sink: Callable[[str], None],
         label: str = "campaign",
         min_interval_s: float = 1.0,
-    ):
+    ) -> None:
         if min_interval_s < 0.0:
             raise ModelParameterError(
                 f"report interval must be >= 0, got {min_interval_s}"

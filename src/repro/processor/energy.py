@@ -22,6 +22,7 @@ from scipy.optimize import minimize_scalar
 from repro.errors import ModelParameterError, OperatingRangeError
 from repro.processor.frequency import FrequencyModel
 from repro.processor.power import DynamicPowerModel, LeakageModel
+from repro.units import mega_hertz, milli_amps, pico_farads
 
 
 @dataclass(frozen=True)
@@ -111,7 +112,9 @@ class ProcessorModel:
                 f"[{self.min_operating_v:.3f}, {self.max_operating_v:.3f}] V"
             )
 
-    def max_frequency(self, voltage_v: "float | np.ndarray"):
+    def max_frequency(
+        self, voltage_v: "float | np.ndarray"
+    ) -> "float | np.ndarray":
         """Maximum clock at the given supply [Hz]."""
         arr = np.atleast_1d(np.asarray(voltage_v, dtype=float))
         if np.any(arr < self.min_operating_v) or np.any(arr > self.max_operating_v):
@@ -122,13 +125,13 @@ class ProcessorModel:
 
     def power(
         self, voltage_v: "float | np.ndarray", frequency_hz: "float | np.ndarray"
-    ):
+    ) -> "float | np.ndarray":
         """Total power ``Pdyn + Pleak`` at a supply/clock pair [W]."""
         return self.dynamic.power(voltage_v, frequency_hz) + self.leakage.power(
             voltage_v
         )
 
-    def max_power(self, voltage_v: "float | np.ndarray"):
+    def max_power(self, voltage_v: "float | np.ndarray") -> "float | np.ndarray":
         """Total power when clocked at the maximum frequency [W].
 
         This is the processor's power-voltage curve of Fig. 6(a).
@@ -154,8 +157,10 @@ class ProcessorModel:
         )
 
     def energy_per_cycle(
-        self, voltage_v: "float | np.ndarray", frequency_hz=None
-    ):
+        self,
+        voltage_v: "float | np.ndarray",
+        frequency_hz: "float | np.ndarray | None" = None,
+    ) -> "float | np.ndarray":
         """Total energy per cycle [J], at max frequency unless given."""
         if frequency_hz is None:
             frequency_hz = self.max_frequency(voltage_v)
@@ -240,14 +245,14 @@ def paper_processor() -> ProcessorModel:
     """
     return ProcessorModel(
         frequency=FrequencyModel(
-            drive_scale_hz=2.917e7,
+            drive_scale_hz=mega_hertz(29.17),
             threshold_v=0.25,
             alpha=1.5,
             subthreshold_slope_factor=1.35,
             min_voltage_v=0.05,
         ),
-        dynamic=DynamicPowerModel(effective_capacitance_f=32e-12),
-        leakage=LeakageModel(reference_current_a=840e-6, dibl_voltage_v=0.8),
+        dynamic=DynamicPowerModel(effective_capacitance_f=pico_farads(32.0)),
+        leakage=LeakageModel(reference_current_a=milli_amps(0.84), dibl_voltage_v=0.8),
         min_operating_v=0.15,
         max_operating_v=1.1,
     )

@@ -103,7 +103,9 @@ class FrequencyModel:
             self.temperature_k
         )
 
-    def max_frequency(self, voltage_v: "float | np.ndarray"):
+    def max_frequency(
+        self, voltage_v: "float | np.ndarray"
+    ) -> "float | np.ndarray":
         """Maximum stable clock at the given supply [Hz].
 
         Vectorised over numpy arrays.  Raises for voltages below the

@@ -17,7 +17,7 @@ from repro.errors import ModelParameterError
 class NearestCentroidClassifier:
     """Nearest-centroid classification of feature descriptors."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._centroids: "dict[str, np.ndarray]" = {}
 
     @property

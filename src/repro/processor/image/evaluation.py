@@ -9,6 +9,7 @@ tool for studying accuracy-versus-noise tradeoffs.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import ModelParameterError
 from repro.processor.image.frames import FrameGenerator
@@ -82,7 +83,7 @@ def evaluate_accuracy(
 
 def accuracy_versus_noise(
     processor: ImageProcessor,
-    noise_levels,
+    noise_levels: "Sequence[float]",
     frames: int = 30,
     seed: int = 2000,
 ) -> "list[tuple[float, float]]":

@@ -62,7 +62,7 @@ class ImageProcessor:
         detect_window: int = 16,
         detect_stride: int = 4,
         cost_model: "CycleCostModel | None" = None,
-    ):
+    ) -> None:
         self.window = window
         self.bins = bins
         self.detect_window = detect_window

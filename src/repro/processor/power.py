@@ -53,12 +53,16 @@ class DynamicPowerModel:
                 f"activity factor must be in (0, 2], got {self.activity}"
             )
 
-    def energy_per_cycle(self, voltage_v: "float | np.ndarray"):
+    def energy_per_cycle(
+        self, voltage_v: "float | np.ndarray"
+    ) -> "float | np.ndarray":
         """Dynamic energy per clock cycle [J]: ``a * Ceff * V^2``."""
         v = np.asarray(voltage_v, dtype=float)
         return self.activity * self.effective_capacitance_f * v * v
 
-    def power(self, voltage_v: "float | np.ndarray", frequency_hz: "float | np.ndarray"):
+    def power(
+        self, voltage_v: "float | np.ndarray", frequency_hz: "float | np.ndarray"
+    ) -> "float | np.ndarray":
         """Dynamic power [W] at the given supply and clock."""
         return self.energy_per_cycle(voltage_v) * np.asarray(
             frequency_hz, dtype=float
@@ -95,19 +99,19 @@ class LeakageModel:
                 f"DIBL voltage must be positive, got {self.dibl_voltage_v}"
             )
 
-    def current(self, voltage_v: "float | np.ndarray"):
+    def current(self, voltage_v: "float | np.ndarray") -> "float | np.ndarray":
         """Leakage current at the given supply [A]."""
         v = np.asarray(voltage_v, dtype=float)
         return self.reference_current_a * np.exp(v / self.dibl_voltage_v)
 
-    def power(self, voltage_v: "float | np.ndarray"):
+    def power(self, voltage_v: "float | np.ndarray") -> "float | np.ndarray":
         """Leakage power ``V * Ileak(V)`` [W]."""
         v = np.asarray(voltage_v, dtype=float)
         return v * self.current(v)
 
     def energy_per_cycle(
         self, voltage_v: "float | np.ndarray", frequency_hz: "float | np.ndarray"
-    ):
+    ) -> "float | np.ndarray":
         """Leakage energy charged to each cycle [J]: ``Pleak / f``.
 
         Raises when asked about a zero/negative clock -- leakage energy

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConvergenceError, ModelParameterError
-from repro.units import thermal_voltage
+from repro.units import micro_amps, milli_amps, thermal_voltage
 
 _NEWTON_MAX_ITERATIONS = 100
 _NEWTON_TOLERANCE_A = 1e-12
@@ -151,7 +151,9 @@ class SingleDiodeCell:
 
     # -- terminal characteristics ------------------------------------------
 
-    def current(self, voltage: "float | np.ndarray", irradiance: float = 1.0):
+    def current(
+        self, voltage: "float | np.ndarray", irradiance: float = 1.0
+    ) -> "float | np.ndarray":
         """Terminal current at the given terminal voltage(s) [A].
 
         Accepts a scalar or a numpy array of voltages; the return type
@@ -202,7 +204,9 @@ class SingleDiodeCell:
             )
         return self._match_shape(current_arr, voltage)
 
-    def power(self, voltage: "float | np.ndarray", irradiance: float = 1.0):
+    def power(
+        self, voltage: "float | np.ndarray", irradiance: float = 1.0
+    ) -> "float | np.ndarray":
         """Delivered power ``V * I(V)`` at the terminal voltage(s) [W]."""
         return np.asarray(voltage, dtype=float) * self.current(voltage, irradiance)
 
@@ -243,7 +247,9 @@ class SingleDiodeCell:
         return self.saturation_current_a * (np.exp(exponent) - 1.0)
 
     @staticmethod
-    def _match_shape(result: np.ndarray, template) -> "float | np.ndarray":
+    def _match_shape(
+        result: np.ndarray, template: "float | np.ndarray"
+    ) -> "float | np.ndarray":
         if np.isscalar(template) or getattr(template, "ndim", 1) == 0:
             return float(result[0])
         return result
@@ -264,8 +270,8 @@ def kxob22_cell() -> SingleDiodeCell:
     Voc ~ 1.5 V and Pmpp ~ 14.5 mW at Vmpp ~ 1.2 V.
     """
     return SingleDiodeCell(
-        photo_current_full_sun_a=13.2e-3,
-        saturation_current_a=3.0e-8,
+        photo_current_full_sun_a=milli_amps(13.2),
+        saturation_current_a=micro_amps(0.03),
         ideality_factor=1.5,
         series_cells=3,
         series_resistance_ohm=1.5,

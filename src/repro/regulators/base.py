@@ -73,7 +73,7 @@ class Regulator(abc.ABC):
         nominal_input_v: float,
         min_output_v: float,
         max_output_v: float,
-    ):
+    ) -> None:
         if not name:
             raise ModelParameterError("regulator needs a non-empty name")
         if nominal_input_v <= 0.0:

@@ -44,7 +44,7 @@ class BuckRegulator(Regulator):
         min_output_v: float = 0.25,
         max_output_v: float = 0.85,
         name: str = "Buck",
-    ):
+    ) -> None:
         super().__init__(name, nominal_input_v, min_output_v, max_output_v)
         if not 0.0 < max_duty <= 1.0:
             raise ModelParameterError(f"max duty must be in (0, 1], got {max_duty}")

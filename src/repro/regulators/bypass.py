@@ -37,7 +37,7 @@ class BypassPath(Regulator):
         min_output_v: float = 0.05,
         max_output_v: float = 2.0,
         name: str = "Bypass",
-    ):
+    ) -> None:
         super().__init__(name, nominal_input_v, min_output_v, max_output_v)
         self.switch = ConductionLoss(switch_resistance_ohm)
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.errors import ModelParameterError, OperatingRangeError
 from repro.regulators.base import Regulator
 from repro.regulators.losses import QuiescentLoss
+from repro.units import milli_amps
 
 
 class LinearRegulator(Regulator):
@@ -39,7 +40,7 @@ class LinearRegulator(Regulator):
         dropout_v: float = 0.1,
         quiescent_current_a: float = 20e-6,
         name: str = "LDO",
-    ):
+    ) -> None:
         super().__init__(name, nominal_input_v, min_output_v, max_output_v)
         if dropout_v < 0.0:
             raise ModelParameterError(f"dropout must be >= 0, got {dropout_v}")
@@ -91,5 +92,5 @@ def paper_ldo(nominal_input_v: float = 1.2) -> LinearRegulator:
         min_output_v=0.2,
         max_output_v=1.0,
         dropout_v=0.1,
-        quiescent_current_a=20e-6,
+        quiescent_current_a=milli_amps(0.02),
     )

@@ -66,7 +66,7 @@ class SwitchedCapacitorRegulator(Regulator):
         min_output_v: float = 0.15,
         max_output_v: float = 1.0,
         name: str = "SC",
-    ):
+    ) -> None:
         super().__init__(name, nominal_input_v, min_output_v, max_output_v)
         if not ratios:
             raise ModelParameterError("SC regulator needs at least one ratio")

@@ -14,6 +14,7 @@ controllers the baselines and tests use.
 from __future__ import annotations
 
 import abc
+from typing import Callable
 from dataclasses import dataclass
 
 from repro.errors import ModelParameterError
@@ -104,7 +105,7 @@ class FixedOperatingPointController(DvfsController):
     after picking its (local) optimum at design time.
     """
 
-    def __init__(self, output_voltage_v: float, frequency_hz: float):
+    def __init__(self, output_voltage_v: float, frequency_hz: float) -> None:
         if output_voltage_v <= 0.0:
             raise ModelParameterError(
                 f"output voltage must be positive, got {output_voltage_v}"
@@ -134,7 +135,7 @@ class ConstantSpeedController(DvfsController):
 
     def __init__(
         self, output_voltage_v: float, frequency_hz: float, total_cycles: int
-    ):
+    ) -> None:
         if output_voltage_v <= 0.0:
             raise ModelParameterError(
                 f"output voltage must be positive, got {output_voltage_v}"
@@ -174,7 +175,7 @@ class BypassController(DvfsController):
     model here).
     """
 
-    def __init__(self, frequency_law):
+    def __init__(self, frequency_law: "Callable[[float], float]") -> None:
         if not callable(frequency_law):
             raise ModelParameterError("frequency_law must be callable: V -> Hz")
         self.frequency_law = frequency_law

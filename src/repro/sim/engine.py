@@ -125,7 +125,7 @@ class TransientSimulator:
         workload: "Workload | None" = None,
         config: "SimulationConfig | None" = None,
         transitions: "DvfsTransitionModel | None" = None,
-    ):
+    ) -> None:
         self.cell = cell
         self.node_capacitor = node_capacitor
         self.processor = processor

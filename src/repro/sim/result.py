@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from pathlib import Path
+
 from repro.errors import ModelParameterError
 
 
@@ -104,7 +106,7 @@ class SimulationResult:
             return 0.0
         return float(np.trapezoid(self.frequency_hz, self.time_s) / self.duration_s)
 
-    def to_csv(self, path) -> None:
+    def to_csv(self, path: "str | Path") -> None:
         """Write the recorded waveforms as CSV (one row per sample).
 
         Columns match the trace arrays; ``mode`` is written as its

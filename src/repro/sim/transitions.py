@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ModelParameterError
+from repro.units import micro_farads, micro_seconds, milli_seconds
 
 
 @dataclass(frozen=True)
@@ -98,10 +99,10 @@ class DvfsTransitionModel:
 
 
 #: The paper's fully-integrated case: ~1 us settling.
-INTEGRATED_TRANSITIONS = DvfsTransitionModel(settle_time_s=1e-6)
+INTEGRATED_TRANSITIONS = DvfsTransitionModel(settle_time_s=micro_seconds(1.0))
 
 #: A discrete multi-chip power-management solution for comparison
 #: (the Fig. 1 "multi-chip solutions" column): tens of microseconds.
 DISCRETE_TRANSITIONS = DvfsTransitionModel(
-    settle_time_s=50e-6, output_capacitance_f=100e-9
+    settle_time_s=milli_seconds(0.05), output_capacitance_f=micro_farads(0.1)
 )

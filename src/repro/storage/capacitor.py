@@ -47,7 +47,7 @@ class Capacitor:
         esr_ohm: float = 0.0,
         max_voltage_v: float = 5.0,
         leakage_current_a: float = 0.0,
-    ):
+    ) -> None:
         if capacitance_f <= 0.0:
             raise ModelParameterError(
                 f"capacitance must be positive, got {capacitance_f}"

@@ -1,0 +1,42 @@
+"""Shared fixture helper: write snippet files, lint them, return findings."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro.lint import ALL_RULES, Diagnostic, lint_paths
+
+
+@pytest.fixture
+def lint_files(tmp_path):
+    """Write ``{relpath: source}`` under a temp tree and lint the tree.
+
+    Subdirectories automatically get ``__init__.py`` markers so dotted
+    module names (``sim.engine``) resolve the way they do in the real
+    package -- REP002's path scoping and REP005's import graph depend
+    on that.
+    """
+
+    def run(
+        files: Dict[str, str],
+        select: Optional[Sequence[str]] = None,
+    ) -> List[Diagnostic]:
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            current = target.parent
+            while current != tmp_path:
+                marker = current / "__init__.py"
+                if not marker.exists():
+                    marker.write_text("")
+                current = current.parent
+            target.write_text(source)
+        return lint_paths([tmp_path], ALL_RULES, select=select)
+
+    return run
+
+
+def rule_ids(diagnostics: List[Diagnostic]) -> List[str]:
+    return [diag.rule_id for diag in diagnostics]

@@ -1,0 +1,185 @@
+"""Engine behaviour: suppressions, output formats, CLI plumbing."""
+
+from __future__ import annotations
+
+import json
+from io import StringIO
+from pathlib import Path
+
+from repro.lint import ALL_RULES, build_project, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.cli import run_lint
+from tests.lint.conftest import rule_ids
+
+_VIOLATION = (
+    "import numpy as np\n"
+    "def draw():\n"
+    "    return np.random.uniform(0.0, 1.0)\n"
+)
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_inline_suppression_silences_the_rule(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.uniform(0.0, 1.0)"
+        "  # repro-lint: disable=REP001 -- fixture justification\n"
+    )})
+    assert rule_ids(diags) == []
+
+
+def test_suppression_of_a_different_rule_does_not_silence(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.uniform(0.0, 1.0)"
+        "  # repro-lint: disable=REP002\n"
+    )})
+    assert "REP001" in rule_ids(diags)
+
+
+def test_disable_all_silences_every_rule_on_the_line(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw(make):\n"
+        "    return make(np.random.uniform(0.0, 1.0), delay_s=2e-5)"
+        "  # repro-lint: disable=all\n"
+    )})
+    assert rule_ids(diags) == []
+
+
+def test_comma_separated_suppression(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw(make):\n"
+        "    return make(np.random.uniform(0.0, 1.0), delay_s=2e-5)"
+        "  # repro-lint: disable=REP001,REP003\n"
+    )})
+    assert rule_ids(diags) == []
+
+
+def test_suppression_marker_inside_string_is_not_a_suppression(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.uniform(0.0, 1.0), "
+        "'# repro-lint: disable=REP001'\n"
+    )})
+    assert "REP001" in rule_ids(diags)
+
+
+# -- diagnostics and formats --------------------------------------------------
+
+
+def test_diagnostic_carries_file_line_and_rule(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_VIOLATION)
+    diags = lint_paths([tmp_path], ALL_RULES)
+    assert len(diags) == 1
+    diag = diags[0]
+    assert diag.path.endswith("mod.py")
+    assert diag.line == 3
+    assert diag.rule_id == "REP001"
+    assert "REP001" in diag.format() and ":3:" in diag.format()
+
+
+def test_select_restricts_rules(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(_VIOLATION)
+    assert rule_ids(lint_paths([tmp_path], ALL_RULES, select=["REP002"])) == []
+    assert rule_ids(
+        lint_paths([tmp_path], ALL_RULES, select=["rep001"])
+    ) == ["REP001"]
+
+
+def test_syntax_error_becomes_a_diagnostic(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    diags = lint_paths([tmp_path], ALL_RULES)
+    assert [d.rule_id for d in diags] == ["REP000"]
+    assert "syntax error" in diags[0].message
+
+
+def test_json_output_shape(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    stream = StringIO()
+    code = run_lint([str(tmp_path)], output_format="json", stream=stream)
+    assert code == 1
+    payload = json.loads(stream.getvalue())
+    assert payload["tool"] == "repro-lint"
+    assert payload["count"] == 1
+    entry = payload["diagnostics"][0]
+    assert entry["rule"] == "REP001"
+    assert entry["line"] == 3
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path):
+    (tmp_path / "mod.py").write_text("def f(x: int) -> int:\n    return x\n")
+    assert lint_main([str(tmp_path)]) == 0
+
+
+def test_cli_exit_one_on_findings(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    assert lint_main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out and "1 issue found" in out
+
+
+def test_cli_exit_two_on_missing_path(tmp_path):
+    assert lint_main([str(tmp_path / "nope")]) == 2
+
+
+def test_cli_exit_two_on_unknown_rule(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    assert lint_main([str(tmp_path), "--select", "REP999"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.rule_id in out
+
+
+def test_repro_cli_lint_subcommand(tmp_path, capsys):
+    from repro.cli import main as repro_main
+
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    assert repro_main(["lint", str(tmp_path)]) == 1
+    assert "REP001" in capsys.readouterr().out
+
+
+# -- the gates this PR promises ----------------------------------------------
+
+
+def _src_repro() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def test_repro_source_tree_is_lint_clean():
+    """`repro lint src/repro` exits 0 (the CI static-analysis gate)."""
+    assert lint_paths([_src_repro()], ALL_RULES) == []
+
+
+def test_self_check_is_clean():
+    assert lint_main(["--self-check"]) == 0
+
+
+# -- project import graph -----------------------------------------------------
+
+
+def test_import_closure_follows_project_edges(tmp_path):
+    (tmp_path / "a.py").write_text("import b\n")
+    (tmp_path / "b.py").write_text("import c\n")
+    (tmp_path / "c.py").write_text("x = 1\n")
+    (tmp_path / "d.py").write_text("x = 2\n")
+    project, errors = build_project([tmp_path])
+    assert errors == []
+    assert project.closure(["a"]) == {"a", "b", "c"}
