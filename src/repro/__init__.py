@@ -47,6 +47,7 @@ from repro.errors import (
     OperatingRangeError,
     ReproError,
     SimulationError,
+    TelemetryError,
 )
 from repro.faults import (
     CampaignConfig,
@@ -100,6 +101,15 @@ from repro.sim import (
     TransientSimulator,
 )
 from repro.storage import Capacitor
+from repro.telemetry import (
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySession,
+    Tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -164,6 +174,14 @@ __all__ = [
     "ProgressReporter",
     "stable_fingerprint",
     "campaign_run_id",
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "TelemetrySession",
+    "Tracer",
+    "MetricsRegistry",
+    "write_chrome_trace",
+    "write_jsonl",
     # errors
     "ReproError",
     "ModelParameterError",
@@ -172,4 +190,5 @@ __all__ = [
     "ConvergenceError",
     "SimulationError",
     "BrownoutError",
+    "TelemetryError",
 ]

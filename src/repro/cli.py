@@ -9,6 +9,7 @@ Exposes the library's main entry points to a terminal user::
     python -m repro track --dim-to 0.3
     python -m repro sprint --deadline-ms 10 --dim-to 0.35
     python -m repro faults --runs 50 --scheme both
+    python -m repro trace fig8 --out fig8_trace.json
 
 Every command builds the paper's demonstration system and prints plain
 text tables, so the paper's results are reachable without writing any
@@ -254,7 +255,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     )
 
     def reporter(label: str) -> "ProgressReporter | None":
-        if not args.progress:
+        if args.quiet or not args.progress:
             return None
         return ProgressReporter(
             sink=lambda line: print(line, file=sys.stderr), label=label
@@ -269,13 +270,24 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             duration_s=args.duration_ms * 1e-3,
             dim_to=args.dim_to,
         )
+        session = None
+        if args.telemetry_out:
+            from repro.telemetry import TelemetrySession
+
+            session = TelemetrySession()
         summaries[scheme] = run_transient_campaign(
             spec,
             config,
             workers=args.workers,
             chunk_size=args.chunk_size,
             progress=reporter(f"faults[{scheme}]"),
+            telemetry=session,
         )
+    if args.telemetry_out:
+        for path in _write_campaign_telemetry(
+            args.telemetry_out, schemes, summaries
+        ):
+            print(f"wrote {path}")
     keys = list(next(iter(summaries.values())).as_dict())
     rows = [
         tuple([key] + [f"{summaries[s].as_dict()[key]:.4g}" for s in schemes])
@@ -297,6 +309,88 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         ]
         print()
         print(format_table(["intermittent metric", "value"], rows))
+    return 0
+
+
+def _write_campaign_telemetry(
+    out_dir: str, schemes: "tuple[str, ...]", summaries: dict
+) -> "list[str]":
+    """Write per-scheme campaign metrics JSON files; returns the paths.
+
+    Each file holds the campaign aggregate plus the per-run metric
+    snapshots keyed by ``run_id``.  Only the deterministic sim-derived
+    metrics are written (never wall-clock profiling), so the files are
+    byte-identical at any ``--workers`` count.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.telemetry.aggregate import metrics_tuple_as_dict
+
+    target = Path(out_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for scheme in schemes:
+        summary = summaries[scheme]
+        payload = {
+            "scheme": scheme,
+            "runs": summary.runs,
+            "aggregate": metrics_tuple_as_dict(summary.metrics or ()),
+            "per_run": {
+                record.run_id: metrics_tuple_as_dict(record.metrics or ())
+                for record in summary.records
+            },
+        }
+        path = target / f"{scheme}_metrics.json"
+        path.write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
+        written.append(str(path))
+    return written
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry import TelemetrySession
+    from repro.telemetry.export import write_chrome_trace, write_jsonl
+
+    session = TelemetrySession()
+    if args.scenario == "fig8":
+        from repro.experiments.fig8_mppt import fig8_mppt_tracking
+
+        fig8_mppt_tracking(after=args.dim_to, telemetry=session)
+    elif args.scenario == "sprint":
+        from repro.experiments.fig9_sprint import fig9b_sprint_gains
+
+        fig9b_sprint_gains(
+            deadline_s=args.deadline_ms * 1e-3,
+            dim_to=args.dim_to,
+            telemetry=session,
+        )
+    else:  # campaign: replay one seeded faulted run with full tracing
+        from repro.faults import FaultSpec, CampaignConfig
+        from repro.faults.campaign import replay_transient_run
+
+        spec = FaultSpec(
+            comparator_offset_sigma_v=30e-3, flicker_depth_max=0.5
+        )
+        replay_transient_run(
+            spec,
+            CampaignConfig(dim_to=args.dim_to),
+            args.seed,
+            telemetry=session,
+        )
+
+    metrics = session.metrics.as_dict()
+    trace_path = write_chrome_trace(args.out, session.tracer, metrics)
+    print(f"wrote {trace_path}")
+    if args.jsonl:
+        jsonl_path = write_jsonl(args.jsonl, session.tracer, metrics)
+        print(f"wrote {jsonl_path}")
+    rows = [
+        ("spans", len(session.tracer.spans)),
+        ("events", len(session.tracer.events)),
+    ] + [(name, f"{value:.6g}") for name, value in sorted(metrics.items())]
+    print(format_table(["telemetry", "value"], rows))
     return 0
 
 
@@ -435,7 +529,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true",
         help="report runs/s, ETA and worker utilization on stderr",
     )
+    p_faults.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress reporting (overrides --progress)",
+    )
+    p_faults.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="record per-run telemetry metrics and write per-scheme "
+        "aggregate JSON files into DIR",
+    )
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run an instrumented scenario and export its telemetry "
+        "trace (Chrome trace-event JSON, optional JSONL)",
+    )
+    p_trace.add_argument(
+        "scenario", choices=["fig8", "sprint", "campaign"],
+        help="fig8 = MPP-tracking dim, sprint = Fig. 9(b) deadline "
+        "sprint, campaign = replay one faulted campaign seed",
+    )
+    p_trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace-event JSON output path (chrome://tracing "
+        "or ui.perfetto.dev)",
+    )
+    p_trace.add_argument(
+        "--jsonl", default=None, metavar="PATH",
+        help="also write the JSONL event log here",
+    )
+    p_trace.add_argument("--dim-to", type=float, default=0.3)
+    p_trace.add_argument("--deadline-ms", type=float, default=10.0)
+    p_trace.add_argument(
+        "--seed", type=int, default=1,
+        help="campaign seed to replay (scenario=campaign)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_lint = sub.add_parser(
         "lint",

@@ -29,6 +29,7 @@ from repro.monitor.estimator import DischargeTimePowerEstimator, PowerEstimate
 from repro.monitor.lut import MppLookupTable
 from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
 from repro.storage.capacitor import Capacitor
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -144,6 +145,7 @@ class MppTrackingController(DvfsController):
         max_interval_s: float = 10e-3,
         probe_factor: float = 1.4,
         probe_margin_v: float = 0.03,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if settle_time_s < 0.0:
             raise ModelParameterError(
@@ -163,6 +165,7 @@ class MppTrackingController(DvfsController):
         self.max_interval_s = max_interval_s
         self.probe_factor = probe_factor
         self.probe_margin_v = probe_margin_v
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.retunes: "list[RetuneRecord]" = []
         self._point = tracker.operating_point_for(initial_irradiance)
         self._irradiance_estimate = initial_irradiance
@@ -224,7 +227,7 @@ class MppTrackingController(DvfsController):
                 record = self.tracker.track(
                     upper, lower, t_lower - t_upper, draw, time_s=view.time_s
                 )
-                self._apply(record, view.time_s)
+                self._apply(record, view.time_s, kind="measured")
                 return
         for upper, lower in zip(thresholds, thresholds[1:]):
             t_lower = self._crossings.get((lower, "rising"))
@@ -254,7 +257,7 @@ class MppTrackingController(DvfsController):
                     estimated_irradiance=entry.irradiance,
                     new_point=self.tracker.operating_point_for(entry.irradiance),
                 )
-                self._apply(record, view.time_s)
+                self._apply(record, view.time_s, kind="measured")
                 return
         self._maybe_probe_upward(view)
         self._maybe_probe_downward(view)
@@ -278,7 +281,7 @@ class MppTrackingController(DvfsController):
             estimated_irradiance=probed,
             new_point=self.tracker.operating_point_for(probed),
         )
-        self._apply(record, view.time_s)
+        self._apply(record, view.time_s, kind="probe_up")
 
     def _maybe_probe_downward(self, view: ControllerView) -> None:
         """Back off when the node is pinned below the bottom comparator.
@@ -311,9 +314,23 @@ class MppTrackingController(DvfsController):
             estimated_irradiance=probed,
             new_point=self.tracker.operating_point_for(probed),
         )
-        self._apply(record, view.time_s)
+        self._apply(record, view.time_s, kind="probe_down")
 
-    def _apply(self, record: RetuneRecord, time_s: float) -> None:
+    def _apply(
+        self, record: RetuneRecord, time_s: float, kind: str = "measured"
+    ) -> None:
+        tel = self.telemetry
+        tel.count("mppt.retracks")
+        tel.count(f"mppt.retracks.{kind}")
+        if self._last_retune_s > -float("inf"):
+            tel.observe("mppt.retrack_interval_s", time_s - self._last_retune_s)
+        tel.event(
+            "mppt.retrack", time_s, track="mppt",
+            kind=kind,
+            irradiance=record.estimated_irradiance,
+            frequency_hz=record.new_point.frequency_hz,
+            node_v=record.new_point.node_voltage_v,
+        )
         self.retunes.append(record)
         self._point = record.new_point
         self._irradiance_estimate = record.estimated_irradiance
@@ -339,7 +356,7 @@ class MppTrackingController(DvfsController):
             estimated_irradiance=conservative,
             new_point=self.tracker.operating_point_for(conservative),
         )
-        self._apply(record, view.time_s)
+        self._apply(record, view.time_s, kind="recovery")
 
     def decide(self, view: ControllerView) -> ControlDecision:
         if view.recovering:

@@ -28,6 +28,7 @@ from repro.sim.dvfs import (
     DvfsController,
     FixedOperatingPointController,
 )
+from repro.telemetry.session import Telemetry
 
 #: The regulator-datasheet operating voltage a conventional design
 #: centres on (the 0.55 V anchor of the paper's Figs. 3-5).
@@ -177,16 +178,24 @@ class HolisticEnergyManager:
     # -- materialisation ---------------------------------------------------------------
 
     def controller(
-        self, plan: OperatingPlan, workload: "Workload | None" = None
+        self,
+        plan: OperatingPlan,
+        workload: "Workload | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> DvfsController:
         """A simulator controller executing the plan.
 
         For steady plans with a workload, the controller halts once the
         work completes (duty-cycled operation); without one it holds
-        the point forever.
+        the point forever.  ``telemetry`` is forwarded to controllers
+        that emit it (currently the sprint controller, which also picks
+        up the workload's deadline for miss accounting).
         """
         if plan.sprint_plan is not None:
-            return SprintController(plan.sprint_plan)
+            deadline_s = workload.deadline_s if workload is not None else None
+            return SprintController(
+                plan.sprint_plan, telemetry=telemetry, deadline_s=deadline_s
+            )
 
         point = plan.operating_point
         assert point is not None  # guaranteed by OperatingPlan validation

@@ -40,6 +40,7 @@ from repro.errors import (
 from repro.processor.workloads import Workload
 from repro.regulators.base import Regulator
 from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 
 def min_input_voltage_for_output(
@@ -428,33 +429,88 @@ class SprintController(DvfsController):
 
     The bypass transition is sticky (no flapping back when the node
     recovers slightly after the load change).
+
+    When given a ``telemetry`` sink the controller traces its phase
+    progression (``slow`` -> ``sprint`` -> ``bypass`` -> ``done``) and,
+    when ``deadline_s`` is known, counts ``sprint.deadline_misses`` if
+    the work completes past the deadline (or the run ends with work
+    still outstanding at a decision past it).
     """
 
-    def __init__(self, plan: SprintPlan, allow_bypass: bool = True) -> None:
+    def __init__(
+        self,
+        plan: SprintPlan,
+        allow_bypass: bool = True,
+        telemetry: "Telemetry | None" = None,
+        deadline_s: "float | None" = None,
+    ) -> None:
         self.plan = plan
         self.allow_bypass = allow_bypass
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.deadline_s = deadline_s
         self._bypassed = False
+        self._phase: "str | None" = None
+        self._miss_counted = False
 
     def reset(self) -> None:
         self._bypassed = False
+        self._phase = None
+        self._miss_counted = False
+
+    def _enter_phase(self, phase: str, view: ControllerView) -> None:
+        if phase == self._phase:
+            return
+        tel = self.telemetry
+        if self._phase is not None:
+            tel.count("sprint.phase_changes")
+        tel.event(
+            "sprint.phase", view.time_s, track="sprint",
+            phase=phase, node_v=view.node_voltage_v,
+            cycles_done=float(view.cycles_done),
+        )
+        self._phase = phase
+
+    def _check_deadline(self, view: ControllerView) -> None:
+        # Fires once, at the first decision past the deadline with work
+        # still outstanding -- whether or not the job later finishes.
+        if (
+            self.deadline_s is None
+            or self._miss_counted
+            or view.time_s <= self.deadline_s
+            or view.cycles_done >= self.plan.cycles
+        ):
+            return
+        self._miss_counted = True
+        self.telemetry.count("sprint.deadline_misses")
+        self.telemetry.event(
+            "sprint.deadline_miss", view.time_s, track="sprint",
+            deadline_s=self.deadline_s,
+            overrun_s=view.time_s - self.deadline_s,
+            cycles_done=float(view.cycles_done),
+        )
 
     def decide(self, view: ControllerView) -> ControlDecision:
         plan = self.plan
+        self._check_deadline(view)
         if view.cycles_done >= plan.cycles:
+            self._enter_phase("done", view)
             return ControlDecision(mode="halt", frequency_hz=0.0)
         if self.allow_bypass and (
             self._bypassed or view.node_voltage_v <= plan.bypass_below_v
         ):
             self._bypassed = True
+            self._enter_phase("bypass", view)
             return ControlDecision(
                 mode="bypass", frequency_hz=plan.fast_frequency_hz
             )
         if view.node_voltage_v <= plan.accelerate_below_v:
+            self._enter_phase("sprint", view)
             return ControlDecision(
                 mode="regulated",
                 frequency_hz=plan.fast_frequency_hz,
                 output_voltage_v=plan.output_voltage_v,
             )
+        self._enter_phase("slow", view)
         return ControlDecision(
             mode="regulated",
             frequency_hz=plan.slow_frequency_hz,

@@ -63,3 +63,12 @@ class BrownoutError(SimulationError):
 
 class CheckpointError(ReproError, RuntimeError):
     """Raised by the intermittent-computing runtime on checkpoint misuse."""
+
+
+class TelemetryError(ReproError, RuntimeError):
+    """Telemetry misuse: unbalanced spans, conflicting metric kinds,
+    mismatched histogram bucket edges.
+
+    Instrumentation is observability-only, so these raise eagerly --
+    a silently wrong trace is worse than no trace.
+    """

@@ -20,6 +20,7 @@ from repro.core.system import EnergyHarvestingSoC, paper_system
 from repro.pv.traces import step_trace
 from repro.sim.engine import SimulationConfig, TransientSimulator
 from repro.sim.result import SimulationResult
+from repro.telemetry.session import Telemetry
 
 
 @dataclass(frozen=True)
@@ -53,12 +54,20 @@ def fig8_mppt_tracking(
     dim_time_s: float = 5e-3,
     duration_s: float = 60e-3,
     time_step_s: float = 5e-6,
+    telemetry: "Telemetry | None" = None,
 ) -> MpptTrackingResult:
-    """Run the dimming scenario and evaluate the tracking quality."""
+    """Run the dimming scenario and evaluate the tracking quality.
+
+    ``telemetry`` instruments both the controller (retrack events,
+    retrack counters) and the engine (mode switches, spans) -- this is
+    the scenario behind ``repro trace fig8``.
+    """
     if system is None:
         system = paper_system()
     tracker = DischargeTimeMppTracker(system, regulator_name)
-    controller = MppTrackingController(tracker, initial_irradiance=before)
+    controller = MppTrackingController(
+        tracker, initial_irradiance=before, telemetry=telemetry
+    )
     capacitor = system.new_node_capacitor(system.mpp(before).voltage_v)
     simulator = TransientSimulator(
         cell=system.cell,
@@ -70,6 +79,7 @@ def fig8_mppt_tracking(
         config=SimulationConfig(
             time_step_s=time_step_s, record_every=4, stop_on_brownout=False
         ),
+        telemetry=telemetry,
     )
     trace = step_trace(before, after, dim_time_s, duration_s)
     result = simulator.run(trace)

@@ -34,6 +34,7 @@ from repro.processor.workloads import Workload, image_frame_workload
 from repro.pv.traces import step_trace
 from repro.sim.engine import SimulationConfig, TransientSimulator
 from repro.sim.result import SimulationResult
+from repro.telemetry.session import Telemetry
 
 #: Node capacitance for the eq. (12) first-order analysis: the paper's
 #: bench-scale "small capacitor", small enough that the node voltage
@@ -132,12 +133,17 @@ def fig9b_sprint_gains(
     dim_to: float = 0.35,
     dim_time_s: float = 1e-3,
     time_step_s: float = 2e-6,
+    telemetry: "Telemetry | None" = None,
 ) -> SprintStudy:
     """Evaluate the dimmed-light deadline scenario.
 
     Simulates three closed-loop schedules (sprint+bypass, sprint
     without bypass, constant speed) and additionally evaluates the
     paper's first-order eq. (12) analysis at the bench capacitance.
+    ``telemetry`` instruments the sprint+bypass run only (controller
+    phases, deadline misses, engine spans) -- the run behind
+    ``repro trace sprint``; instrumenting all three runs would
+    interleave their identical-name metrics into one registry.
     """
     if system is None:
         system = paper_system()
@@ -150,7 +156,10 @@ def fig9b_sprint_gains(
     baseline = FixedSpeedBaseline(system, regulator_name)
     trace = step_trace(1.0, dim_to, dim_time_s, max(4 * deadline_s, 40e-3))
 
-    def run(controller: DvfsController) -> SimulationResult:
+    def run(
+        controller: DvfsController,
+        run_telemetry: "Telemetry | None" = None,
+    ) -> SimulationResult:
         simulator = TransientSimulator(
             cell=system.cell,
             node_capacitor=system.new_node_capacitor(v_start),
@@ -161,10 +170,19 @@ def fig9b_sprint_gains(
             config=SimulationConfig(
                 time_step_s=time_step_s, record_every=4, stop_on_brownout=False
             ),
+            telemetry=run_telemetry,
         )
         return simulator.run(trace)
 
-    sprint_result = run(SprintController(plan, allow_bypass=True))
+    sprint_result = run(
+        SprintController(
+            plan,
+            allow_bypass=True,
+            telemetry=telemetry,
+            deadline_s=workload.deadline_s,
+        ),
+        run_telemetry=telemetry,
+    )
     no_bypass_result = run(SprintController(plan, allow_bypass=False))
     constant_result = run(baseline.controller(workload))
 

@@ -62,6 +62,12 @@ from repro.sim.dvfs import DvfsController, FixedOperatingPointController
 from repro.sim.engine import SimulationConfig, TransientSimulator
 from repro.sim.result import SimulationResult
 from repro.storage.capacitor import Capacitor
+from repro.telemetry.aggregate import (
+    MetricTuple,
+    aggregate_run_metrics,
+    run_metric_tuple,
+)
+from repro.telemetry.session import Telemetry, TelemetrySession
 
 SCHEMES = ("holistic", "fixed")
 
@@ -149,6 +155,9 @@ class RunRecord:
     final_cycles: float
     throughput_ratio: float
     min_node_voltage_v: float
+    #: Per-run telemetry metrics (flat, sorted ``(name, value)``
+    #: tuple), populated only on telemetry-enabled campaigns.
+    metrics: "MetricTuple | None" = None
 
 
 @dataclass(frozen=True)
@@ -178,6 +187,11 @@ class CampaignSummary:
     ideal_cycles: float
     ideal_brownout_count: int
     records: "tuple[RunRecord, ...]"
+    #: Campaign-level aggregate of the per-run telemetry metrics
+    #: (``<name>.sum/.mean/.min/.max/.runs``); ``None`` unless the
+    #: campaign ran with a telemetry sink.  Deliberately excluded from
+    #: :meth:`as_dict` so golden summaries stay telemetry-agnostic.
+    metrics: "MetricTuple | None" = None
 
     def as_dict(self) -> "dict[str, float]":
         """Flat numeric summary (deterministic; for replay tests/CLI)."""
@@ -204,13 +218,16 @@ def _make_controller(
     config: CampaignConfig,
     system: EnergyHarvestingSoC,
     lut: MppLookupTable,
+    telemetry: "Telemetry | None" = None,
 ) -> DvfsController:
     """Build the scheme's controller against a (possibly faulted) system."""
     if config.scheme == "holistic":
         tracker = DischargeTimeMppTracker(
             system, config.regulator_name, lut=lut
         )
-        return MppTrackingController(tracker, config.bright)
+        return MppTrackingController(
+            tracker, config.bright, telemetry=telemetry
+        )
     # "fixed": the conventional design -- pick the bright-light optimum
     # at design time and hold it forever.
     point = OperatingPointOptimizer(system).best_point(
@@ -229,13 +246,14 @@ def _one_run(
     capacitor: Capacitor,
     bank: ComparatorBank,
     workload: "Workload | None",
+    telemetry: "Telemetry | None" = None,
 ) -> SimulationResult:
     simulator = TransientSimulator(
         cell=system.cell,
         node_capacitor=capacitor,
         processor=system.processor,
         regulator=system.regulator(config.regulator_name),
-        controller=_make_controller(config, system, lut),
+        controller=_make_controller(config, system, lut, telemetry=telemetry),
         comparators=bank,
         workload=workload,
         config=SimulationConfig(
@@ -245,6 +263,7 @@ def _one_run(
             recover_from_brownout=True,
             recovery_voltage_v=config.recovery_voltage_v,
         ),
+        telemetry=telemetry,
     )
     return simulator.run(trace, duration_s=config.duration_s)
 
@@ -319,7 +338,11 @@ def _campaign_reference(
 
 
 def _faulted_transient_result(
-    spec: FaultSpec, config: CampaignConfig, workload_cycles: int, seed: int
+    spec: FaultSpec,
+    config: CampaignConfig,
+    workload_cycles: int,
+    seed: int,
+    telemetry: "Telemetry | None" = None,
 ) -> "Tuple[FaultDraw, SimulationResult]":
     """One faulted run, built exactly as the serial campaign does.
 
@@ -339,6 +362,7 @@ def _faulted_transient_result(
         faulted_node_capacitor(system, draw, config.initial_voltage_v),
         faulted_comparator_bank(system, draw),
         workload=Workload(name="campaign", cycles=workload_cycles),
+        telemetry=telemetry,
     )
     return draw, result
 
@@ -350,9 +374,19 @@ def _transient_run_task(
     config: CampaignConfig,
     workload_cycles: int,
     ideal_cycles: float,
+    with_metrics: bool = False,
 ) -> RunRecord:
-    """Execute one seeded run and reduce it to its :class:`RunRecord`."""
-    _, result = _faulted_transient_result(spec, config, workload_cycles, seed)
+    """Execute one seeded run and reduce it to its :class:`RunRecord`.
+
+    With ``with_metrics`` each run gets its own fresh
+    :class:`~repro.telemetry.session.TelemetrySession` (sessions are
+    not picklable and must not be shared across processes); only the
+    flat metric tuple rides back on the record.
+    """
+    session = TelemetrySession() if with_metrics else None
+    _, result = _faulted_transient_result(
+        spec, config, workload_cycles, seed, telemetry=session
+    )
     return RunRecord(
         seed=seed,
         run_id=campaign_run_id(spec, config, seed),
@@ -364,6 +398,9 @@ def _transient_run_task(
         final_cycles=float(result.final_cycles),
         throughput_ratio=float(result.final_cycles) / ideal_cycles,
         min_node_voltage_v=result.min_node_voltage_v(),
+        metrics=(
+            run_metric_tuple(session.metrics) if session is not None else None
+        ),
     )
 
 
@@ -374,6 +411,7 @@ def run_transient_campaign(
     workers: int = 1,
     chunk_size: "int | None" = None,
     progress: "ProgressReporter | None" = None,
+    telemetry: "Telemetry | None" = None,
 ) -> CampaignSummary:
     """Fan ``config.runs`` seeded fault draws across the simulator.
 
@@ -391,8 +429,16 @@ def run_transient_campaign(
     any worker count (see :mod:`repro.parallel`).  ``chunk_size``
     tunes seeds-per-dispatch; ``progress`` accepts a
     :class:`repro.parallel.progress.ProgressReporter`.
+
+    With an enabled ``telemetry`` sink, every run records its own
+    metric snapshot (MPPT retracks, mode switches, brownout outages,
+    ...), each snapshot rides back on its :class:`RunRecord`, and the
+    seed-ordered fold of :func:`repro.telemetry.aggregate.
+    aggregate_run_metrics` lands on ``CampaignSummary.metrics`` --
+    bit-identical at any worker count.
     """
     config = config or CampaignConfig()
+    with_metrics = telemetry is not None and telemetry.enabled
     workload, ideal_result, ideal_cycles = _campaign_reference(config)
     task = partial(
         _transient_run_task,
@@ -400,6 +446,7 @@ def run_transient_campaign(
         config=config,
         workload_cycles=workload.cycles,
         ideal_cycles=ideal_cycles,
+        with_metrics=with_metrics,
     )
     records = run_sharded(
         task,
@@ -407,7 +454,18 @@ def run_transient_campaign(
         workers=workers,
         chunk_size=chunk_size,
         progress=progress,
+        telemetry=telemetry,
     )
+    aggregated: "MetricTuple | None" = None
+    if with_metrics and telemetry is not None:
+        aggregated = aggregate_run_metrics([r.metrics for r in records])
+        telemetry.count("campaign.runs", float(len(records)))
+        telemetry.count(
+            "campaign.survivals", float(sum(r.survived for r in records))
+        )
+        telemetry.count(
+            "campaign.completions", float(sum(r.completed for r in records))
+        )
 
     n = float(len(records))
     downtimes = np.array([r.downtime_s for r in records])
@@ -449,21 +507,29 @@ def run_transient_campaign(
         ideal_cycles=ideal_cycles,
         ideal_brownout_count=ideal_result.brownout_count,
         records=tuple(records),
+        metrics=aggregated,
     )
 
 
 def replay_transient_run(
-    spec: FaultSpec, config: CampaignConfig, seed: int
+    spec: FaultSpec,
+    config: CampaignConfig,
+    seed: int,
+    telemetry: "Telemetry | None" = None,
 ) -> "Tuple[FaultDraw, SimulationResult]":
     """Replay one campaign run and return ``(draw, SimulationResult)``.
 
     Rebuilds the run exactly as :func:`run_transient_campaign` does
     (same builders, same seeded draw, same workload sizing), but hands
     back the full waveform result so a specific seed's brownout/
-    recovery behaviour can be inspected in detail.
+    recovery behaviour can be inspected in detail.  ``telemetry``
+    instruments the replayed run itself (events, spans, metrics) --
+    the natural way to pull a full trace of one interesting seed.
     """
     workload, _, _ = _campaign_reference(config)
-    return _faulted_transient_result(spec, config, workload.cycles, seed)
+    return _faulted_transient_result(
+        spec, config, workload.cycles, seed, telemetry=telemetry
+    )
 
 
 # -- intermittent (checkpointed charge-burst) leg -----------------------------

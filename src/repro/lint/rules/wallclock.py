@@ -1,8 +1,10 @@
 """REP002 -- wall-clock and OS nondeterminism in deterministic packages.
 
-The simulator (``sim/``), the fault campaigns (``faults/``) and the
-parallel executor's result path (``parallel/``) promise bit-identical
-outputs for identical inputs.  ``time.time()``, ``datetime.now()``,
+The simulator (``sim/``), the fault campaigns (``faults/``), the
+parallel executor's result path (``parallel/``) and the telemetry
+layer (``telemetry/`` -- its traces must be byte-identical across
+seeded re-runs) promise bit-identical outputs for identical inputs.
+``time.time()``, ``datetime.now()``,
 ``os.urandom()``, ``uuid.uuid1/uuid4`` and everything in ``secrets``
 read ambient machine state, so a single call anywhere in those
 packages makes results depend on when/where they ran.
@@ -22,7 +24,12 @@ from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
 from repro.lint.rules.common import collect_imports, dotted_name
 
 #: Package path segments whose modules must stay wall-clock free.
-DETERMINISTIC_SEGMENTS: Tuple[str, ...] = ("sim", "faults", "parallel")
+DETERMINISTIC_SEGMENTS: Tuple[str, ...] = (
+    "sim",
+    "faults",
+    "parallel",
+    "telemetry",
+)
 
 _DATETIME_METHODS = ("now", "utcnow", "today", "fromtimestamp")
 
@@ -31,8 +38,9 @@ class WallClockRule(Rule):
     rule_id = "REP002"
     title = "wall-clock / OS-entropy call in a deterministic package"
     rationale = (
-        "sim/, faults/ and parallel/ promise bit-identical outputs; "
-        "wall-clock and OS-entropy reads break replay and golden fixtures"
+        "sim/, faults/, parallel/ and telemetry/ promise bit-identical "
+        "outputs; wall-clock and OS-entropy reads break replay and "
+        "golden fixtures"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:

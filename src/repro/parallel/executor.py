@@ -33,6 +33,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ModelParameterError
 from repro.parallel.progress import NullProgress
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 #: Target chunks per worker when no explicit chunk size is given: small
 #: enough to load-balance uneven run times, large enough to amortise
@@ -93,6 +94,7 @@ def run_sharded(
     workers: int = 1,
     chunk_size: "int | None" = None,
     progress: Optional[Any] = None,
+    telemetry: "Telemetry | None" = None,
 ) -> List[Any]:
     """Map ``task`` over ``items``, optionally across worker processes.
 
@@ -112,11 +114,17 @@ def run_sharded(
     progress:
         A :class:`repro.parallel.progress.ProgressReporter` (or
         anything with its interface); default reports nothing.
+    telemetry:
+        Optional :class:`repro.telemetry.session.Telemetry` sink for
+        dispatch-level metrics (worker count, chunk count/sizes) and
+        per-chunk wall-clock profiling.  Stays in the parent process;
+        it is never pickled to workers.
 
     Returns the flat result list in submission order.
     """
     if workers < 1:
         raise ModelParameterError(f"workers must be >= 1, got {workers}")
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     work = list(items)
     progress = progress or NullProgress()
     resolved_chunk = (
@@ -125,6 +133,9 @@ def run_sharded(
     )
     chunks = shard(work, resolved_chunk)
     payloads = [(index, task, chunk) for index, chunk in chunks]
+    tel.gauge("parallel.workers", float(workers))
+    tel.count("parallel.chunks", float(len(payloads)))
+    tel.count("parallel.items", float(len(work)))
 
     progress.start(len(work), workers)
     completed: "List[ShardResult]" = []
@@ -132,6 +143,7 @@ def run_sharded(
         for payload in payloads:
             result = _run_chunk(payload)
             completed.append(result)
+            tel.profile("parallel.chunk_wall_s", result.elapsed_s)
             progress.update(
                 len(result.results), result.worker_id, result.elapsed_s
             )
@@ -141,6 +153,7 @@ def run_sharded(
         with context.Pool(processes=pool_size) as pool:
             for result in pool.imap_unordered(_run_chunk, payloads):
                 completed.append(result)
+                tel.profile("parallel.chunk_wall_s", result.elapsed_s)
                 progress.update(
                     len(result.results), result.worker_id, result.elapsed_s
                 )

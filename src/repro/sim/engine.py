@@ -18,6 +18,7 @@ management scheme (the contribution).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +38,7 @@ from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
 from repro.sim.result import SimulationResult
 from repro.sim.transitions import DvfsTransitionModel
 from repro.storage.capacitor import Capacitor
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 
 @dataclass(frozen=True)
@@ -112,6 +114,12 @@ class TransientSimulator:
         Optional DVFS transition-cost model; when given, every mode or
         setpoint change gates the clock for the settle time and draws
         the rail-recharge energy from the node.
+    telemetry:
+        Optional :class:`~repro.telemetry.session.Telemetry` sink.
+        The engine emits sim-time events/spans (mode switches, DVFS
+        transitions, brownouts, recoveries) and per-run metrics into
+        it; the default no-op sink records nothing and adds no
+        per-step work.
     """
 
     def __init__(
@@ -125,6 +133,7 @@ class TransientSimulator:
         workload: "Workload | None" = None,
         config: "SimulationConfig | None" = None,
         transitions: "DvfsTransitionModel | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         self.cell = cell
         self.node_capacitor = node_capacitor
@@ -135,6 +144,7 @@ class TransientSimulator:
         self.workload = workload
         self.config = config or SimulationConfig()
         self.transitions = transitions
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # -- one actuation resolution -------------------------------------------------
 
@@ -199,6 +209,18 @@ class TransientSimulator:
         if self.comparators is not None:
             self.comparators.reset()
 
+        # Telemetry: sim-time tracing plus wall-clock profiling.  The
+        # default sink is a shared no-op, so the per-step cost when
+        # disabled is one string comparison (the mode-switch check).
+        tel = self.telemetry
+        wall_started = time.perf_counter()
+        tel.begin_span(
+            "engine.run", 0.0, track="engine",
+            dt_s=dt, planned_steps=steps,
+        )
+        telemetry_mode: "str | None" = None
+        outage_started_s: "float | None" = None
+
         record_count = steps // cfg.record_every + 1
         rec_t = np.empty(record_count)
         rec_vnode = np.empty(record_count)
@@ -245,6 +267,11 @@ class TransientSimulator:
             if recovering and v_node >= cfg.recovery_voltage_v:
                 recovering = False
                 events.append(("recovered", t))
+                tel.event("recovered", t, track="engine", node_v=v_node)
+                if outage_started_s is not None:
+                    tel.end_span(t)
+                    tel.observe("brownout.outage_s", t - outage_started_s)
+                    outage_started_s = None
 
             view = ControllerView(
                 time_s=t,
@@ -269,6 +296,12 @@ class TransientSimulator:
                     prev_mode, prev_setpoint_v, mode, v_proc
                 ):
                     transition_count += 1
+                    tel.count("dvfs.transitions")
+                    tel.event(
+                        "dvfs.transition", t, track="engine",
+                        previous=prev_mode or "", new=mode,
+                        setpoint_v=v_proc,
+                    )
                     lockout_until = t + self.transitions.settle_time_s
                     recharge = self.transitions.transition_energy_j(
                         prev_setpoint_v, v_proc
@@ -299,6 +332,18 @@ class TransientSimulator:
                     elif mode == "bypass":
                         p_draw = p_proc
 
+            # Converter-path mode switch (regulated <-> bypass <-> halt).
+            # Checked before the brownout block so the final switch into
+            # halt is still counted when stop_on_brownout breaks the loop.
+            if mode != telemetry_mode:
+                if telemetry_mode is not None:
+                    tel.count("regulator.mode_switches")
+                    tel.event(
+                        "regulator.mode_switch", t, track="engine",
+                        previous=telemetry_mode, new=mode, node_v=v_node,
+                    )
+                telemetry_mode = mode
+
             # Brownout: the controller asked for work the supply cannot run.
             stalled = (
                 decision.frequency_hz > 0.0
@@ -315,6 +360,8 @@ class TransientSimulator:
                 if brownout_time is None:
                     brownout_time = t
                 events.append(("brownout", t))
+                tel.count("brownout.count")
+                tel.event("brownout", t, track="engine", node_v=v_node)
                 if cfg.stop_on_brownout:
                     if step % cfg.record_every == 0:
                         rec_t[recorded] = t
@@ -332,6 +379,9 @@ class TransientSimulator:
                     # Enter halt-and-recharge: power-gate the load until
                     # the node climbs back to the recovery threshold.
                     recovering = True
+                    if outage_started_s is None:
+                        tel.begin_span("brownout.outage", t, track="engine")
+                        outage_started_s = t
                     v_proc, f, p_proc, p_draw, mode = (
                         0.0, 0.0, 0.0, 0.0, "halt",
                     )
@@ -370,6 +420,10 @@ class TransientSimulator:
                 else:
                     completion_time = t
                 events.append(("completed", completion_time))
+                tel.event(
+                    "workload.completed", completion_time, track="engine",
+                    cycles=float(target_cycles),
+                )
                 if cfg.stop_on_completion:
                     cycles = new_cycles
                     break
@@ -396,6 +450,7 @@ class TransientSimulator:
                 if demand_w > 0.0 and not node_collapsed:
                     node_collapsed = True
                     events.append(("node_collapse", t))
+                    tel.event("node.collapse", t, track="engine")
             self.node_capacitor.apply_current(i_pv - i_draw, dt)
             if not np.isfinite(self.node_capacitor.voltage_v):
                 raise SimulationError(f"node voltage became non-finite at t={t}")
@@ -409,6 +464,17 @@ class TransientSimulator:
                 pending_events = ()
 
             t += dt
+
+        if outage_started_s is not None:
+            # Run ended while still browned out: close the span at the
+            # final simulated time so the trace stays balanced.
+            tel.end_span(t)
+            tel.observe("brownout.outage_s", t - outage_started_s)
+        tel.end_span(t, steps=float(step + 1))
+        tel.count("engine.steps", float(step + 1))
+        tel.gauge("brownout.downtime_s", downtime_s)
+        tel.gauge("engine.final_cycles", float(cycles))
+        tel.profile("engine.run_wall_s", time.perf_counter() - wall_started)
 
         result = SimulationResult(
             time_s=rec_t[:recorded].copy(),
@@ -428,6 +494,7 @@ class TransientSimulator:
             downtime_s=downtime_s,
             final_cycles=cycles,
             events=events,
+            metrics=tel.result_metrics(),
         )
         result.events.extend(
             [("transitions", float(transition_count))]

@@ -41,6 +41,7 @@ class SimulationResult:
     downtime_s: float = 0.0
     final_cycles: float = 0.0
     events: list = field(default_factory=list)
+    metrics: "dict[str, float] | None" = None
 
     MODE_CODES = {"regulated": 0, "bypass": 1, "halt": 2}
 
@@ -131,8 +132,13 @@ class SimulationResult:
             handle.write("\n".join(lines) + "\n")
 
     def summary(self) -> "dict[str, float]":
-        """Headline numbers for reports and benches."""
-        return {
+        """Headline numbers for reports and benches.
+
+        Key order is deterministic: the fixed headline keys, then
+        ``time_in_mode.*`` in sorted mode order, then any telemetry
+        metrics (already sorted) when the run was instrumented.
+        """
+        out = {
             "duration_s": self.duration_s,
             "completed": float(self.completed),
             "completion_time_s": (
@@ -150,3 +156,9 @@ class SimulationResult:
             "min_node_voltage_v": self.min_node_voltage_v(),
             "average_frequency_hz": self.average_frequency_hz(),
         }
+        for name in sorted(self.MODE_CODES):
+            out[f"time_in_mode.{name}"] = self.time_in_mode(name)
+        if self.metrics is not None:
+            for name in sorted(self.metrics):
+                out[f"metrics.{name}"] = self.metrics[name]
+        return out

@@ -1,0 +1,75 @@
+"""Campaign-level metric aggregation.
+
+A telemetry-enabled campaign run reduces each worker's per-run
+:class:`~repro.telemetry.metrics.MetricsRegistry` to a flat, sorted
+``(name, value)`` tuple that rides back to the parent on the run
+record.  This module folds those per-run tuples into one campaign
+aggregate: for every metric key it reports ``sum``, ``mean``, ``min``
+and ``max`` over the runs that recorded it, plus how many did.
+
+Determinism contract: the fold iterates runs *in the order given*, and
+:func:`repro.parallel.executor.run_sharded` returns records in
+submission (seed) order at any worker count -- so the aggregate,
+including its float summation order, is bit-identical whether the
+campaign ran serially or fanned across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: A per-run metric snapshot as it travels on a run record: flat,
+#: sorted, hashable, picklable.
+MetricTuple = Tuple[Tuple[str, float], ...]
+
+
+def run_metric_tuple(metrics: MetricsRegistry) -> MetricTuple:
+    """Flatten a registry for transport on a run record."""
+    return tuple(sorted(metrics.as_dict().items()))
+
+
+def aggregate_run_metrics(
+    per_run: "Sequence[Optional[MetricTuple]]",
+) -> MetricTuple:
+    """Fold per-run metric tuples into the campaign aggregate.
+
+    ``None`` entries (runs that recorded nothing) are skipped but do
+    not shift the fold order of the rest.  Keys are suffixed with the
+    statistic: ``<name>.sum/.mean/.min/.max/.runs``.
+    """
+    sums: "Dict[str, float]" = {}
+    mins: "Dict[str, float]" = {}
+    maxs: "Dict[str, float]" = {}
+    counts: "Dict[str, int]" = {}
+    for run in per_run:
+        if run is None:
+            continue
+        for name, value in run:
+            if name not in counts:
+                sums[name] = value
+                mins[name] = value
+                maxs[name] = value
+                counts[name] = 1
+                continue
+            sums[name] += value
+            if value < mins[name]:
+                mins[name] = value
+            if value > maxs[name]:
+                maxs[name] = value
+            counts[name] += 1
+    flat: "List[Tuple[str, float]]" = []
+    for name in sorted(counts):
+        n = counts[name]
+        flat.append((f"{name}.sum", sums[name]))
+        flat.append((f"{name}.mean", sums[name] / n))
+        flat.append((f"{name}.min", mins[name]))
+        flat.append((f"{name}.max", maxs[name]))
+        flat.append((f"{name}.runs", float(n)))
+    return tuple(flat)
+
+
+def metrics_tuple_as_dict(metrics: MetricTuple) -> "Dict[str, float]":
+    """A plain dict view of a metric tuple (JSON-friendly)."""
+    return dict(metrics)

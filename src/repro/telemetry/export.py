@@ -1,0 +1,168 @@
+"""Exporters: JSONL event logs and Chrome trace-event JSON.
+
+Two deterministic serialisations of one tracer:
+
+* **JSONL** -- one JSON object per line, events and spans merged in
+  (time, sequence) order, keys sorted, compact separators.  Because
+  every timestamp is simulated time and every attribute is a
+  sim-derived scalar, two runs of the same seeded scenario produce
+  *byte-identical* files -- the CI ``telemetry-determinism`` job
+  asserts exactly that with ``cmp``.
+* **Chrome trace-event JSON** -- the ``chrome://tracing`` /
+  `Perfetto <https://ui.perfetto.dev>`_ format: complete (``"X"``)
+  events for spans, instant (``"i"``) events for point events, one
+  named thread row per track.  Simulated seconds map to the format's
+  microsecond ``ts`` field, so a 60 ms transient renders as a 60 ms
+  timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.telemetry.tracing import Tracer
+
+def _dumps(payload: object) -> str:
+    """Canonical JSON: sorted keys, compact separators, reproducible."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _jsonl_records(
+    tracer: Tracer, metrics: "Dict[str, float] | None" = None
+) -> "List[Dict[str, object]]":
+    """The JSONL payload as a list of plain dicts (for tests/tools)."""
+    merged: "List[tuple[float, int, Dict[str, object]]]" = []
+    for event in tracer.events:
+        merged.append(
+            (
+                event.time_s,
+                event.seq,
+                {
+                    "kind": "event",
+                    "name": event.name,
+                    "t_s": event.time_s,
+                    "track": event.track,
+                    "attrs": dict(event.attrs),
+                },
+            )
+        )
+    for span in tracer.spans:
+        merged.append(
+            (
+                span.start_s,
+                span.seq,
+                {
+                    "kind": "span",
+                    "name": span.name,
+                    "t_s": span.start_s,
+                    "dur_s": span.duration_s,
+                    "depth": span.depth,
+                    "track": span.track,
+                    "attrs": dict(span.attrs),
+                },
+            )
+        )
+    merged.sort(key=lambda item: (item[0], item[1]))
+    records = [record for _, _, record in merged]
+    if metrics is not None:
+        for name, value in sorted(metrics.items()):
+            records.append({"kind": "metric", "name": name, "value": value})
+    return records
+
+
+def to_jsonl(
+    tracer: Tracer, metrics: "Dict[str, float] | None" = None
+) -> str:
+    """Serialise the trace (and optional metrics) as JSONL text.
+
+    Events and spans come first in (time, sequence) order; metric
+    lines (if given) trail in sorted-key order.  Deterministic byte
+    for byte given a deterministic run.
+    """
+    lines = [_dumps(record) for record in _jsonl_records(tracer, metrics)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(
+    path: "Union[str, Path]",
+    tracer: Tracer,
+    metrics: "Dict[str, float] | None" = None,
+) -> Path:
+    """Write :func:`to_jsonl` output to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(to_jsonl(tracer, metrics))
+    return target
+
+
+def to_chrome_trace(
+    tracer: Tracer, metrics: "Dict[str, float] | None" = None
+) -> "Dict[str, object]":
+    """Build a ``chrome://tracing`` trace-event JSON object.
+
+    Tracks become named threads (sorted for stable tid assignment);
+    spans become complete events, point events become thread-scoped
+    instants.  Optional metrics ride along under ``otherData`` (the
+    viewer ignores them; tools need not re-derive).
+    """
+    tracks = sorted(
+        {span.track for span in tracer.spans}
+        | {event.track for event in tracer.events}
+    )
+    tids = {track: index for index, track in enumerate(tracks)}
+    trace_events: "List[Dict[str, object]]" = []
+    for track in tracks:
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tids[track],
+                "args": {"name": track},
+            }
+        )
+    for span in tracer.spans:
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.track,
+                "pid": 0,
+                "tid": tids[span.track],
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "args": dict(span.attrs),
+            }
+        )
+    for event in tracer.events:
+        trace_events.append(
+            {
+                "ph": "i",
+                "name": event.name,
+                "cat": event.track,
+                "pid": 0,
+                "tid": tids[event.track],
+                "ts": event.time_s * 1e6,
+                "s": "t",
+                "args": dict(event.attrs),
+            }
+        )
+    payload: "Dict[str, object]" = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if metrics is not None:
+        payload["otherData"] = {"metrics": dict(sorted(metrics.items()))}
+    return payload
+
+
+def write_chrome_trace(
+    path: "Union[str, Path]",
+    tracer: Tracer,
+    metrics: "Dict[str, float] | None" = None,
+) -> Path:
+    """Write :func:`to_chrome_trace` as JSON to ``path``."""
+    target = Path(path)
+    target.write_text(_dumps(to_chrome_trace(tracer, metrics)) + "\n")
+    return target

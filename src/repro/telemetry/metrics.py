@@ -1,0 +1,287 @@
+"""Deterministic per-run metrics: counters, gauges, histograms.
+
+Everything recorded here derives from *simulated* quantities (retrack
+counts, downtime seconds, outage durations), so a registry's snapshot
+is a pure function of the run that produced it -- the property the
+campaign aggregation layer leans on for bit-identical serial-versus-
+parallel reduction.  Wall-clock profiling accumulates in a separate
+namespace (:meth:`MetricsRegistry.profile`) that is *excluded* from
+snapshots and flattened dicts, so timing noise can never leak into a
+golden fixture or a determinism gate.
+
+Histogram bucket edges are fixed at construction (default
+:data:`DEFAULT_EDGES`, decade edges spanning microseconds to tens of
+seconds) -- two runs observing the same values always produce the same
+bucket counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import TelemetryError
+
+#: Default histogram bucket edges [s]: decades from 1 us to 10 s.
+#: Chosen for duration-flavoured observations (outage lengths, retrack
+#: intervals); callers with different dynamics pass explicit edges.
+DEFAULT_EDGES: "Tuple[float, ...]" = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+@dataclass
+class Counter:
+    """A monotonically accumulating quantity (float increments allowed)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0: counters only accumulate)."""
+        if amount < 0.0:
+            raise TelemetryError(
+                f"counter {self.name!r} increment must be >= 0, got {amount}"
+            )
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins instantaneous quantity."""
+
+    name: str
+    value: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the latest value."""
+        self.value = value
+        self.updates += 1
+
+
+@dataclass
+class Histogram:
+    """Fixed-edge bucketed distribution of observations.
+
+    ``counts`` has ``len(edges) + 1`` entries: one per ``value <=
+    edge`` bucket plus a final overflow bucket for values above the
+    last edge.
+    """
+
+    name: str
+    edges: "Tuple[float, ...]" = DEFAULT_EDGES
+    counts: "List[int]" = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise TelemetryError(
+                f"histogram {self.name!r} needs at least one bucket edge"
+            )
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise TelemetryError(
+                f"histogram {self.name!r} edges must be strictly increasing"
+            )
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+        elif len(self.counts) != len(self.edges) + 1:
+            raise TelemetryError(
+                f"histogram {self.name!r} needs {len(self.edges) + 1} "
+                f"buckets, got {len(self.counts)}"
+            )
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket."""
+        index = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if value <= edge:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, picklable, deterministic view of a registry.
+
+    Every field is a sorted tuple, so snapshot equality is structural
+    and two registries fed identical runs compare equal bit-for-bit.
+    """
+
+    counters: "Tuple[Tuple[str, float], ...]" = ()
+    gauges: "Tuple[Tuple[str, float, int], ...]" = ()
+    histograms: "Tuple[Tuple[str, Tuple[float, ...], Tuple[int, ...], int, float], ...]" = ()
+
+    def as_dict(self) -> "Dict[str, float]":
+        """Flatten to sorted scalar keys (for summaries and JSON)."""
+        flat: "Dict[str, float]" = {}
+        for name, value in self.counters:
+            flat[name] = value
+        for name, value, _updates in self.gauges:
+            flat[name] = value
+        for name, edges, counts, count, total in self.histograms:
+            flat[f"{name}.count"] = float(count)
+            flat[f"{name}.total"] = total
+            for edge, bucket in zip(edges, counts):
+                flat[f"{name}.le_{edge:g}"] = float(bucket)
+            flat[f"{name}.gt_{edges[-1]:g}"] = float(counts[-1])
+        return dict(sorted(flat.items()))
+
+
+def merge_snapshots(
+    snapshots: "Sequence[MetricsSnapshot]",
+) -> MetricsSnapshot:
+    """Reduce snapshots in the given order into one.
+
+    Counters and histogram buckets add; gauges keep the last writer's
+    value (with update counts summed).  The reduction is associative
+    over a *fixed* order, which is exactly what
+    :func:`repro.parallel.executor.run_sharded`'s ordered reduce
+    provides -- so serial and parallel campaigns merge identically.
+    """
+    counters: "Dict[str, float]" = {}
+    gauges: "Dict[str, Tuple[float, int]]" = {}
+    histograms: "Dict[str, Tuple[Tuple[float, ...], List[int], int, float]]" = {}
+    for snapshot in snapshots:
+        for name, value in snapshot.counters:
+            counters[name] = counters.get(name, 0.0) + value
+        for name, value, updates in snapshot.gauges:
+            previous = gauges.get(name, (0.0, 0))
+            gauges[name] = (value if updates else previous[0],
+                            previous[1] + updates)
+        for name, edges, counts, count, total in snapshot.histograms:
+            if name not in histograms:
+                histograms[name] = (edges, list(counts), count, total)
+                continue
+            held_edges, held_counts, held_count, held_total = histograms[name]
+            if held_edges != edges:
+                raise TelemetryError(
+                    f"histogram {name!r} bucket edges differ across "
+                    "snapshots; merging would mis-bucket observations"
+                )
+            histograms[name] = (
+                held_edges,
+                [a + b for a, b in zip(held_counts, counts)],
+                held_count + count,
+                held_total + total,
+            )
+    return MetricsSnapshot(
+        counters=tuple(sorted(counters.items())),
+        gauges=tuple(
+            (name, value, updates)
+            for name, (value, updates) in sorted(gauges.items())
+        ),
+        histograms=tuple(
+            (name, edges, tuple(counts), count, total)
+            for name, (edges, counts, count, total) in sorted(
+                histograms.items()
+            )
+        ),
+    )
+
+
+class MetricsRegistry:
+    """Named metric instruments plus a segregated profiling namespace."""
+
+    def __init__(self) -> None:
+        self._counters: "Dict[str, Counter]" = {}
+        self._gauges: "Dict[str, Gauge]" = {}
+        self._histograms: "Dict[str, Histogram]" = {}
+        self._profiles: "Dict[str, Tuple[int, float]]" = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise TelemetryError(
+                    f"metric {name!r} already registered as a "
+                    f"{other_kind}, cannot re-register as a {kind}"
+                )
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if name not in self._counters:
+            self._check_free(name, "counter")
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        if name not in self._gauges:
+            self._check_free(name, "gauge")
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(
+        self, name: str, edges: "Tuple[float, ...] | None" = None
+    ) -> Histogram:
+        """The histogram called ``name`` (created on first use).
+
+        ``edges`` applies on first creation only; a later call with
+        different edges is an error (fixed-edge determinism).
+        """
+        if name not in self._histograms:
+            self._check_free(name, "histogram")
+            self._histograms[name] = Histogram(
+                name, edges=edges if edges is not None else DEFAULT_EDGES
+            )
+        elif edges is not None and self._histograms[name].edges != tuple(edges):
+            raise TelemetryError(
+                f"histogram {name!r} already registered with different "
+                "bucket edges"
+            )
+        return self._histograms[name]
+
+    # -- profiling (wall clock; never in snapshots) --------------------------
+
+    def profile(self, name: str, seconds: float) -> None:
+        """Accumulate a wall-clock timing sample (observability only)."""
+        calls, total = self._profiles.get(name, (0, 0.0))
+        self._profiles[name] = (calls + 1, total + seconds)
+
+    def profiling_summary(self) -> "Dict[str, float]":
+        """Wall-clock totals: ``<name>.calls/.total_s/.mean_s`` keys."""
+        flat: "Dict[str, float]" = {}
+        for name, (calls, total) in sorted(self._profiles.items()):
+            flat[f"{name}.calls"] = float(calls)
+            flat[f"{name}.total_s"] = total
+            flat[f"{name}.mean_s"] = total / calls if calls else 0.0
+        return flat
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Immutable deterministic view (profiling excluded)."""
+        return MetricsSnapshot(
+            counters=tuple(
+                (name, counter.value)
+                for name, counter in sorted(self._counters.items())
+            ),
+            gauges=tuple(
+                (name, gauge.value, gauge.updates)
+                for name, gauge in sorted(self._gauges.items())
+            ),
+            histograms=tuple(
+                (
+                    name,
+                    histogram.edges,
+                    tuple(histogram.counts),
+                    histogram.count,
+                    histogram.total,
+                )
+                for name, histogram in sorted(self._histograms.items())
+            ),
+        )
+
+    def as_dict(self) -> "Dict[str, float]":
+        """Flattened deterministic scalars (profiling excluded)."""
+        return self.snapshot().as_dict()

@@ -1,0 +1,51 @@
+"""Wall-clock profiling hooks (observability only).
+
+``time.perf_counter`` is the one clock allowed inside the
+deterministic packages (REP002 permits it precisely because it is the
+right tool for *measuring* elapsed wall time and never a valid input
+to simulated physics).  Everything recorded through these helpers
+lands in the :class:`~repro.telemetry.metrics.MetricsRegistry`'s
+profiling namespace, which is excluded from snapshots, flattened
+metric dicts and every deterministic export -- timing noise cannot
+reach a golden fixture.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from contextlib import contextmanager
+
+from repro.telemetry.session import Telemetry
+
+
+class Stopwatch:
+    """A tiny perf_counter stopwatch for hand-rolled timing."""
+
+    def __init__(self) -> None:
+        self._started: float = time.perf_counter()
+
+    def restart(self) -> None:
+        """Reset the reference instant to now."""
+        self._started = time.perf_counter()
+
+    def elapsed_s(self) -> float:
+        """Wall seconds since construction / last restart."""
+        return time.perf_counter() - self._started
+
+
+@contextmanager
+def profiled(telemetry: Telemetry, name: str) -> "Iterator[None]":
+    """Time a block and accumulate it under ``name``.
+
+    Usage::
+
+        with profiled(telemetry, "engine.run_wall_s"):
+            ... the step loop ...
+    """
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        telemetry.profile(name, time.perf_counter() - started)

@@ -1,0 +1,134 @@
+"""The ``Telemetry`` seam: a no-op default and a recording session.
+
+Instrumented code -- the transient engine, the MPP tracker, the sprint
+controller, the fault campaign -- takes an injected :class:`Telemetry`
+and calls it unconditionally.  The base class is the *null* sink:
+every hook is a ``pass``, so with telemetry disabled (the default
+everywhere) instrumentation costs one attribute load and an empty
+method call on the rare code paths that emit at all -- the hot
+per-step path emits nothing.
+
+:class:`TelemetrySession` is the recording implementation, bundling a
+:class:`~repro.telemetry.tracing.Tracer` (sim-time events/spans) and a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (counters, gauges,
+histograms, wall-clock profiling).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry, MetricsSnapshot
+from repro.telemetry.tracing import AttrValue, Tracer
+
+
+class Telemetry:
+    """No-op telemetry sink; the protocol instrumented code speaks.
+
+    Subclass (or duck-type) to record.  All hooks must stay cheap and
+    exception-free: instrumentation is never allowed to change
+    simulation behaviour.
+    """
+
+    #: Whether this sink records anything.  Instrumented code may (but
+    #: need not) check this to skip building expensive attributes.
+    enabled: bool = False
+
+    def event(
+        self, name: str, time_s: float, track: str = "sim",
+        **attrs: AttrValue,
+    ) -> None:
+        """Record a point event at simulated ``time_s``."""
+
+    def begin_span(
+        self, name: str, time_s: float, track: str = "sim",
+        **attrs: AttrValue,
+    ) -> None:
+        """Open a nested span at simulated ``time_s``."""
+
+    def end_span(self, time_s: float, **attrs: AttrValue) -> None:
+        """Close the innermost open span at simulated ``time_s``."""
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter called ``name``."""
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge called ``name``."""
+
+    def observe(
+        self, name: str, value: float,
+        edges: "Tuple[float, ...] | None" = None,
+    ) -> None:
+        """Record one histogram observation."""
+
+    def profile(self, name: str, seconds: float) -> None:
+        """Accumulate a wall-clock timing sample (never deterministic)."""
+
+    def result_metrics(self) -> "Optional[Dict[str, float]]":
+        """Flattened deterministic metrics, or None when not recording.
+
+        The engine merges this into
+        :meth:`repro.sim.result.SimulationResult.summary`.
+        """
+        return None
+
+
+class NullTelemetry(Telemetry):
+    """Explicitly-named alias of the no-op base (reads better at call
+    sites that construct one)."""
+
+
+#: Shared no-op sink used as the default everywhere.  Stateless, so one
+#: instance serves every simulator, controller and campaign.
+NULL_TELEMETRY = NullTelemetry()
+
+
+class TelemetrySession(Telemetry):
+    """A recording sink: sim-time tracer plus metrics registry."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        tracer: "Tracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def event(
+        self, name: str, time_s: float, track: str = "sim",
+        **attrs: AttrValue,
+    ) -> None:
+        self.tracer.event(name, time_s, track=track, **attrs)
+
+    def begin_span(
+        self, name: str, time_s: float, track: str = "sim",
+        **attrs: AttrValue,
+    ) -> None:
+        self.tracer.begin_span(name, time_s, track=track, **attrs)
+
+    def end_span(self, time_s: float, **attrs: AttrValue) -> None:
+        self.tracer.end_span(time_s, **attrs)
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.metrics.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float,
+        edges: "Tuple[float, ...] | None" = None,
+    ) -> None:
+        self.metrics.histogram(name, edges=edges).observe(value)
+
+    def profile(self, name: str, seconds: float) -> None:
+        self.metrics.profile(name, seconds)
+
+    def result_metrics(self) -> "Optional[Dict[str, float]]":
+        return self.metrics.as_dict()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The registry's deterministic snapshot (convenience)."""
+        return self.metrics.snapshot()

@@ -1,0 +1,186 @@
+"""Sim-time span and event tracing.
+
+The tracer records *what the simulated system did and when* -- in
+simulated seconds, never wall clock.  Every regulator mode switch,
+comparator-driven retune, brownout entry and recovery is an
+:class:`Event` or a :class:`Span` stamped with the monotonic simulation
+time at which it happened, so two runs of the same seeded scenario
+produce byte-identical traces (the ``telemetry-determinism`` CI gate).
+Wall-clock profiling lives in :mod:`repro.telemetry.profiling` and is
+kept strictly out of these records.
+
+Spans nest: ``begin_span``/``end_span`` maintain a stack, so a
+brownout outage recorded inside the engine's run span renders as a
+nested bar in ``chrome://tracing`` (see
+:mod:`repro.telemetry.export`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+from repro.errors import TelemetryError
+
+#: One event/span attribute: a (key, value) pair with a JSON-friendly
+#: scalar value.  Attributes are stored as sorted tuples -- hashable,
+#: picklable and deterministic to serialize.
+AttrValue = Union[str, float, int, bool]
+Attr = Tuple[str, AttrValue]
+
+
+def freeze_attrs(attrs: "dict[str, AttrValue]") -> "Tuple[Attr, ...]":
+    """Normalise an attribute mapping into a sorted, hashable tuple."""
+    return tuple(sorted(attrs.items()))
+
+
+@dataclass(frozen=True)
+class Event:
+    """A point-in-time occurrence, stamped with simulated time.
+
+    ``seq`` is the tracer's insertion counter: it breaks ties between
+    events sharing a timestamp so ordering is total and deterministic.
+    """
+
+    name: str
+    time_s: float
+    track: str = "sim"
+    attrs: "Tuple[Attr, ...]" = ()
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval of simulated time, possibly nested.
+
+    ``depth`` is the nesting level at which the span was opened (0 for
+    top-level), preserved so exporters can render the hierarchy.
+    """
+
+    name: str
+    start_s: float
+    end_s: float
+    track: str = "sim"
+    depth: int = 0
+    attrs: "Tuple[Attr, ...]" = ()
+    seq: int = 0
+
+    @property
+    def duration_s(self) -> float:
+        """Simulated time covered by the span."""
+        return self.end_s - self.start_s
+
+
+@dataclass
+class _OpenSpan:
+    """Book-keeping for a span that has begun but not yet ended."""
+
+    name: str
+    start_s: float
+    track: str
+    depth: int
+    attrs: "Tuple[Attr, ...]"
+    seq: int
+
+
+class Tracer:
+    """Collects events and nestable spans in simulated time.
+
+    The tracer is deliberately dumb: it validates ordering invariants
+    (span ends at or after its start, balanced begin/end) and assigns
+    sequence numbers, nothing else.  Interpretation belongs to the
+    exporters and the tests.
+    """
+
+    def __init__(self) -> None:
+        self._events: "List[Event]" = []
+        self._spans: "List[Span]" = []
+        self._stack: "List[_OpenSpan]" = []
+        self._seq = 0
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # -- recording -----------------------------------------------------------
+
+    def event(
+        self, name: str, time_s: float, track: str = "sim", **attrs: AttrValue
+    ) -> Event:
+        """Record a point event at simulated ``time_s``."""
+        record = Event(
+            name=name,
+            time_s=time_s,
+            track=track,
+            attrs=freeze_attrs(attrs),
+            seq=self._next_seq(),
+        )
+        self._events.append(record)
+        return record
+
+    def begin_span(
+        self, name: str, time_s: float, track: str = "sim", **attrs: AttrValue
+    ) -> None:
+        """Open a span; it nests inside any span already open."""
+        self._stack.append(
+            _OpenSpan(
+                name=name,
+                start_s=time_s,
+                track=track,
+                depth=len(self._stack),
+                attrs=freeze_attrs(attrs),
+                seq=self._next_seq(),
+            )
+        )
+
+    def end_span(self, time_s: float, **attrs: AttrValue) -> Span:
+        """Close the innermost open span at simulated ``time_s``.
+
+        Extra ``attrs`` are merged over the attributes given at
+        ``begin_span`` (end-time attributes win on key collision).
+        """
+        if not self._stack:
+            raise TelemetryError("end_span with no span open")
+        open_span = self._stack.pop()
+        if time_s < open_span.start_s:
+            raise TelemetryError(
+                f"span {open_span.name!r} would end at {time_s} before "
+                f"its start {open_span.start_s} (simulated time is "
+                "monotonic)"
+            )
+        merged = dict(open_span.attrs)
+        merged.update(attrs)
+        span = Span(
+            name=open_span.name,
+            start_s=open_span.start_s,
+            end_s=time_s,
+            track=open_span.track,
+            depth=open_span.depth,
+            attrs=freeze_attrs(merged),
+            seq=open_span.seq,
+        )
+        self._spans.append(span)
+        return span
+
+    def close_all(self, time_s: float) -> None:
+        """Close every open span at ``time_s`` (end-of-run cleanup)."""
+        while self._stack:
+            self.end_span(time_s)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def open_depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    @property
+    def events(self) -> "Tuple[Event, ...]":
+        """All events, ordered by (time, insertion sequence)."""
+        return tuple(sorted(self._events, key=lambda e: (e.time_s, e.seq)))
+
+    @property
+    def spans(self) -> "Tuple[Span, ...]":
+        """All closed spans, ordered by (start time, insertion sequence)."""
+        return tuple(sorted(self._spans, key=lambda s: (s.start_s, s.seq)))

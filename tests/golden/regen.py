@@ -14,7 +14,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from tests.golden.builders import PAYLOADS
+from tests.golden.builders import PAYLOADS, TEXT_PAYLOADS
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
@@ -26,6 +26,10 @@ def regenerate() -> "list[Path]":
         path.write_text(
             json.dumps(builder(), indent=2, sort_keys=True) + "\n"
         )
+        written.append(path)
+    for name, text_builder in TEXT_PAYLOADS.items():
+        path = GOLDEN_DIR / name
+        path.write_text(text_builder())
         written.append(path)
     return written
 

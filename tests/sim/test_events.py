@@ -3,7 +3,12 @@
 import pytest
 
 from repro.errors import ModelParameterError
-from repro.pv.traces import constant_trace, ramp_trace, step_trace
+from repro.pv.traces import (
+    IrradianceTrace,
+    constant_trace,
+    ramp_trace,
+    step_trace,
+)
 from repro.sim.events import LightStepEvent, detect_light_steps
 
 
@@ -40,3 +45,38 @@ class TestDetectLightSteps:
     def test_rejects_bad_threshold(self):
         with pytest.raises(ModelParameterError):
             detect_light_steps(constant_trace(1.0, 1.0), min_relative_change=0.0)
+
+    # -- edge cases ---------------------------------------------------------
+
+    def test_empty_trace_is_unconstructible(self):
+        # detect_light_steps can never see an empty trace: the trace
+        # type itself refuses zero breakpoints at construction.
+        with pytest.raises(ModelParameterError):
+            IrradianceTrace(times_s=(), values=())
+
+    def test_single_sample_trace_has_no_steps(self):
+        trace = IrradianceTrace(times_s=(0.0,), values=(1.0,))
+        assert detect_light_steps(trace) == []
+
+    def test_gentle_monotonic_ramp_has_no_steps(self):
+        # A ramp subdivided into many small segments: monotonic overall
+        # but every per-segment change stays below the threshold, so no
+        # segment qualifies as a step.
+        count = 50
+        times = tuple(i * 0.1 for i in range(count + 1))
+        values = tuple(1.0 - 0.5 * i / count for i in range(count + 1))
+        assert detect_light_steps(
+            IrradianceTrace(times_s=times, values=values)
+        ) == []
+
+    def test_all_dark_trace_has_no_steps(self):
+        # Zero-to-zero segments divide by max()=0; guarded, not raised.
+        trace = IrradianceTrace(times_s=(0.0, 1.0, 2.0), values=(0.0, 0.0, 0.0))
+        assert detect_light_steps(trace) == []
+
+    def test_step_from_dark_is_detected(self):
+        trace = IrradianceTrace(times_s=(0.0, 1.0), values=(0.0, 1.0))
+        events = detect_light_steps(trace)
+        assert len(events) == 1
+        assert events[0].before == 0.0
+        assert events[0].magnitude == pytest.approx(1.0)

@@ -82,6 +82,32 @@ class TestWaveformQueries:
         summary = make_result().summary()
         assert np.isnan(summary["completion_time_s"])
 
+    def test_summary_mode_keys_sorted_and_stable(self):
+        summary = make_result().summary()
+        mode_keys = [k for k in summary if k.startswith("time_in_mode.")]
+        assert mode_keys == [
+            "time_in_mode.bypass",
+            "time_in_mode.halt",
+            "time_in_mode.regulated",
+        ]
+        assert summary["time_in_mode.regulated"] == pytest.approx(1.0)
+        assert summary["time_in_mode.bypass"] == 0.0
+        assert summary["time_in_mode.halt"] == 0.0
+
+    def test_summary_merges_sorted_telemetry_metrics(self):
+        result = make_result(
+            metrics={"zeta.counter": 2.0, "alpha.counter": 1.0}
+        )
+        summary = result.summary()
+        metric_keys = [k for k in summary if k.startswith("metrics.")]
+        assert metric_keys == ["metrics.alpha.counter", "metrics.zeta.counter"]
+        assert summary["metrics.alpha.counter"] == 1.0
+
+    def test_summary_has_no_metric_keys_without_telemetry(self):
+        assert not any(
+            k.startswith("metrics.") for k in make_result().summary()
+        )
+
 
 class TestCsvExport:
     def test_round_trippable_csv(self, tmp_path):

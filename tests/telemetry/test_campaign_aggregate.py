@@ -1,0 +1,99 @@
+"""Campaign-level telemetry: per-run metric tuples and their fold.
+
+The determinism acceptance gate lives here: a telemetry-enabled
+campaign must aggregate to bit-identical metrics whether it ran
+serially or sharded across worker processes.
+"""
+
+import pytest
+
+from repro.faults import CampaignConfig, FaultSpec, run_transient_campaign
+from repro.telemetry import MetricsRegistry, TelemetrySession
+from repro.telemetry.aggregate import (
+    aggregate_run_metrics,
+    metrics_tuple_as_dict,
+    run_metric_tuple,
+)
+
+#: Tiny but fault-rich: comparator offsets plus flicker over a dimmed
+#: window, enough that per-run telemetry actually differs across seeds.
+SPEC = FaultSpec(comparator_offset_sigma_v=80e-3, flicker_depth_max=0.6)
+CONFIG = CampaignConfig(runs=4, duration_s=30e-3, dim_time_s=10e-3)
+
+
+class TestAggregateFold:
+    def test_stats_over_runs(self):
+        per_run = (
+            (("mppt.retracks", 2.0),),
+            (("mppt.retracks", 4.0),),
+            (("mppt.retracks", 3.0),),
+        )
+        flat = metrics_tuple_as_dict(aggregate_run_metrics(per_run))
+        assert flat["mppt.retracks.sum"] == 9.0
+        assert flat["mppt.retracks.mean"] == 3.0
+        assert flat["mppt.retracks.min"] == 2.0
+        assert flat["mppt.retracks.max"] == 4.0
+        assert flat["mppt.retracks.runs"] == 3.0
+
+    def test_none_runs_skipped_without_shifting_order(self):
+        per_run = ((("a", 1.0),), None, (("a", 3.0),))
+        flat = metrics_tuple_as_dict(aggregate_run_metrics(per_run))
+        assert flat["a.runs"] == 2.0
+        assert flat["a.sum"] == 4.0
+
+    def test_empty_aggregate(self):
+        assert aggregate_run_metrics([]) == ()
+        assert aggregate_run_metrics([None, None]) == ()
+
+    def test_run_metric_tuple_is_sorted_and_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc(2.0)
+        assert run_metric_tuple(registry) == (("a", 2.0), ("z", 1.0))
+
+
+class TestCampaignTelemetry:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        session = TelemetrySession()
+        summary = run_transient_campaign(SPEC, CONFIG, telemetry=session)
+        return summary, session
+
+    def test_records_carry_metric_tuples(self, serial):
+        summary, _ = serial
+        assert len(summary.records) == CONFIG.runs
+        for record in summary.records:
+            assert record.metrics is not None
+            names = [name for name, _ in record.metrics]
+            assert names == sorted(names)
+            assert "engine.steps" in names
+
+    def test_summary_metrics_fold_the_records(self, serial):
+        summary, _ = serial
+        assert summary.metrics is not None
+        expected = aggregate_run_metrics([r.metrics for r in summary.records])
+        assert summary.metrics == expected
+
+    def test_campaign_counters_on_parent_session(self, serial):
+        summary, session = serial
+        flat = session.metrics.as_dict()
+        assert flat["campaign.runs"] == float(CONFIG.runs)
+        assert flat["campaign.survivals"] == float(
+            sum(r.survived for r in summary.records)
+        )
+
+    def test_disabled_telemetry_leaves_records_bare(self):
+        summary = run_transient_campaign(SPEC, CONFIG)
+        assert summary.metrics is None
+        assert all(r.metrics is None for r in summary.records)
+
+    def test_serial_and_parallel_aggregate_bit_identical(self, serial):
+        serial_summary, _ = serial
+        session = TelemetrySession()
+        parallel_summary = run_transient_campaign(
+            SPEC, CONFIG, workers=2, telemetry=session
+        )
+        assert parallel_summary.metrics == serial_summary.metrics
+        for a, b in zip(serial_summary.records, parallel_summary.records):
+            assert a.metrics == b.metrics
+            assert a.run_id == b.run_id

@@ -1,0 +1,130 @@
+"""Tests for the JSONL and Chrome trace-event exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+
+def make_trace():
+    """A small two-track trace with a nested span and tied timestamps."""
+    tracer = Tracer()
+    tracer.begin_span("engine.run", 0.0, track="engine", dt_s=1e-5)
+    tracer.event("mppt.retrack", 2e-3, track="mppt", kind="measured")
+    tracer.begin_span("brownout.outage", 3e-3, track="engine")
+    tracer.event("recovered", 5e-3, track="engine", node_v=0.61)
+    tracer.end_span(5e-3)
+    tracer.end_span(10e-3, steps=1000.0)
+    return tracer
+
+
+def make_metrics():
+    registry = MetricsRegistry()
+    registry.counter("mppt.retracks").inc()
+    registry.gauge("brownout.downtime_s").set(2e-3)
+    return registry.as_dict()
+
+
+class TestJsonl:
+    def test_one_json_object_per_line(self):
+        text = to_jsonl(make_trace(), make_metrics())
+        assert text.endswith("\n")
+        records = [json.loads(line) for line in text.splitlines()]
+        assert all(isinstance(r, dict) for r in records)
+
+    def test_records_ordered_by_time_then_sequence(self):
+        records = [
+            json.loads(line)
+            for line in to_jsonl(make_trace()).splitlines()
+        ]
+        names = [r["name"] for r in records]
+        # engine.run starts at t=0, then the retrack, the outage span
+        # (start 3 ms), and recovered at 5 ms.
+        assert names == [
+            "engine.run", "mppt.retrack", "brownout.outage", "recovered",
+        ]
+        kinds = [r["kind"] for r in records]
+        assert kinds == ["span", "event", "span", "event"]
+
+    def test_metric_lines_trail_sorted(self):
+        records = [
+            json.loads(line)
+            for line in to_jsonl(make_trace(), make_metrics()).splitlines()
+        ]
+        metric_records = [r for r in records if r["kind"] == "metric"]
+        assert records[-len(metric_records):] == metric_records
+        names = [r["name"] for r in metric_records]
+        assert names == sorted(names)
+
+    def test_byte_identical_across_identical_runs(self):
+        first = to_jsonl(make_trace(), make_metrics())
+        second = to_jsonl(make_trace(), make_metrics())
+        assert first == second
+        assert first.encode() == second.encode()
+
+    def test_empty_trace_serialises_to_empty_text(self):
+        assert to_jsonl(Tracer()) == ""
+
+    def test_write_jsonl_round_trips(self, tmp_path):
+        path = write_jsonl(tmp_path / "trace.jsonl", make_trace())
+        assert path.read_text() == to_jsonl(make_trace())
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        payload = to_chrome_trace(make_trace(), make_metrics())
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert payload["displayTimeUnit"] == "ms"
+        assert isinstance(payload["traceEvents"], list)
+
+    def test_thread_metadata_one_per_track(self):
+        events = to_chrome_trace(make_trace())["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["engine", "mppt"]
+        assert [m["tid"] for m in meta] == [0, 1]
+        assert all(m["name"] == "thread_name" for m in meta)
+
+    def test_spans_are_complete_events_in_microseconds(self):
+        events = to_chrome_trace(make_trace())["traceEvents"]
+        spans = {e["name"]: e for e in events if e["ph"] == "X"}
+        run = spans["engine.run"]
+        assert run["ts"] == pytest.approx(0.0)
+        assert run["dur"] == pytest.approx(10e-3 * 1e6)
+        assert run["tid"] == 0
+        outage = spans["brownout.outage"]
+        assert outage["ts"] == pytest.approx(3e3)
+        assert outage["dur"] == pytest.approx(2e3)
+
+    def test_point_events_are_thread_scoped_instants(self):
+        events = to_chrome_trace(make_trace())["traceEvents"]
+        instants = {e["name"]: e for e in events if e["ph"] == "i"}
+        retrack = instants["mppt.retrack"]
+        assert retrack["s"] == "t"
+        assert retrack["tid"] == 1
+        assert retrack["ts"] == pytest.approx(2e3)
+        assert retrack["args"] == {"kind": "measured"}
+
+    def test_metrics_ride_under_other_data(self):
+        payload = to_chrome_trace(make_trace(), make_metrics())
+        assert payload["otherData"]["metrics"] == {
+            "brownout.downtime_s": 2e-3,
+            "mppt.retracks": 1.0,
+        }
+
+    def test_no_other_data_without_metrics(self):
+        assert "otherData" not in to_chrome_trace(make_trace())
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        path = write_chrome_trace(
+            tmp_path / "trace.json", make_trace(), make_metrics()
+        )
+        parsed = json.loads(path.read_text())
+        assert parsed == to_chrome_trace(make_trace(), make_metrics())

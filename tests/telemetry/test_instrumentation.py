@@ -1,0 +1,160 @@
+"""End-to-end instrumentation: the engine feeds the telemetry seam.
+
+These run real (tiny) transient simulations and assert that the spans,
+events and metrics the engine emits line up with what the result
+waveforms say happened -- and that with the default null sink the
+simulation output carries no telemetry at all.
+"""
+
+import pytest
+
+from repro.core.system import paper_system
+from repro.processor.workloads import Workload
+from repro.pv.traces import constant_trace
+from repro.sim.dvfs import ConstantSpeedController, FixedOperatingPointController
+from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.telemetry import NULL_TELEMETRY, TelemetrySession
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+def make_sim(system, controller, telemetry=None, capacitor=None,
+             workload=None, **config):
+    return TransientSimulator(
+        cell=system.cell,
+        node_capacitor=capacitor or system.new_node_capacitor(1.2),
+        processor=system.processor,
+        regulator=system.regulator("sc"),
+        controller=controller,
+        workload=workload,
+        config=SimulationConfig(**config) if config else SimulationConfig(),
+        telemetry=telemetry,
+    )
+
+
+class TestDisabledByDefault:
+    def test_result_metrics_none_without_telemetry(self, system):
+        controller = FixedOperatingPointController(0.55, 1e8)
+        result = make_sim(system, controller).run(constant_trace(1.0, 5e-3))
+        assert result.metrics is None
+        assert not any(k.startswith("metrics.") for k in result.summary())
+
+    def test_null_sink_records_nothing(self, system):
+        assert NULL_TELEMETRY.enabled is False
+        assert NULL_TELEMETRY.result_metrics() is None
+
+
+class TestEngineRunSpan:
+    def test_run_span_covers_the_whole_run(self, system):
+        session = TelemetrySession()
+        controller = FixedOperatingPointController(0.55, 1e8)
+        result = make_sim(system, controller, telemetry=session).run(
+            constant_trace(1.0, 5e-3)
+        )
+        spans = [s for s in session.tracer.spans if s.name == "engine.run"]
+        assert len(spans) == 1
+        assert spans[0].start_s == 0.0
+        assert spans[0].end_s == pytest.approx(result.duration_s, rel=1e-6)
+        assert spans[0].track == "engine"
+        assert session.tracer.open_depth == 0
+
+    def test_step_count_metric_matches_waveform(self, system):
+        session = TelemetrySession()
+        controller = FixedOperatingPointController(0.55, 1e8)
+        result = make_sim(system, controller, telemetry=session).run(
+            constant_trace(1.0, 5e-3)
+        )
+        metrics = session.metrics.as_dict()
+        assert metrics["engine.steps"] == float(len(result.time_s))
+        assert metrics["brownout.downtime_s"] == 0.0
+
+    def test_result_carries_the_session_metrics(self, system):
+        session = TelemetrySession()
+        controller = FixedOperatingPointController(0.55, 1e8)
+        result = make_sim(system, controller, telemetry=session).run(
+            constant_trace(1.0, 5e-3)
+        )
+        assert result.metrics == session.metrics.as_dict()
+        summary = result.summary()
+        assert summary["metrics.engine.steps"] == result.metrics["engine.steps"]
+
+    def test_wall_clock_profile_recorded_but_not_in_metrics(self, system):
+        session = TelemetrySession()
+        controller = FixedOperatingPointController(0.55, 1e8)
+        make_sim(system, controller, telemetry=session).run(
+            constant_trace(1.0, 2e-3)
+        )
+        profile = session.metrics.profiling_summary()
+        assert profile["engine.run_wall_s.calls"] == 1.0
+        assert profile["engine.run_wall_s.total_s"] > 0.0
+        assert "engine.run_wall_s" not in session.metrics.as_dict()
+
+
+class TestWorkloadEvents:
+    def test_completion_event_at_completion_time(self, system):
+        session = TelemetrySession()
+        workload = Workload("t", 200_000)
+        controller = ConstantSpeedController(0.55, 1e8, workload.cycles)
+        result = make_sim(
+            system, controller, telemetry=session, workload=workload,
+            stop_on_completion=False,
+        ).run(constant_trace(1.0, 5e-3))
+        assert result.completed
+        done = [e for e in session.tracer.events if e.name == "workload.completed"]
+        assert len(done) == 1
+        assert done[0].time_s == pytest.approx(result.completion_time_s)
+        assert dict(done[0].attrs)["cycles"] == float(workload.cycles)
+
+
+class TestBrownoutEvents:
+    def run_dark_collapse(self, system, session):
+        controller = FixedOperatingPointController(0.8, 900e6)
+        return make_sim(
+            system,
+            controller,
+            telemetry=session,
+            capacitor=system.new_node_capacitor(1.1),
+            workload=Workload("t", 10**9),
+            stop_on_brownout=True,
+        ).run(constant_trace(0.0, 0.2))
+
+    def test_brownout_event_and_counter(self, system):
+        session = TelemetrySession()
+        result = self.run_dark_collapse(system, session)
+        assert result.browned_out
+        metrics = session.metrics.as_dict()
+        assert metrics["brownout.count"] == 1.0
+        events = [e for e in session.tracer.events if e.name == "brownout"]
+        assert len(events) == 1
+        assert events[0].time_s == pytest.approx(result.brownout_time_s)
+
+    def test_mode_switch_counter_matches_waveform(self, system):
+        session = TelemetrySession()
+        result = self.run_dark_collapse(system, session)
+        # Mode transitions in the recorded waveform = counted switches.
+        transitions = sum(
+            1
+            for a, b in zip(result.mode, result.mode[1:])
+            if a != b
+        )
+        metrics = session.metrics.as_dict()
+        assert metrics.get("regulator.mode_switches", 0.0) == float(transitions)
+
+
+class TestDeterminism:
+    def test_two_identical_runs_identical_telemetry(self, system):
+        def run():
+            session = TelemetrySession()
+            controller = FixedOperatingPointController(0.55, 1e8)
+            make_sim(system, controller, telemetry=session).run(
+                constant_trace(1.0, 5e-3)
+            )
+            return session
+
+        a, b = run(), run()
+        assert a.tracer.events == b.tracer.events
+        assert a.tracer.spans == b.tracer.spans
+        assert a.metrics.snapshot() == b.metrics.snapshot()

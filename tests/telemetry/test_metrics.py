@@ -1,0 +1,172 @@
+"""Tests for the metrics registry: instruments, snapshots, merging."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(TelemetryError, match=">= 0"):
+            Counter("c").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("g")
+        gauge.set(1.0)
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+        assert gauge.updates == 2
+
+
+class TestHistogram:
+    def test_buckets_by_upper_edge_inclusive(self):
+        hist = Histogram("h", edges=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # <=1, <=10, overflow
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.total == pytest.approx(106.5)
+
+    def test_default_edges_are_strictly_increasing_decades(self):
+        assert DEFAULT_EDGES == tuple(sorted(set(DEFAULT_EDGES)))
+        assert DEFAULT_EDGES[0] == 1e-6
+        assert DEFAULT_EDGES[-1] == 10.0
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram("h", edges=(1.0, 1.0))
+
+    def test_rejects_empty_edges(self):
+        with pytest.raises(TelemetryError, match="at least one"):
+            Histogram("h", edges=())
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 1.0
+
+    def test_kind_collision_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.histogram("x")
+
+    def test_histogram_edge_mismatch_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", edges=(1.0, 2.0))
+        # Same edges (or None): fine.
+        registry.histogram("h", edges=(1.0, 2.0))
+        registry.histogram("h")
+        with pytest.raises(TelemetryError, match="different"):
+            registry.histogram("h", edges=(1.0, 3.0))
+
+    def test_as_dict_is_flat_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2.0)
+        registry.gauge("a.level").set(0.5)
+        registry.histogram("m.dur", edges=(1.0,)).observe(0.5)
+        flat = registry.as_dict()
+        assert list(flat) == sorted(flat)
+        assert flat["z.count"] == 2.0
+        assert flat["a.level"] == 0.5
+        assert flat["m.dur.count"] == 1.0
+        assert flat["m.dur.total"] == 0.5
+        assert flat["m.dur.le_1"] == 1.0
+        assert flat["m.dur.gt_1"] == 0.0
+
+    def test_profiling_excluded_from_snapshot_and_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("real.metric").inc()
+        registry.profile("engine.run_wall_s", 0.123)
+        registry.profile("engine.run_wall_s", 0.2)
+        assert registry.snapshot() == MetricsSnapshot(
+            counters=(("real.metric", 1.0),)
+        )
+        assert "engine.run_wall_s" not in " ".join(registry.as_dict())
+        summary = registry.profiling_summary()
+        assert summary["engine.run_wall_s.calls"] == 2.0
+        assert summary["engine.run_wall_s.total_s"] == pytest.approx(0.323)
+        assert summary["engine.run_wall_s.mean_s"] == pytest.approx(0.1615)
+
+
+class TestSnapshot:
+    def test_identical_runs_produce_equal_snapshots(self):
+        def record():
+            registry = MetricsRegistry()
+            registry.counter("c").inc(3.0)
+            registry.gauge("g").set(1.5)
+            registry.histogram("h").observe(2e-3)
+            return registry.snapshot()
+
+        assert record() == record()
+
+    def test_snapshot_is_picklable(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.histogram("h").observe(1.0)
+        snapshot = registry.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+
+class TestMergeSnapshots:
+    def make(self, counter, gauge_value, gauge_updates, observation):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(counter)
+        gauge = registry.gauge("g")
+        for _ in range(gauge_updates):
+            gauge.set(gauge_value)
+        registry.histogram("h", edges=(1.0,)).observe(observation)
+        return registry.snapshot()
+
+    def test_counters_and_histograms_add_gauges_last_write_wins(self):
+        merged = merge_snapshots(
+            [self.make(1.0, 5.0, 1, 0.5), self.make(2.0, 9.0, 1, 2.0)]
+        )
+        flat = merged.as_dict()
+        assert flat["c"] == 3.0
+        assert flat["g"] == 9.0
+        assert flat["h.count"] == 2.0
+        assert flat["h.le_1"] == 1.0
+        assert flat["h.gt_1"] == 1.0
+
+    def test_gauge_without_updates_does_not_overwrite(self):
+        registry = MetricsRegistry()
+        registry.gauge("g")  # registered, never set
+        unset = registry.snapshot()
+        merged = merge_snapshots([self.make(1.0, 4.0, 1, 0.5), unset])
+        assert merged.as_dict()["g"] == 4.0
+
+    def test_edge_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h", edges=(1.0,)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("h", edges=(2.0,)).observe(0.5)
+        with pytest.raises(TelemetryError, match="edges differ"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == MetricsSnapshot()

@@ -1,0 +1,117 @@
+"""Tests for the sim-time tracer: events, nested spans, ordering."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.tracing import Event, Span, Tracer, freeze_attrs
+
+
+class TestFreezeAttrs:
+    def test_sorts_keys(self):
+        assert freeze_attrs({"b": 2, "a": 1}) == (("a", 1), ("b", 2))
+
+    def test_empty(self):
+        assert freeze_attrs({}) == ()
+
+
+class TestEvents:
+    def test_event_records_attrs_sorted(self):
+        tracer = Tracer()
+        event = tracer.event("mode_switch", 1e-3, previous="bypass", new="regulated")
+        assert event.attrs == (("new", "regulated"), ("previous", "bypass"))
+        assert event.time_s == 1e-3
+        assert event.track == "sim"
+
+    def test_events_ordered_by_time_then_sequence(self):
+        tracer = Tracer()
+        tracer.event("late", 2.0)
+        tracer.event("early", 1.0)
+        tracer.event("tied_first", 1.5)
+        tracer.event("tied_second", 1.5)
+        assert [e.name for e in tracer.events] == [
+            "early", "tied_first", "tied_second", "late",
+        ]
+
+    def test_sequence_numbers_are_unique_and_increasing(self):
+        tracer = Tracer()
+        records = [tracer.event("e", 0.0) for _ in range(5)]
+        seqs = [r.seq for r in records]
+        assert seqs == sorted(set(seqs))
+
+
+class TestSpans:
+    def test_simple_span(self):
+        tracer = Tracer()
+        tracer.begin_span("run", 0.0, dt_s=1e-5)
+        span = tracer.end_span(0.5, steps=50.0)
+        assert span.name == "run"
+        assert span.duration_s == pytest.approx(0.5)
+        assert span.depth == 0
+        # end-time attrs merge over begin-time attrs.
+        assert dict(span.attrs) == {"dt_s": 1e-5, "steps": 50.0}
+
+    def test_end_attrs_win_on_collision(self):
+        tracer = Tracer()
+        tracer.begin_span("run", 0.0, phase="start")
+        span = tracer.end_span(1.0, phase="end")
+        assert dict(span.attrs) == {"phase": "end"}
+
+    def test_nesting_depth(self):
+        tracer = Tracer()
+        tracer.begin_span("outer", 0.0)
+        tracer.begin_span("inner", 0.1)
+        assert tracer.open_depth == 2
+        inner = tracer.end_span(0.2)
+        outer = tracer.end_span(1.0)
+        assert inner.depth == 1
+        assert outer.depth == 0
+        # Ordered by start time: outer opened first.
+        assert [s.name for s in tracer.spans] == ["outer", "inner"]
+
+    def test_end_without_begin_raises(self):
+        with pytest.raises(TelemetryError):
+            Tracer().end_span(1.0)
+
+    def test_end_before_start_raises(self):
+        tracer = Tracer()
+        tracer.begin_span("run", 1.0)
+        with pytest.raises(TelemetryError, match="monotonic"):
+            tracer.end_span(0.5)
+
+    def test_zero_length_span_allowed(self):
+        tracer = Tracer()
+        tracer.begin_span("blip", 1.0)
+        assert tracer.end_span(1.0).duration_s == 0.0
+
+    def test_close_all_drains_the_stack(self):
+        tracer = Tracer()
+        tracer.begin_span("a", 0.0)
+        tracer.begin_span("b", 0.1)
+        tracer.begin_span("c", 0.2)
+        tracer.close_all(1.0)
+        assert tracer.open_depth == 0
+        assert all(s.end_s == 1.0 for s in tracer.spans)
+        assert len(tracer.spans) == 3
+
+
+class TestDeterminism:
+    def test_identical_recordings_compare_equal(self):
+        def record():
+            tracer = Tracer()
+            tracer.begin_span("run", 0.0, dt_s=1e-5)
+            tracer.event("brownout", 3e-3, node_v=0.49)
+            tracer.event("recovered", 5e-3, node_v=0.61)
+            tracer.end_span(10e-3, steps=1000.0)
+            return tracer
+
+        a, b = record(), record()
+        assert a.events == b.events
+        assert a.spans == b.spans
+
+    def test_records_are_frozen_dataclasses(self):
+        event = Event("e", 0.0)
+        span = Span("s", 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            event.time_s = 1.0
+        with pytest.raises(AttributeError):
+            span.end_s = 2.0

@@ -107,3 +107,64 @@ class TestFaults:
         assert "survival_rate" in out
         assert "mean_throughput_ratio" in out
         assert "holistic" in out
+
+    def test_quiet_suppresses_progress(self, capsys):
+        assert main(
+            ["faults", "--runs", "2", "--duration-ms", "40",
+             "--scheme", "holistic", "--progress", "--quiet"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.err == ""
+        assert "survival_rate" in captured.out
+
+    def test_telemetry_out_writes_scheme_metrics(self, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "telemetry"
+        assert main(
+            ["faults", "--runs", "2", "--duration-ms", "40",
+             "--scheme", "holistic", "--quiet",
+             "--telemetry-out", str(out_dir)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json.loads((out_dir / "holistic_metrics.json").read_text())
+        assert payload["scheme"] == "holistic"
+        assert payload["runs"] == 2
+        assert "engine.steps.sum" in payload["aggregate"]
+        assert len(payload["per_run"]) == 2
+        for per_run in payload["per_run"].values():
+            assert "engine.steps" in per_run
+
+
+class TestTrace:
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "warp"])
+
+    def test_fig8_writes_chrome_trace_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "trace.jsonl"
+        assert main(
+            ["trace", "fig8", "--out", str(trace_path),
+             "--jsonl", str(jsonl_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert str(trace_path) in out
+        assert "spans" in out
+
+        payload = json.loads(trace_path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert "M" in phases  # named thread rows
+        assert "X" in phases  # at least the engine.run span
+        assert "metrics" in payload["otherData"]
+
+        records = [
+            json.loads(line)
+            for line in jsonl_path.read_text().splitlines()
+        ]
+        assert any(r["kind"] == "span" for r in records)
+        assert any(r["kind"] == "metric" for r in records)

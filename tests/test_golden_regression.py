@@ -1,11 +1,12 @@
 """Golden-regression fixtures: the physics must not drift silently.
 
-Small canonical runs (the Fig. 6 operating points and a 5-seed
-transient fault campaign) are serialized to committed JSON under
-``tests/golden/``.  Each test recomputes the payload and compares it
-against the fixture within tight tolerances, so a refactor -- the
-parallel campaign executor especially -- cannot silently change the
-numbers while keeping the code green.
+Small canonical runs (the Fig. 6 operating points, a 5-seed transient
+fault campaign, and a telemetry JSONL trace of the Fig. 6 operating
+point) are serialized to committed JSON/JSONL under ``tests/golden/``.
+Each test recomputes the payload and compares it against the fixture
+within tight tolerances, so a refactor -- the parallel campaign
+executor especially -- cannot silently change the numbers while
+keeping the code green.
 
 After an *intentional* physics change, regenerate with
 ``PYTHONPATH=src python -m tests.golden.regen`` and commit the diff
@@ -18,7 +19,7 @@ from pathlib import Path
 
 import pytest
 
-from tests.golden.builders import PAYLOADS
+from tests.golden.builders import PAYLOADS, TEXT_PAYLOADS
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
@@ -70,6 +71,34 @@ def test_golden_fixture_matches_fresh_run(name):
     expected = json.loads(fixture_path.read_text())
     actual = PAYLOADS[name]()
     assert_matches(expected, actual)
+
+
+@pytest.mark.parametrize("name", sorted(TEXT_PAYLOADS))
+def test_golden_jsonl_fixture_matches_fresh_run(name):
+    """JSONL traces compare line-by-line as parsed records.
+
+    Structural content (event names, order, counts) must match
+    exactly; float timestamps/values within the usual tolerance, so
+    the fixture survives libm differences across platforms.  The CI
+    ``telemetry-determinism`` job separately asserts byte-identity of
+    two runs on one machine.
+    """
+    fixture_path = GOLDEN_DIR / name
+    assert fixture_path.exists(), (
+        f"missing golden fixture {fixture_path}; generate it with "
+        f"'PYTHONPATH=src python -m tests.golden.regen' and commit it"
+    )
+    expected_lines = fixture_path.read_text().splitlines()
+    actual_lines = TEXT_PAYLOADS[name]().splitlines()
+    assert len(actual_lines) == len(expected_lines), (
+        f"{name}: {len(actual_lines)} records != {len(expected_lines)}"
+    )
+    for index, (expected, actual) in enumerate(
+        zip(expected_lines, actual_lines)
+    ):
+        assert_matches(
+            json.loads(expected), json.loads(actual), f"$[{index}]"
+        )
 
 
 def test_fixture_json_round_trips_exactly():

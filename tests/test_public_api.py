@@ -49,6 +49,7 @@ class TestSubpackagesImport:
             "repro.experiments",
             "repro.intermittent",
             "repro.parallel",
+            "repro.telemetry",
             "repro.cli",
         ],
     )
@@ -67,6 +68,7 @@ class TestSubpackagesImport:
             "repro.harvesters",
             "repro.intermittent",
             "repro.parallel",
+            "repro.telemetry",
         ],
     )
     def test_subpackage_all_resolves(self, module):
