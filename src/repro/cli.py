@@ -10,6 +10,7 @@ Exposes the library's main entry points to a terminal user::
     python -m repro sprint --deadline-ms 10 --dim-to 0.35
     python -m repro faults --runs 50 --scheme both
     python -m repro trace fig8 --out fig8_trace.json
+    python -m repro bench --rounds 3
 
 Every command builds the paper's demonstration system and prints plain
 text tables, so the paper's results are reachable without writing any
@@ -394,6 +395,39 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.benchmark import run_hotpath_benchmark, write_report
+
+    report = run_hotpath_benchmark(rounds=args.rounds, smoke=args.smoke)
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    rows = [
+        (
+            timing.variant,
+            f"{timing.steps_per_s:,.0f}",
+            f"{timing.best_wall_s * 1e3:.1f}",
+        )
+        for timing in report.timings
+    ] + [
+        ("default speedup", f"{report.speedup_default:.2f}x", ""),
+        ("fast_pv speedup", f"{report.speedup_fast_pv:.2f}x", ""),
+        ("default bit-identical", str(report.default_bit_identical), ""),
+        (
+            "fast_pv max |dV node| [V]",
+            f"{report.fast_pv_max_node_voltage_error_v:.2e}",
+            "",
+        ),
+    ]
+    print(format_table(["variant", "steps/s", "best wall [ms]"], rows))
+    if not report.default_bit_identical:
+        print(
+            "error: default path diverged from the reference solver",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import lint_command
 
@@ -566,6 +600,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign seed to replay (scenario=campaign)",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="engine hot-path steps/s benchmark (reference vs default "
+        "vs fast_pv on the Fig. 8 workload)",
+    )
+    p_bench.add_argument(
+        "--rounds", type=int, default=3,
+        help="timed runs per variant (best wall time is reported)",
+    )
+    p_bench.add_argument(
+        "--smoke", action="store_true",
+        help="short CI-sized run; correctness still measured on real runs",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_engine_hotpath.json",
+        help="report JSON output path",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_lint = sub.add_parser(
         "lint",

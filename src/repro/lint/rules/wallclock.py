@@ -1,9 +1,11 @@
 """REP002 -- wall-clock and OS nondeterminism in deterministic packages.
 
 The simulator (``sim/``), the fault campaigns (``faults/``), the
-parallel executor's result path (``parallel/``) and the telemetry
+parallel executor's result path (``parallel/``), the telemetry
 layer (``telemetry/`` -- its traces must be byte-identical across
-seeded re-runs) promise bit-identical outputs for identical inputs.
+seeded re-runs) and the hot-path layer (``perf/`` -- its surfaces and
+benchmark *results* feed bit-identity claims) promise bit-identical
+outputs for identical inputs.
 ``time.time()``, ``datetime.now()``,
 ``os.urandom()``, ``uuid.uuid1/uuid4`` and everything in ``secrets``
 read ambient machine state, so a single call anywhere in those
@@ -29,6 +31,7 @@ DETERMINISTIC_SEGMENTS: Tuple[str, ...] = (
     "faults",
     "parallel",
     "telemetry",
+    "perf",
 )
 
 _DATETIME_METHODS = ("now", "utcnow", "today", "fromtimestamp")
@@ -38,9 +41,9 @@ class WallClockRule(Rule):
     rule_id = "REP002"
     title = "wall-clock / OS-entropy call in a deterministic package"
     rationale = (
-        "sim/, faults/, parallel/ and telemetry/ promise bit-identical "
-        "outputs; wall-clock and OS-entropy reads break replay and "
-        "golden fixtures"
+        "sim/, faults/, parallel/, telemetry/ and perf/ promise "
+        "bit-identical outputs; wall-clock and OS-entropy reads break "
+        "replay and golden fixtures"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:

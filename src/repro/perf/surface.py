@@ -1,0 +1,145 @@
+"""Pre-characterized PV surface: offline solve, bilinear lookup.
+
+The paper's Section VI-A controller does not solve device physics in
+situ -- it looks operating points up from an offline characterization.
+This module applies the same idea to the transient simulator's hot
+path: the single-diode Newton solve is evaluated once over a dense
+(voltage, irradiance) grid, and the inner loop then reads terminal
+current with one bilinear interpolation instead of an iterative solve.
+
+The surface is an *approximation* (the grid is dense enough that the
+bilinear error sits orders of magnitude below every physical effect in
+the model -- see ``docs/performance.md`` for measured bounds), so it is
+strictly opt-in via ``SimulationConfig(fast_pv=True)``; the default
+engine path stays bit-identical to the reference solver.  Queries
+outside the characterized window fall back to the exact scalar solver,
+so the surface never extrapolates.
+
+Surfaces are memoized per cell fingerprint through the
+:mod:`repro.parallel.cache` seam, so campaigns pay the characterization
+sweep once per process no matter how many runs share a cell.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.parallel.cache import memoize
+from repro.parallel.ids import stable_fingerprint
+from repro.pv.cell import SingleDiodeCell
+
+#: Default grid density.  2049 voltage points over ~1.8 V puts the knee
+#: curvature error near 1e-7 A; the irradiance axis is nearly affine in
+#: the photocurrent, so 49 points suffice (measured in tests/perf/).
+DEFAULT_VOLTAGE_POINTS = 2049
+DEFAULT_IRRADIANCE_POINTS = 49
+#: Upper edge of the characterized irradiance window; the trace
+#: generators clip at 1.2 ("direct summer sunlight"), so 1.25 keeps the
+#: whole family inside the grid.
+DEFAULT_MAX_IRRADIANCE = 1.25
+#: Voltage headroom above the brightest open-circuit voltage, so a node
+#: transiently overshooting Voc still hits the grid.
+_VOC_HEADROOM = 1.2
+
+
+class PvSurface:
+    """Dense ``(V, irradiance) -> I`` characterization of one cell.
+
+    Built once by sweeping the exact array Newton solver over a uniform
+    grid; :meth:`current` then answers with one bilinear interpolation.
+    Points outside the grid delegate to the exact scalar solver.
+    """
+
+    def __init__(
+        self,
+        cell: SingleDiodeCell,
+        voltage_points: int = DEFAULT_VOLTAGE_POINTS,
+        irradiance_points: int = DEFAULT_IRRADIANCE_POINTS,
+        max_irradiance: float = DEFAULT_MAX_IRRADIANCE,
+    ) -> None:
+        if voltage_points < 2 or irradiance_points < 2:
+            raise ModelParameterError(
+                "surface needs at least a 2x2 grid, got "
+                f"{voltage_points}x{irradiance_points}"
+            )
+        if max_irradiance <= 0.0:
+            raise ModelParameterError(
+                f"max irradiance must be positive, got {max_irradiance}"
+            )
+        self.cell = cell
+        self.max_voltage_v = (
+            cell.open_circuit_voltage(max_irradiance) * _VOC_HEADROOM
+        )
+        self.max_irradiance = float(max_irradiance)
+        self.voltage_grid = np.linspace(0.0, self.max_voltage_v, voltage_points)
+        self.irradiance_grid = np.linspace(
+            0.0, self.max_irradiance, irradiance_points
+        )
+        # Rows as plain Python lists: scalar indexing in the lookup is
+        # several times faster than ndarray item access.
+        self._rows: List[List[float]] = [
+            np.asarray(cell.current(self.voltage_grid, g), dtype=float).tolist()
+            for g in self.irradiance_grid
+        ]
+        self._n_v = voltage_points
+        self._n_g = irradiance_points
+        self._inv_dv = (voltage_points - 1) / self.max_voltage_v
+        self._inv_dg = (irradiance_points - 1) / self.max_irradiance
+
+    def current(self, voltage: float, irradiance: float) -> float:
+        """Terminal current by bilinear lookup (exact solve off-grid) [A]."""
+        if not (
+            0.0 <= voltage <= self.max_voltage_v
+            and 0.0 <= irradiance <= self.max_irradiance
+        ):
+            return self.cell.current_scalar(voltage, irradiance)
+        tv = voltage * self._inv_dv
+        iv = int(tv)
+        if iv >= self._n_v - 1:
+            iv = self._n_v - 2
+        fv = tv - iv
+        tg = irradiance * self._inv_dg
+        ig = int(tg)
+        if ig >= self._n_g - 1:
+            ig = self._n_g - 2
+        fg = tg - ig
+        row0 = self._rows[ig]
+        row1 = self._rows[ig + 1]
+        low = row0[iv] + (row0[iv + 1] - row0[iv]) * fv
+        high = row1[iv] + (row1[iv + 1] - row1[iv]) * fv
+        return low + (high - low) * fg
+
+    def power(self, voltage: float, irradiance: float) -> float:
+        """Delivered power ``V * I(V)`` from the lookup [W]."""
+        return voltage * self.current(voltage, irradiance)
+
+
+def surface_for_cell(
+    cell: SingleDiodeCell,
+    voltage_points: int = DEFAULT_VOLTAGE_POINTS,
+    irradiance_points: int = DEFAULT_IRRADIANCE_POINTS,
+    max_irradiance: float = DEFAULT_MAX_IRRADIANCE,
+) -> PvSurface:
+    """The memoized surface for ``cell`` (built on first use per process).
+
+    Keyed by the stable fingerprint of the cell parameters and the grid
+    shape, so equal cells share one characterization and distinct cells
+    (e.g. per-run fault derates) each get their own.
+    """
+    key = "pv-surface:" + stable_fingerprint(
+        cell, voltage_points, irradiance_points, max_irradiance
+    )
+
+    def build() -> PvSurface:
+        return PvSurface(
+            cell,
+            voltage_points=voltage_points,
+            irradiance_points=irradiance_points,
+            max_irradiance=max_irradiance,
+        )
+
+    result: PvSurface = memoize(key, build)
+    return result

@@ -204,18 +204,105 @@ class SingleDiodeCell:
             )
         return self._match_shape(current_arr, voltage)
 
+    def current_scalar(
+        self,
+        voltage: float,
+        irradiance: float = 1.0,
+        guess: "float | None" = None,
+    ) -> float:
+        """Terminal current at one scalar voltage, without array machinery [A].
+
+        This is the transient simulator's hot path: the same damped
+        Newton iteration as :meth:`current`, expressed in plain floats.
+        Every operation mirrors the array path exactly -- same seed,
+        same clip bounds, same expression order, and scalar ``np.exp``
+        (which is bit-identical to the vectorised ``np.exp`` element,
+        unlike ``math.exp``) -- so the cold-started result equals
+        ``float(self.current(voltage, irradiance))`` bit for bit.
+
+        ``guess`` optionally warm-starts the iteration (e.g. from the
+        previous time step's converged current).  A warm start converges
+        in fewer iterations but may settle on a *different* last-bit
+        representation of the root: the floating-point Newton map has
+        several attracting fixed points within ~1e-16 A of each other,
+        so warm-started results agree with the cold path only to the
+        solver tolerance (measured divergence < 1e-15 A; see
+        ``docs/performance.md``).  The engine therefore cold-starts.
+        """
+        iph = self.photo_current(irradiance)
+        scale = self.diode_scale_v
+        i0 = self.saturation_current_a
+        rsh = self.shunt_resistance_ohm
+
+        exponent = voltage / scale
+        if exponent < -60.0:
+            exponent = -60.0
+        elif exponent > 60.0:
+            exponent = 60.0
+        ideal = i0 * (float(np.exp(exponent)) - 1.0)
+
+        if self.series_resistance_ohm == 0.0:
+            return iph - ideal - voltage / rsh
+
+        rs = self.series_resistance_ohm
+        if guess is None:
+            seed = iph - ideal
+            lo = -iph - 1e-3
+            if seed < lo:
+                seed = lo
+            elif seed > iph:
+                seed = iph
+            current = seed
+        else:
+            current = guess
+        for _ in range(_NEWTON_MAX_ITERATIONS):
+            diode_v = voltage + current * rs
+            exponent = diode_v / scale
+            if exponent < -60.0:
+                exponent = -60.0
+            elif exponent > 60.0:
+                exponent = 60.0
+            exp_term = float(np.exp(exponent))
+            f = iph - i0 * (exp_term - 1.0) - diode_v / rsh - current
+            df = -i0 * exp_term * rs / scale - rs / rsh - 1.0
+            step = f / df
+            current = current - step
+            if abs(step) < _NEWTON_TOLERANCE_A:
+                return current
+        raise ConvergenceError(
+            "single-diode Newton iteration failed to converge; "
+            f"max residual step {abs(step):.3e} A"
+        )
+
     def power(
         self, voltage: "float | np.ndarray", irradiance: float = 1.0
     ) -> "float | np.ndarray":
         """Delivered power ``V * I(V)`` at the terminal voltage(s) [W]."""
         return np.asarray(voltage, dtype=float) * self.current(voltage, irradiance)
 
-    def open_circuit_voltage(self, irradiance: float = 1.0) -> float:
+    def open_circuit_voltage(
+        self,
+        irradiance: float = 1.0,
+        tolerance_v: float = 1e-9,
+        max_iterations: int = 200,
+    ) -> float:
         """Open-circuit voltage ``Voc`` at the given irradiance [V].
 
         Solved by bisection on the terminal current; at zero irradiance
-        the cell produces nothing and ``Voc`` is 0.
+        the cell produces nothing and ``Voc`` is 0.  Raises
+        :class:`~repro.errors.ConvergenceError` if the bracket has not
+        shrunk below ``tolerance_v`` within ``max_iterations`` (the
+        bracket halves every iteration, so the defaults always converge
+        in ~31 iterations; a tighter budget exists for tests).
         """
+        if tolerance_v <= 0.0:
+            raise ModelParameterError(
+                f"tolerance must be positive, got {tolerance_v}"
+            )
+        if max_iterations < 1:
+            raise ModelParameterError(
+                f"max_iterations must be >= 1, got {max_iterations}"
+            )
         iph = self.photo_current(irradiance)
         if iph == 0.0:
             return 0.0
@@ -224,14 +311,22 @@ class SingleDiodeCell:
             np.log1p(iph / self.saturation_current_a)
         )
         lower = 0.0
-        for _ in range(200):
+        converged = False
+        for _ in range(max_iterations):
             mid = 0.5 * (lower + upper)
             if float(self.current(mid, irradiance)) > 0.0:
                 lower = mid
             else:
                 upper = mid
-            if upper - lower < 1e-9:
+            if upper - lower < tolerance_v:
+                converged = True
                 break
+        if not converged:
+            raise ConvergenceError(
+                "open-circuit bisection did not shrink the bracket below "
+                f"{tolerance_v:g} V in {max_iterations} iterations "
+                f"(bracket width {upper - lower:.3e} V)"
+            )
         return 0.5 * (lower + upper)
 
     def short_circuit_current(self, irradiance: float = 1.0) -> float:

@@ -57,6 +57,28 @@ class IrradianceTrace:
         """Vectorised evaluation over an array of times."""
         return np.interp(np.asarray(times_s, dtype=float), self.times_s, self.values)
 
+    def step_samples(self, time_step_s: float, steps: int) -> np.ndarray:
+        """Irradiance at the simulator's ``steps + 1`` forward-Euler instants.
+
+        The engine's loop builds its time axis by repeated accumulation
+        (``t_0 = 0``, ``t_k = t_{k-1} + dt``); ``np.cumsum`` accumulates
+        the same way, and vectorised ``np.interp`` evaluates each element
+        exactly like the scalar call, so this precomputation is
+        bit-identical to evaluating ``self(t)`` inside the loop -- it
+        just pays the interpolation cost once instead of once per step.
+        """
+        if time_step_s <= 0.0:
+            raise ModelParameterError(
+                f"time step must be positive, got {time_step_s}"
+            )
+        if steps < 0:
+            raise ModelParameterError(f"steps must be >= 0, got {steps}")
+        times = np.empty(steps + 1)
+        times[0] = 0.0
+        if steps:
+            np.cumsum(np.full(steps, time_step_s), out=times[1:])
+        return self.sample(times)
+
     @property
     def duration_s(self) -> float:
         """Time of the last breakpoint."""

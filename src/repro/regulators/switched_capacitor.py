@@ -81,6 +81,13 @@ class SwitchedCapacitorRegulator(Regulator):
         self.switching = SwitchingLoss(switching_drop_v)
         self.fixed = FixedLoss(fixed_loss_w, reference_input_v=fixed_loss_reference_v)
         self.output_impedance_ohm = output_impedance_ohm
+        # Float conversions hoisted out of the per-query ratio scan:
+        # float(Fraction) is exact and deterministic, so precomputing it
+        # changes nothing numerically -- it only removes the repeated
+        # Fraction arithmetic from the simulator's hot path.
+        self._ratio_bank: Tuple[Tuple[Fraction, float], ...] = tuple(
+            (ratio, float(ratio)) for ratio in self.ratios
+        )
 
     # -- per-ratio primitives -------------------------------------------------
 
@@ -108,6 +115,48 @@ class SwitchedCapacitorRegulator(Regulator):
             + self.fixed.power(v_in)
         )
 
+    def _best_band(
+        self, v_out: float, i_out: float, v_in: float
+    ) -> "Tuple[Fraction, float] | None":
+        """Feasibility scan: the minimum-input-power band and its Pin.
+
+        One fused pass over the precomputed float ratios, evaluating
+        exactly the same expressions (in the same order) as the
+        per-ratio primitives above, so the selected band and its input
+        power are bit-identical to the unfused scan.
+        """
+        # Tolerance so a load sized exactly at a band's current limit
+        # (as the inverse solver does) still selects that band.
+        current_tolerance = 1e-9 + 1e-9 * i_out
+        switching_w = self.switching.power(i_out)
+        fixed_w = self.fixed.power(v_in)
+        rout = self.output_impedance_ohm
+        best: "Fraction | None" = None
+        best_pin = float("inf")
+        for ratio, ratio_f in self._ratio_bank:
+            vnl = ratio_f * v_in
+            headroom = vnl - v_out
+            limit = headroom / rout if headroom > 0.0 else 0.0
+            if limit < i_out - current_tolerance:
+                continue
+            if vnl <= v_out:
+                continue
+            pin = vnl * i_out + switching_w + fixed_w
+            if pin < best_pin:
+                best = ratio
+                best_pin = pin
+        if best is None:
+            return None
+        return (best, best_pin)
+
+    def _no_feasible_band(
+        self, v_out: float, p_out: float, v_in: float
+    ) -> OperatingRangeError:
+        return OperatingRangeError(
+            f"{self.name}: no ratio can deliver {p_out * 1e3:.3f} mW at "
+            f"{v_out:.3f} V from {v_in:.3f} V"
+        )
+
     def select_ratio(
         self, v_out: float, p_out: float, v_in: "float | None" = None
     ) -> Fraction:
@@ -119,26 +168,10 @@ class SwitchedCapacitorRegulator(Regulator):
                 f"{self.name}: output power must be >= 0, got {p_out}"
             )
         i_out = p_out / v_out if v_out > 0.0 else 0.0
-        best: "Fraction | None" = None
-        best_pin = float("inf")
-        # Tolerance so a load sized exactly at a band's current limit
-        # (as the inverse solver does) still selects that band.
-        current_tolerance = 1e-9 + 1e-9 * i_out
-        for ratio in self.ratios:
-            if self.current_limit(ratio, v_out, v_in) < i_out - current_tolerance:
-                continue
-            if self.no_load_voltage(ratio, v_in) <= v_out:
-                continue
-            pin = self._band_input_power(ratio, v_out, i_out, v_in)
-            if pin < best_pin:
-                best = ratio
-                best_pin = pin
-        if best is None:
-            raise OperatingRangeError(
-                f"{self.name}: no ratio can deliver {p_out * 1e3:.3f} mW at "
-                f"{v_out:.3f} V from {v_in:.3f} V"
-            )
-        return best
+        band = self._best_band(v_out, i_out, v_in)
+        if band is None:
+            raise self._no_feasible_band(v_out, p_out, v_in)
+        return band[0]
 
     # -- Regulator interface ----------------------------------------------------
 
@@ -146,11 +179,16 @@ class SwitchedCapacitorRegulator(Regulator):
         self, v_out: float, p_out: float, v_in: "float | None" = None
     ) -> float:
         v_in_resolved = self._resolve_input(v_in)
-        ratio = self.select_ratio(v_out, p_out, v_in_resolved)
+        self.check_output_voltage(v_out)
+        if p_out < 0.0:
+            raise OperatingRangeError(
+                f"{self.name}: output power must be >= 0, got {p_out}"
+            )
         i_out = p_out / v_out if v_out > 0.0 else 0.0
-        return self.derate_input_power(
-            self._band_input_power(ratio, v_out, i_out, v_in_resolved)
-        )
+        band = self._best_band(v_out, i_out, v_in_resolved)
+        if band is None:
+            raise self._no_feasible_band(v_out, p_out, v_in_resolved)
+        return self.derate_input_power(band[1])
 
     def max_output_power(
         self, v_out: float, p_in_available: float, v_in: "float | None" = None

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -40,6 +41,15 @@ from repro.sim.transitions import DvfsTransitionModel
 from repro.storage.capacitor import Capacitor
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
+#: Longest run for which the per-step irradiance samples are
+#: precomputed as a Python list (~2M steps = tens of MB); longer runs
+#: fall back to per-step trace evaluation with identical values.
+_IRR_PRECOMPUTE_MAX_SAMPLES = 2_000_001
+#: Memoized (voltage, commanded-frequency) -> (clamped frequency,
+#: processor power) pairs kept per run before the cache resets.  The
+#: mapping is a pure function, so resetting is value-transparent.
+_DECISION_CACHE_MAX = 65_536
+
 
 @dataclass(frozen=True)
 class SimulationConfig:
@@ -59,6 +69,20 @@ class SimulationConfig:
       notified through :class:`~repro.sim.dvfs.ControllerView`, and the
       run continues.  Downtime and brownout counts are accounted in the
       result.
+
+    PV solver selection (see ``docs/performance.md``):
+
+    * default: the scalar Newton fast path -- bit-identical to the
+      historical array solver, one solve per step.
+    * ``fast_pv=True``: opt-in pre-characterized
+      :class:`~repro.perf.surface.PvSurface` bilinear lookup --
+      approximate within a documented tolerance, never bit-exact, so
+      it is off by default.
+    * ``pv_reference=True``: the pre-optimization reference path (array
+      solves, duplicate power solve, per-step scalar trace lookup, no
+      decision memoization).  Exists so benchmarks can measure the fast
+      path against the original engine honestly; results are
+      bit-identical to the default path, just slower.
     """
 
     time_step_s: float = 10e-6
@@ -68,6 +92,8 @@ class SimulationConfig:
     recover_from_brownout: bool = False
     recovery_voltage_v: float = 1.0
     max_steps: int = 20_000_000
+    fast_pv: bool = False
+    pv_reference: bool = False
 
     def __post_init__(self) -> None:
         if self.time_step_s <= 0.0:
@@ -91,6 +117,11 @@ class SimulationConfig:
             raise ModelParameterError(
                 "recover_from_brownout requires stop_on_brownout=False "
                 "(a run cannot both terminate and recover on brownout)"
+            )
+        if self.fast_pv and self.pv_reference:
+            raise ModelParameterError(
+                "fast_pv and pv_reference are mutually exclusive "
+                "(the reference path exists to benchmark against)"
             )
 
 
@@ -148,8 +179,36 @@ class TransientSimulator:
 
     # -- one actuation resolution -------------------------------------------------
 
+    def _clamped_frequency_and_power(
+        self,
+        v_eval: float,
+        commanded_hz: float,
+        cache: "dict[tuple[float, float], tuple[float, float]] | None",
+    ) -> "tuple[float, float]":
+        """Supply-clamped frequency and processor power at ``v_eval``.
+
+        A pure function of its float arguments, so the per-run memo
+        (keyed on the exact doubles) is value-transparent: the engine
+        revisits the same setpoints thousands of times per run, and the
+        frequency/power models cost microseconds each.
+        """
+        if cache is not None:
+            hit = cache.get((v_eval, commanded_hz))
+            if hit is not None:
+                return hit
+        f = min(commanded_hz, float(self.processor.max_frequency(v_eval)))
+        p_proc = float(self.processor.power(v_eval, f))
+        if cache is not None:
+            if len(cache) >= _DECISION_CACHE_MAX:
+                cache.clear()
+            cache[(v_eval, commanded_hz)] = (f, p_proc)
+        return (f, p_proc)
+
     def _resolve_decision(
-        self, decision: ControlDecision, v_node: float
+        self,
+        decision: ControlDecision,
+        v_node: float,
+        cache: "dict[tuple[float, float], tuple[float, float]] | None" = None,
     ) -> "tuple[float, float, float, float, str]":
         """Turn a decision into (v_proc, f, p_proc, p_draw, mode).
 
@@ -166,16 +225,18 @@ class TransientSimulator:
             if v_proc < self.processor.min_operating_v:
                 return (v_proc, 0.0, 0.0, 0.0, "halt")
             v_eval = min(v_proc, self.processor.max_operating_v)
-            f = min(decision.frequency_hz, float(self.processor.max_frequency(v_eval)))
-            p_proc = float(self.processor.power(v_eval, f))
+            f, p_proc = self._clamped_frequency_and_power(
+                v_eval, decision.frequency_hz, cache
+            )
             return (v_proc, f, p_proc, p_proc, "bypass")
 
         # Regulated.
         v_out = decision.output_voltage_v
         if v_out < self.processor.min_operating_v:
             return (v_out, 0.0, 0.0, 0.0, "halt")
-        f = min(decision.frequency_hz, float(self.processor.max_frequency(v_out)))
-        p_proc = float(self.processor.power(v_out, f))
+        f, p_proc = self._clamped_frequency_and_power(
+            v_out, decision.frequency_hz, cache
+        )
         try:
             p_draw = self.regulator.input_power(v_out, p_proc, v_in=v_node)
         except OperatingRangeError:
@@ -208,6 +269,40 @@ class TransientSimulator:
         self.controller.reset()
         if self.comparators is not None:
             self.comparators.reset()
+
+        # -- hot-path strategy selection ------------------------------
+        # Default: one cold-started scalar Newton solve per step --
+        # bit-identical to the historical two array solves.  fast_pv
+        # swaps in the pre-characterized bilinear surface (approximate,
+        # opt-in).  pv_reference restores the pre-optimization loop
+        # exactly (array solves, duplicated power solve, per-step trace
+        # interpolation, no memoization) for honest benchmarking.
+        cell = self.cell
+        node_capacitor = self.node_capacitor
+        use_reference = cfg.pv_reference
+        scalar_solve = getattr(cell, "current_scalar", None)
+        pv_current: "Callable[[float, float], float] | None" = None
+        if not use_reference:
+            if cfg.fast_pv:
+                from repro.perf.surface import surface_for_cell
+
+                pv_current = surface_for_cell(cell).current
+            elif scalar_solve is not None:
+                pv_current = scalar_solve
+
+        decision_cache: (
+            "dict[tuple[float, float], tuple[float, float]] | None"
+        ) = None if use_reference else {}
+
+        # Piecewise traces are pure interpolation, so the whole run's
+        # per-step irradiance can be evaluated up front in one
+        # vectorised sweep (bit-identical to per-step calls -- see
+        # IrradianceTrace.step_samples).
+        irr_samples: "list[float] | None" = None
+        if not use_reference and steps + 1 <= _IRR_PRECOMPUTE_MAX_SAMPLES:
+            sampler = getattr(trace, "step_samples", None)
+            if sampler is not None:
+                irr_samples = sampler(dt, steps).tolist()
 
         # Telemetry: sim-time tracing plus wall-clock profiling.  The
         # default sink is a shared no-op, so the per-step cost when
@@ -259,8 +354,19 @@ class TransientSimulator:
 
         t = 0.0
         for step in range(steps + 1):
-            v_node = self.node_capacitor.voltage_v
-            irr = trace(t)
+            v_node = node_capacitor.voltage_v
+            irr = irr_samples[step] if irr_samples is not None else trace(t)
+
+            # Single PV solve per step: current once, power derived
+            # (power() is V * I(V), so p_pv is bit-identical to the old
+            # second solve).  The reference path recomputes below with
+            # the original array calls.
+            if pv_current is not None:
+                i_pv = pv_current(v_node, irr)
+                p_pv = v_node * i_pv
+            else:
+                i_pv = 0.0
+                p_pv = 0.0
 
             # Power-good release: the node has recharged past the
             # recovery threshold, so the load may reconnect this step.
@@ -283,7 +389,9 @@ class TransientSimulator:
                 brownout_count=brownout_count,
             )
             decision = self.controller.decide(view)
-            v_proc, f, p_proc, p_draw, mode = self._resolve_decision(decision, v_node)
+            v_proc, f, p_proc, p_draw, mode = self._resolve_decision(
+                decision, v_node, decision_cache
+            )
             if recovering:
                 # Load power-gated while the node recharges; whatever
                 # the controller commanded is ignored until power-good.
@@ -368,7 +476,14 @@ class TransientSimulator:
                         rec_vnode[recorded] = v_node
                         rec_vproc[recorded] = v_proc
                         rec_f[recorded] = 0.0
-                        rec_ppv[recorded] = float(self.cell.power(v_node, irr))
+                        # Reuse the step's already-solved PV power; the
+                        # reference path keeps the historical duplicate
+                        # solve it is benchmarked against.
+                        rec_ppv[recorded] = (
+                            p_pv
+                            if pv_current is not None
+                            else float(cell.power(v_node, irr))
+                        )
                         rec_pproc[recorded] = 0.0
                         rec_pdraw[recorded] = 0.0
                         rec_irr[recorded] = irr
@@ -390,7 +505,8 @@ class TransientSimulator:
                 # Work resumed: the next stall is a fresh brownout.
                 in_brownout = False
 
-            p_pv = float(self.cell.power(v_node, irr))
+            if pv_current is None:
+                p_pv = float(cell.power(v_node, irr))
             if step % cfg.record_every == 0:
                 rec_t[recorded] = t
                 rec_vnode[recorded] = v_node
@@ -435,7 +551,8 @@ class TransientSimulator:
                 downtime_s += dt
 
             # Node update: PV source in, converter + comparators out.
-            i_pv = float(self.cell.current(v_node, irr))
+            if pv_current is None:
+                i_pv = float(cell.current(v_node, irr))
             demand_w = p_draw + comparator_power
             if v_node > 1e-6:
                 i_draw = demand_w / v_node
@@ -451,14 +568,14 @@ class TransientSimulator:
                     node_collapsed = True
                     events.append(("node_collapse", t))
                     tel.event("node.collapse", t, track="engine")
-            self.node_capacitor.apply_current(i_pv - i_draw, dt)
-            if not np.isfinite(self.node_capacitor.voltage_v):
+            node_capacitor.apply_current(i_pv - i_draw, dt)
+            if not np.isfinite(node_capacitor.voltage_v):
                 raise SimulationError(f"node voltage became non-finite at t={t}")
 
             # Comparator observation feeds the next step's view.
             if self.comparators is not None:
                 pending_events = tuple(
-                    self.comparators.observe(t + dt, self.node_capacitor.voltage_v)
+                    self.comparators.observe(t + dt, node_capacitor.voltage_v)
                 )
             else:
                 pending_events = ()

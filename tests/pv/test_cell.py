@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import ModelParameterError
+from repro.errors import ConvergenceError, ModelParameterError
 from repro.pv.cell import SingleDiodeCell, kxob22_cell
 
 
@@ -146,6 +146,31 @@ class TestNewtonSolver:
         cell = kxob22_cell()
         current = cell.current(voltage, irradiance)
         assert current <= cell.photo_current(irradiance) + 1e-9
+
+
+class TestOpenCircuitConvergence:
+    """Voc bisection must converge -- and say so loudly when it can't."""
+
+    def test_default_budget_converges(self, cell):
+        voc = cell.open_circuit_voltage(1.0)
+        assert abs(float(cell.current(voc, 1.0))) < 1e-6
+
+    def test_tight_tolerance_still_converges(self, cell):
+        loose = cell.open_circuit_voltage(1.0, tolerance_v=1e-6)
+        tight = cell.open_circuit_voltage(1.0, tolerance_v=1e-12)
+        assert tight == pytest.approx(loose, abs=1e-6)
+
+    def test_exhausted_budget_raises_convergence_error(self, cell):
+        """An unreachable tolerance within a tiny iteration budget must
+        raise instead of silently returning the half-split bracket."""
+        with pytest.raises(ConvergenceError):
+            cell.open_circuit_voltage(1.0, tolerance_v=1e-15, max_iterations=3)
+
+    def test_rejects_bad_parameters(self, cell):
+        with pytest.raises(ModelParameterError):
+            cell.open_circuit_voltage(1.0, tolerance_v=0.0)
+        with pytest.raises(ModelParameterError):
+            cell.open_circuit_voltage(1.0, max_iterations=0)
 
 
 class TestTemperatureDependence:

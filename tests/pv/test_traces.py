@@ -195,3 +195,49 @@ class TestFlickerTrace:
             flicker_trace(0.5, 1.5, 100.0, 0.01)
         with pytest.raises(ModelParameterError):
             flicker_trace(0.5, 0.1, 0.0, 0.01)
+
+
+class TestStepSamples:
+    """``step_samples`` must reproduce the engine's historical per-step
+    interpolation -- ``trace(t)`` with ``t`` accumulated as ``t += dt``
+    -- bit for bit, since the engine's bit-identity claim rests on it."""
+
+    TRACES = (
+        constant_trace(0.7, 0.05),
+        step_trace(1.0, 0.2, 0.02, 0.05),
+        ramp_trace(0.1, 1.1, 0.05),
+        cloud_trace(1.0, 0.3, 0.01, 0.02, 0.05, edge_s=0.005),
+        random_walk_trace(7, 0.05),
+    )
+
+    @pytest.mark.parametrize("trace", TRACES)
+    @pytest.mark.parametrize("dt", [5e-6, 10e-6, 3.3e-5])
+    def test_bit_identical_to_accumulated_loop(self, trace, dt):
+        steps = 1200
+        samples = trace.step_samples(dt, steps)
+        assert samples.shape == (steps + 1,)
+        t = 0.0
+        for k in range(steps + 1):
+            assert samples[k] == trace(t), (k, t)
+            t += dt
+
+    @given(
+        dt=st.floats(min_value=1e-7, max_value=1e-3),
+        steps=st.integers(min_value=0, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_loop_for_random_walks(self, dt, steps, seed):
+        trace = random_walk_trace(seed, 0.05)
+        samples = trace.step_samples(dt, steps)
+        t = 0.0
+        for k in range(steps + 1):
+            assert samples[k] == trace(t)
+            t += dt
+
+    def test_rejects_bad_parameters(self):
+        trace = constant_trace(0.5, 0.01)
+        with pytest.raises(ModelParameterError):
+            trace.step_samples(0.0, 10)
+        with pytest.raises(ModelParameterError):
+            trace.step_samples(1e-6, -1)

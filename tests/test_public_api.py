@@ -50,6 +50,7 @@ class TestSubpackagesImport:
             "repro.intermittent",
             "repro.parallel",
             "repro.telemetry",
+            "repro.perf",
             "repro.cli",
         ],
     )
@@ -69,6 +70,7 @@ class TestSubpackagesImport:
             "repro.intermittent",
             "repro.parallel",
             "repro.telemetry",
+            "repro.perf",
         ],
     )
     def test_subpackage_all_resolves(self, module):
