@@ -43,9 +43,12 @@ from repro.errors import (
     BrownoutError,
     ConvergenceError,
     InfeasibleOperatingPointError,
+    JournalError,
     ModelParameterError,
     OperatingRangeError,
+    QuarantineError,
     ReproError,
+    ResilienceError,
     SimulationError,
     TelemetryError,
 )
@@ -65,6 +68,15 @@ from repro.parallel import (
     campaign_run_id,
     run_sharded,
     stable_fingerprint,
+)
+from repro.resilience import (
+    CampaignJournal,
+    ChaosSpec,
+    ResilienceConfig,
+    RetryPolicy,
+    RunFailure,
+    SupervisedOutcome,
+    run_supervised,
 )
 from repro.processor import (
     ProcessorModel,
@@ -174,6 +186,14 @@ __all__ = [
     "ProgressReporter",
     "stable_fingerprint",
     "campaign_run_id",
+    # crash-tolerant supervised execution
+    "run_supervised",
+    "ResilienceConfig",
+    "RetryPolicy",
+    "RunFailure",
+    "SupervisedOutcome",
+    "CampaignJournal",
+    "ChaosSpec",
     # telemetry
     "Telemetry",
     "NullTelemetry",
@@ -190,5 +210,8 @@ __all__ = [
     "ConvergenceError",
     "SimulationError",
     "BrownoutError",
+    "ResilienceError",
+    "JournalError",
+    "QuarantineError",
     "TelemetryError",
 ]

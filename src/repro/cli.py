@@ -262,6 +262,44 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             sink=lambda line: print(line, file=sys.stderr), label=label
         )
 
+    resilient = (
+        args.resume is not None
+        or args.max_retries is not None
+        or args.run_timeout is not None
+    )
+
+    def resilience_for(journal_name: str) -> "object | None":
+        """Supervised-execution config, or None for the legacy path."""
+        if not resilient:
+            return None
+        from pathlib import Path
+
+        from repro.resilience import ResilienceConfig, RetryPolicy
+
+        journal_path = None
+        if args.resume is not None:
+            journal_path = str(Path(args.resume) / f"{journal_name}.jsonl")
+        policy = RetryPolicy(
+            max_retries=(
+                args.max_retries if args.max_retries is not None else 2
+            ),
+            run_timeout_s=args.run_timeout,
+        )
+        return ResilienceConfig(policy=policy, journal_path=journal_path)
+
+    def report_quarantine(label: str, summary: "object") -> None:
+        failures = getattr(summary, "failed_runs", ())
+        if failures:
+            detail = "; ".join(
+                f"seed index {f.index}: {f.kind} after {f.attempts} "
+                f"attempt(s) ({f.error})"
+                for f in failures
+            )
+            print(
+                f"{label}: {len(failures)} run(s) quarantined -- {detail}",
+                file=sys.stderr,
+            )
+
     summaries = {}
     for scheme in schemes:
         config = CampaignConfig(
@@ -283,7 +321,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             progress=reporter(f"faults[{scheme}]"),
             telemetry=session,
+            resilience=resilience_for(f"journal_{scheme}"),
         )
+        report_quarantine(f"faults[{scheme}]", summaries[scheme])
     if args.telemetry_out:
         for path in _write_campaign_telemetry(
             args.telemetry_out, schemes, summaries
@@ -303,7 +343,9 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             workers=args.workers,
             chunk_size=args.chunk_size,
             progress=reporter("faults[intermittent]"),
+            resilience=resilience_for("journal_intermittent"),
         )
+        report_quarantine("faults[intermittent]", inter)
         rows = [
             (key, f"{value:.4g}")
             for key, value in inter.as_dict().items()
@@ -571,6 +613,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", default=None, metavar="DIR",
         help="record per-run telemetry metrics and write per-scheme "
         "aggregate JSON files into DIR",
+    )
+    p_faults.add_argument(
+        "--resume", default=None, metavar="DIR",
+        help="journal completed runs into DIR and resume from it after "
+        "an interruption (summaries are bit-identical to an "
+        "uninterrupted campaign); enables supervised execution",
+    )
+    p_faults.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="re-dispatch a failing run up to N times before "
+        "quarantining it (default 2); enables supervised execution",
+    )
+    p_faults.add_argument(
+        "--run-timeout", type=float, default=None, metavar="S",
+        help="per-run watchdog deadline in seconds -- a hung worker is "
+        "killed and its runs re-dispatched; enables supervised "
+        "execution",
     )
     p_faults.set_defaults(func=_cmd_faults)
 

@@ -65,6 +65,36 @@ class CheckpointError(ReproError, RuntimeError):
     """Raised by the intermittent-computing runtime on checkpoint misuse."""
 
 
+class ResilienceError(ReproError, RuntimeError):
+    """The supervised campaign executor could not keep its contract.
+
+    Examples: worker processes that never initialise within the startup
+    grace period, a journal whose campaign key does not match the work
+    being resumed.
+    """
+
+
+class JournalError(ResilienceError):
+    """A campaign journal cannot be used for the requested campaign.
+
+    Raised when a journal file's header names a different campaign key
+    than the one being executed -- resuming someone else's journal
+    would silently splice foreign results into the summary.
+    """
+
+
+class QuarantineError(ResilienceError):
+    """Runs were quarantined and the caller demanded a complete result.
+
+    Carries the structured per-run failures so hours of completed work
+    are still attached to the error instead of being discarded.
+    """
+
+    def __init__(self, message: str, failures: "tuple" = ()) -> None:
+        super().__init__(message)
+        self.failures = failures
+
+
 class TelemetryError(ReproError, RuntimeError):
     """Telemetry misuse: unbalanced spans, conflicting metric kinds,
     mismatched histogram bucket edges.

@@ -54,8 +54,11 @@ from repro.monitor.comparator import ComparatorBank
 from repro.monitor.lut import MppLookupTable
 from repro.parallel.cache import characterized_system
 from repro.parallel.executor import run_sharded
-from repro.parallel.ids import campaign_run_id
+from repro.parallel.ids import campaign_run_id, stable_fingerprint
 from repro.parallel.progress import ProgressReporter
+from repro.resilience.journal import CampaignJournal
+from repro.resilience.records import RunFailure
+from repro.resilience.supervisor import ResilienceConfig, run_supervised
 from repro.processor.workloads import Workload
 from repro.pv.traces import IrradianceTrace, constant_trace, step_trace
 from repro.sim.dvfs import DvfsController, FixedOperatingPointController
@@ -192,6 +195,17 @@ class CampaignSummary:
     #: campaign ran with a telemetry sink.  Deliberately excluded from
     #: :meth:`as_dict` so golden summaries stay telemetry-agnostic.
     metrics: "MetricTuple | None" = None
+    #: Runs quarantined by the supervised executor (empty on the
+    #: legacy fail-stop path and on clean campaigns).  Deliberately
+    #: excluded from :meth:`as_dict`: golden summaries describe the
+    #: completed population, and a clean supervised campaign must stay
+    #: byte-identical to an unsupervised one.
+    failed_runs: "tuple[RunFailure, ...]" = ()
+
+    @property
+    def quarantined(self) -> int:
+        """Number of runs that failed permanently (see ``failed_runs``)."""
+        return len(self.failed_runs)
 
     def as_dict(self) -> "dict[str, float]":
         """Flat numeric summary (deterministic; for replay tests/CLI)."""
@@ -404,6 +418,53 @@ def _transient_run_task(
     )
 
 
+def _campaign_journal(
+    resilience: ResilienceConfig,
+    label: str,
+    spec: FaultSpec,
+    config: "CampaignConfig | IntermittentCampaignConfig",
+) -> "CampaignJournal | None":
+    """Open the campaign's journal, keyed by its defining inputs.
+
+    The key is a :func:`~repro.parallel.ids.stable_fingerprint` of the
+    campaign kind, fault spec and config, so a journal written for one
+    campaign can never be resumed against another (different runs
+    count, different scheme, different spec -- all different keys).
+    """
+    if resilience.journal_path is None:
+        return None
+    key = stable_fingerprint(label, spec, config)
+    return CampaignJournal(resilience.journal_path, key)
+
+
+def _supervised_records(
+    task: "partial[RunRecord] | partial[IntermittentRunRecord]",
+    seeds: "list[int]",
+    resilience: ResilienceConfig,
+    journal: "CampaignJournal | None",
+    *,
+    workers: int,
+    chunk_size: "int | None",
+    progress: "ProgressReporter | None",
+    telemetry: "Telemetry | None",
+) -> "Tuple[list, Tuple[RunFailure, ...]]":
+    """Run seeds under supervision; return (records, quarantined)."""
+    outcome = run_supervised(
+        task,
+        seeds,
+        workers=workers,
+        chunk_size=chunk_size,
+        policy=resilience.policy,
+        journal=journal,
+        chaos=resilience.chaos,
+        progress=progress,
+        telemetry=telemetry,
+    )
+    if not resilience.partial_results:
+        return outcome.require_complete(), ()
+    return list(outcome.results), outcome.failures
+
+
 def run_transient_campaign(
     spec: FaultSpec,
     config: "CampaignConfig | None" = None,
@@ -412,6 +473,7 @@ def run_transient_campaign(
     chunk_size: "int | None" = None,
     progress: "ProgressReporter | None" = None,
     telemetry: "Telemetry | None" = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> CampaignSummary:
     """Fan ``config.runs`` seeded fault draws across the simulator.
 
@@ -436,6 +498,14 @@ def run_transient_campaign(
     seed-ordered fold of :func:`repro.telemetry.aggregate.
     aggregate_run_metrics` lands on ``CampaignSummary.metrics`` --
     bit-identical at any worker count.
+
+    ``resilience`` switches execution to the supervised runtime
+    (:func:`repro.resilience.run_supervised`): task failures are
+    retried and, once retries are exhausted, quarantined onto
+    ``CampaignSummary.failed_runs`` instead of aborting the campaign;
+    a ``journal_path`` makes the campaign resumable after interruption
+    with a bit-identical summary.  ``None`` (the default) keeps the
+    legacy fail-stop path.
     """
     config = config or CampaignConfig()
     with_metrics = telemetry is not None and telemetry.enabled
@@ -448,16 +518,33 @@ def run_transient_campaign(
         ideal_cycles=ideal_cycles,
         with_metrics=with_metrics,
     )
-    records = run_sharded(
-        task,
-        [config.base_seed + index for index in range(config.runs)],
-        workers=workers,
-        chunk_size=chunk_size,
-        progress=progress,
-        telemetry=telemetry,
-    )
+    seeds = [config.base_seed + index for index in range(config.runs)]
+    failed_runs: "Tuple[RunFailure, ...]" = ()
+    if resilience is None:
+        records = run_sharded(
+            task,
+            seeds,
+            workers=workers,
+            chunk_size=chunk_size,
+            progress=progress,
+            telemetry=telemetry,
+        )
+    else:
+        journal = _campaign_journal(
+            resilience, "transient-campaign", spec, config
+        )
+        records, failed_runs = _supervised_records(
+            task,
+            seeds,
+            resilience,
+            journal,
+            workers=workers,
+            chunk_size=chunk_size,
+            progress=progress,
+            telemetry=telemetry,
+        )
     aggregated: "MetricTuple | None" = None
-    if with_metrics and telemetry is not None:
+    if with_metrics and telemetry is not None and records:
         aggregated = aggregate_run_metrics([r.metrics for r in records])
         telemetry.count("campaign.runs", float(len(records)))
         telemetry.count(
@@ -465,6 +552,31 @@ def run_transient_campaign(
         )
         telemetry.count(
             "campaign.completions", float(sum(r.completed for r in records))
+        )
+    if not records:
+        # Every run quarantined: an all-NaN summary that still carries
+        # the full failure accounting beats an exception that drops it.
+        nan = float("nan")
+        return CampaignSummary(
+            scheme=config.scheme,
+            runs=0,
+            survival_rate=nan,
+            completion_rate=nan,
+            brownout_run_fraction=nan,
+            mean_brownouts=nan,
+            max_brownouts=0,
+            total_downtime_s=0.0,
+            p50_downtime_s=nan,
+            p90_downtime_s=nan,
+            p50_completion_time_s=nan,
+            p90_completion_time_s=nan,
+            mean_throughput_ratio=nan,
+            min_throughput_ratio=nan,
+            ideal_cycles=ideal_cycles,
+            ideal_brownout_count=ideal_result.brownout_count,
+            records=(),
+            metrics=aggregated,
+            failed_runs=failed_runs,
         )
 
     n = float(len(records))
@@ -508,6 +620,7 @@ def run_transient_campaign(
         ideal_brownout_count=ideal_result.brownout_count,
         records=tuple(records),
         metrics=aggregated,
+        failed_runs=failed_runs,
     )
 
 
@@ -608,6 +721,15 @@ class IntermittentCampaignSummary:
     corruptions_injected: int
     corruptions_detected: int
     records: "tuple[IntermittentRunRecord, ...]"
+    #: Runs quarantined by the supervised executor; see
+    #: :attr:`CampaignSummary.failed_runs` for the semantics (and for
+    #: why this is excluded from :meth:`as_dict`).
+    failed_runs: "tuple[RunFailure, ...]" = ()
+
+    @property
+    def quarantined(self) -> int:
+        """Number of runs that failed permanently (see ``failed_runs``)."""
+        return len(self.failed_runs)
 
     def as_dict(self) -> "dict[str, float]":
         return {
@@ -676,22 +798,56 @@ def run_intermittent_campaign(
     workers: int = 1,
     chunk_size: "int | None" = None,
     progress: "ProgressReporter | None" = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> IntermittentCampaignSummary:
     """Fan seeded fault draws across the checkpointed runtime.
 
     See :func:`_intermittent_run_task` for the per-run scenario and
     :func:`run_transient_campaign` for the ``workers``/``chunk_size``/
-    ``progress`` semantics (identical here: seed-ordered reduction,
-    bit-identical summaries at any worker count).
+    ``progress``/``resilience`` semantics (identical here: seed-ordered
+    reduction, bit-identical summaries at any worker count, supervised
+    execution with quarantine and journaled resume when ``resilience``
+    is given).
     """
     config = config or IntermittentCampaignConfig()
-    records = run_sharded(
-        partial(_intermittent_run_task, spec=spec, config=config),
-        [config.base_seed + index for index in range(config.runs)],
-        workers=workers,
-        chunk_size=chunk_size,
-        progress=progress,
-    )
+    task = partial(_intermittent_run_task, spec=spec, config=config)
+    seeds = [config.base_seed + index for index in range(config.runs)]
+    failed_runs: "Tuple[RunFailure, ...]" = ()
+    if resilience is None:
+        records = run_sharded(
+            task,
+            seeds,
+            workers=workers,
+            chunk_size=chunk_size,
+            progress=progress,
+        )
+    else:
+        journal = _campaign_journal(
+            resilience, "intermittent-campaign", spec, config
+        )
+        records, failed_runs = _supervised_records(
+            task,
+            seeds,
+            resilience,
+            journal,
+            workers=workers,
+            chunk_size=chunk_size,
+            progress=progress,
+            telemetry=None,
+        )
+    if not records:
+        nan = float("nan")
+        return IntermittentCampaignSummary(
+            runs=0,
+            completion_rate=nan,
+            forward_progress_rate=nan,
+            mean_reboots=nan,
+            mean_waste_fraction=nan,
+            corruptions_injected=0,
+            corruptions_detected=0,
+            records=(),
+            failed_runs=failed_runs,
+        )
 
     n = float(len(records))
     return IntermittentCampaignSummary(
@@ -707,4 +863,5 @@ def run_intermittent_campaign(
         corruptions_injected=sum(r.corruption_injected for r in records),
         corruptions_detected=sum(r.corruption_detected for r in records),
         records=tuple(records),
+        failed_runs=failed_runs,
     )

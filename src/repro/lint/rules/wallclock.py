@@ -3,9 +3,12 @@
 The simulator (``sim/``), the fault campaigns (``faults/``), the
 parallel executor's result path (``parallel/``), the telemetry
 layer (``telemetry/`` -- its traces must be byte-identical across
-seeded re-runs) and the hot-path layer (``perf/`` -- its surfaces and
-benchmark *results* feed bit-identity claims) promise bit-identical
-outputs for identical inputs.
+seeded re-runs), the hot-path layer (``perf/`` -- its surfaces and
+benchmark *results* feed bit-identity claims) and the supervised
+runtime (``resilience/`` -- retry schedules, chaos decisions and
+journaled resume must replay exactly, or a recovered campaign could
+diverge from an uninterrupted one) promise bit-identical outputs for
+identical inputs.
 ``time.time()``, ``datetime.now()``,
 ``os.urandom()``, ``uuid.uuid1/uuid4`` and everything in ``secrets``
 read ambient machine state, so a single call anywhere in those
@@ -32,6 +35,7 @@ DETERMINISTIC_SEGMENTS: Tuple[str, ...] = (
     "parallel",
     "telemetry",
     "perf",
+    "resilience",
 )
 
 _DATETIME_METHODS = ("now", "utcnow", "today", "fromtimestamp")
@@ -41,9 +45,9 @@ class WallClockRule(Rule):
     rule_id = "REP002"
     title = "wall-clock / OS-entropy call in a deterministic package"
     rationale = (
-        "sim/, faults/, parallel/, telemetry/ and perf/ promise "
-        "bit-identical outputs; wall-clock and OS-entropy reads break "
-        "replay and golden fixtures"
+        "sim/, faults/, parallel/, telemetry/, perf/ and resilience/ "
+        "promise bit-identical outputs; wall-clock and OS-entropy reads "
+        "break replay and golden fixtures"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:

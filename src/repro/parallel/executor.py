@@ -72,19 +72,61 @@ def default_chunk_size(item_count: int, workers: int) -> int:
     return max(1, math.ceil(item_count / (_CHUNKS_PER_WORKER * max(1, workers))))
 
 
-def _run_chunk(
-    payload: "Tuple[int, Callable[[Any], Any], Tuple[Any, ...]]",
+#: The task callable for this worker process, installed once by the
+#: pool initializer so per-chunk payloads shrink to ``(index, chunk)``
+#: -- the task (often a ``functools.partial`` closing over a full
+#: campaign config) is pickled once per worker, not once per chunk.
+_POOL_TASK: "Callable[[Any], Any] | None" = None
+
+
+def _initialize_worker(task: Callable[[Any], Any]) -> None:
+    """Pool initializer: receive the task once, at worker spawn."""
+    global _POOL_TASK
+    _POOL_TASK = task
+
+
+def _execute_chunk(
+    task: Callable[[Any], Any], index: int, chunk: Tuple[Any, ...]
 ) -> ShardResult:
-    """Execute one chunk (runs inside a worker process)."""
-    index, task, chunk = payload
+    """Execute one chunk (shared by the serial and worker paths).
+
+    A task exception is re-raised unchanged (same type, same message --
+    callers' ``except`` clauses keep working) but annotated with
+    ``submission_index`` and ``failing_item`` attributes so the culprit
+    run is identifiable from the propagated error alone.  Instance
+    attributes survive the trip back through the pool: pickling an
+    exception carries its ``__dict__``.
+    """
     started = time.perf_counter()
-    results = tuple(task(item) for item in chunk)
+    results: "List[Any]" = []
+    for item in chunk:
+        try:
+            results.append(task(item))
+        except Exception as error:
+            setattr(error, "submission_index", index)
+            setattr(error, "failing_item", item)
+            raise
     return ShardResult(
         index=index,
         worker_id=os.getpid(),
-        results=results,
+        results=tuple(results),
         elapsed_s=time.perf_counter() - started,
     )
+
+
+def _run_chunk(payload: "Tuple[int, Tuple[Any, ...]]") -> ShardResult:
+    """Execute one chunk inside a pool worker.
+
+    The task is not in the payload; it was installed module-globally by
+    :func:`_initialize_worker` when the worker spawned.
+    """
+    index, chunk = payload
+    if _POOL_TASK is None:
+        raise RuntimeError(
+            "_run_chunk called in a worker without _initialize_worker; "
+            "the pool must be created with the task initializer"
+        )
+    return _execute_chunk(_POOL_TASK, index, chunk)
 
 
 def run_sharded(
@@ -131,33 +173,43 @@ def run_sharded(
         chunk_size if chunk_size is not None
         else default_chunk_size(len(work), workers)
     )
-    chunks = shard(work, resolved_chunk)
-    payloads = [(index, task, chunk) for index, chunk in chunks]
+    payloads = shard(work, resolved_chunk)
     tel.gauge("parallel.workers", float(workers))
     tel.count("parallel.chunks", float(len(payloads)))
     tel.count("parallel.items", float(len(work)))
 
     progress.start(len(work), workers)
     completed: "List[ShardResult]" = []
-    if workers == 1 or len(payloads) <= 1:
-        for payload in payloads:
-            result = _run_chunk(payload)
-            completed.append(result)
-            tel.profile("parallel.chunk_wall_s", result.elapsed_s)
-            progress.update(
-                len(result.results), result.worker_id, result.elapsed_s
-            )
-    else:
-        context = get_context("spawn")
-        pool_size = min(workers, len(payloads))
-        with context.Pool(processes=pool_size) as pool:
-            for result in pool.imap_unordered(_run_chunk, payloads):
+    # finally: a chunk that raises must not leave the progress line
+    # dangling mid-render -- finish() always runs, then the (annotated)
+    # task exception propagates to the caller.
+    try:
+        if workers == 1 or len(payloads) <= 1:
+            for index, chunk in payloads:
+                result = _execute_chunk(task, index, chunk)
                 completed.append(result)
                 tel.profile("parallel.chunk_wall_s", result.elapsed_s)
                 progress.update(
                     len(result.results), result.worker_id, result.elapsed_s
                 )
-    progress.finish()
+        else:
+            context = get_context("spawn")
+            pool_size = min(workers, len(payloads))
+            with context.Pool(
+                processes=pool_size,
+                initializer=_initialize_worker,
+                initargs=(task,),
+            ) as pool:
+                for result in pool.imap_unordered(_run_chunk, payloads):
+                    completed.append(result)
+                    tel.profile("parallel.chunk_wall_s", result.elapsed_s)
+                    progress.update(
+                        len(result.results),
+                        result.worker_id,
+                        result.elapsed_s,
+                    )
+    finally:
+        progress.finish()
 
     # Ordered reduce: scheduler-independent result order.
     ordered = sorted(completed, key=lambda r: r.index)

@@ -80,6 +80,11 @@ class ProgressReporter(NullProgress):
         )
 
     def update(self, completed: int, worker_id: "int | str", busy_s: float) -> None:
+        if self._started_at is None:
+            # Not started: there is no baseline to report against, so
+            # an early update is silently ignored rather than rendered
+            # from garbage state.
+            return
         self._completed += completed
         self._busy_s[worker_id] = self._busy_s.get(worker_id, 0.0) + busy_s
         now = time.perf_counter()
@@ -88,6 +93,8 @@ class ProgressReporter(NullProgress):
             self._sink(self._render(now))
 
     def finish(self) -> None:
+        if self._started_at is None:
+            return
         self._sink(self._render(time.perf_counter()) + " -- done")
 
     # -- formatting ----------------------------------------------------------

@@ -1,0 +1,189 @@
+"""Deterministic fault injection for the campaign executor itself.
+
+:mod:`repro.faults` perturbs the *simulated hardware* (comparators,
+capacitors, light); this module applies the same philosophy to the
+*infrastructure*: seeded, reproducible injection of worker crashes,
+hangs, task exceptions and corrupted chunk results, so every recovery
+path in :mod:`repro.resilience.supervisor` is proven by tests instead
+of asserted in prose.
+
+Decisions are a pure function of ``(spec.seed, unit_id, attempt)`` --
+no RNG state, no wall clock -- so a chaos campaign is exactly as
+replayable as a fault campaign: the same spec always kills the same
+workers at the same points, on every machine, at any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ModelParameterError
+
+#: Injection kinds, in threshold-stacking order.
+CRASH = "crash"
+HANG = "hang"
+ERROR = "error"
+CORRUPT = "corrupt"
+
+
+class ChaosInjectedError(RuntimeError):
+    """The exception raised by an injected task failure.
+
+    Deliberately *not* a :class:`repro.errors.ReproError`: injected
+    failures stand in for arbitrary third-party exceptions, and the
+    supervisor must not be able to special-case them.
+    """
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Seeded failure-injection plan for one supervised campaign.
+
+    Rates are per dispatched work unit (chunk), stacked in the order
+    crash, hang, error, corrupt: one uniform draw per ``(unit,
+    attempt)`` lands in at most one band, so the rates must sum to at
+    most 1.  With ``first_attempt_only`` (the default) a unit is only
+    sabotaged on its first attempt -- the retry then succeeds, which is
+    exactly the shape needed to prove recovery yields bit-identical
+    results.  ``poison_units`` names unit ids whose task raises on
+    *every* attempt regardless of rates: the deterministic way to drive
+    a run into quarantine.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    error_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    hang_s: float = 3600.0
+    first_attempt_only: bool = True
+    poison_units: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        rates = {
+            "crash_rate": self.crash_rate,
+            "hang_rate": self.hang_rate,
+            "error_rate": self.error_rate,
+            "corrupt_rate": self.corrupt_rate,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ModelParameterError(
+                    f"{name} must be in [0, 1], got {rate}"
+                )
+        total = sum(rates.values())
+        if total > 1.0:
+            raise ModelParameterError(
+                f"injection rates must sum to <= 1, got {total}"
+            )
+        if self.hang_s <= 0.0:
+            raise ModelParameterError(
+                f"hang duration must be positive, got {self.hang_s}"
+            )
+
+    @property
+    def any_injection(self) -> bool:
+        """True when this spec can inject anything at all."""
+        return bool(
+            self.crash_rate
+            or self.hang_rate
+            or self.error_rate
+            or self.corrupt_rate
+            or self.poison_units
+        )
+
+    @property
+    def kills_workers(self) -> bool:
+        """True when this spec can crash or hang a worker process.
+
+        Those two injections are only recoverable with real worker
+        processes (``workers > 1``); the supervisor rejects them on the
+        in-process serial path, where a crash would kill the campaign
+        itself.
+        """
+        return bool(self.crash_rate or self.hang_rate)
+
+
+def _uniform(seed: int, unit_id: int, attempt: int) -> float:
+    """One deterministic uniform draw in ``[0, 1)`` per decision point."""
+    digest = hashlib.sha256(
+        f"chaos:{seed}:{unit_id}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(2**64)
+
+
+def chaos_decision(
+    spec: Optional[ChaosSpec], unit_id: int, attempt: int
+) -> Optional[str]:
+    """What (if anything) to inject for this ``(unit, attempt)``.
+
+    Pure in its arguments: serial and parallel executions of the same
+    campaign make identical decisions, which is what keeps chaos runs
+    inside the bit-identity contract.
+    """
+    if spec is None or not spec.any_injection:
+        return None
+    if unit_id in spec.poison_units:
+        return ERROR
+    if spec.first_attempt_only and attempt > 1:
+        return None
+    draw = _uniform(spec.seed, unit_id, attempt)
+    threshold = spec.crash_rate
+    if draw < threshold:
+        return CRASH
+    threshold += spec.hang_rate
+    if draw < threshold:
+        return HANG
+    threshold += spec.error_rate
+    if draw < threshold:
+        return ERROR
+    threshold += spec.corrupt_rate
+    if draw < threshold:
+        return CORRUPT
+    return None
+
+
+def execute_pre_injection(
+    spec: ChaosSpec, decision: Optional[str], unit_id: int, attempt: int
+) -> None:
+    """Perform a crash/hang injection before a unit runs (worker side).
+
+    ``crash`` exits the process without cleanup, exactly as a segfault
+    or OOM kill would look from the parent; ``hang`` sleeps well past
+    any sane watchdog deadline so the supervisor must kill the worker.
+    ``error``/``corrupt`` decisions are handled inside the unit runner
+    (per-item exception, post-CRC payload damage) and pass through
+    here untouched.
+    """
+    if decision == CRASH:
+        os._exit(113)
+    if decision == HANG:
+        time.sleep(spec.hang_s)
+        raise ChaosInjectedError(
+            f"injected hang outlived its watchdog "
+            f"(unit {unit_id}, attempt {attempt})"
+        )
+
+
+def injected_task_error(unit_id: int, attempt: int) -> ChaosInjectedError:
+    """The exception an ``error`` decision makes the task raise."""
+    return ChaosInjectedError(
+        f"injected task failure (unit {unit_id}, attempt {attempt})"
+    )
+
+
+def corrupt_payload(payload: bytes) -> bytes:
+    """Flip the first byte of a chunk payload (post-CRC damage).
+
+    The envelope's CRC was computed over the pristine bytes, so the
+    parent's integrity check must reject this result and re-dispatch
+    the unit -- the executor-level analogue of the NVM checkpoint
+    bit-flips in :mod:`repro.faults.models`.
+    """
+    if not payload:
+        return payload
+    return bytes([payload[0] ^ 0xFF]) + payload[1:]

@@ -1,0 +1,231 @@
+"""Append-only campaign journal: checkpoint/restore for the executor.
+
+The paper's nodes survive power loss by checkpointing committed work to
+NVM and resuming from the last valid snapshot; this module applies the
+identical discipline to campaign execution.  Every completed chunk of
+runs is appended to a JSONL journal as soon as it lands, so a campaign
+interrupted at any point -- SIGKILL, OOM, power loss -- resumes by
+replaying the journal and dispatching only the missing work.  Because
+every run is a pure function of its work item, the resumed campaign's
+final summary is bit-identical to an uninterrupted one.
+
+Journal format (one JSON object per line)::
+
+    {"crc": <crc32>, "body": {"kind": "header", "version": 1,
+                              "key": <campaign key>, ...}}
+    {"crc": <crc32>, "body": {"kind": "chunk", "items": [3, 4, 5],
+                              "payload": <base64 pickle of results>}}
+    {"crc": <crc32>, "body": {"kind": "quarantine",
+                              "failure": {...RunFailure fields...}}}
+
+``crc`` covers the canonical JSON serialization of ``body``, exactly as
+the intermittent runtime's :class:`~repro.intermittent.checkpoint.
+CheckpointStore` guards its slots: a line truncated or bit-flipped by a
+crash mid-write fails its CRC and is skipped on load, never trusted.
+The ``key`` is a :func:`repro.parallel.ids.stable_fingerprint` of the
+campaign's defining inputs; resuming with a journal written for a
+different campaign raises :class:`repro.errors.JournalError` instead of
+silently splicing foreign results.
+
+Journals hold pickled result objects and are trusted local state --
+share them like you would a results file, not like a config file.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import JournalError
+from repro.resilience.records import RunFailure
+
+_VERSION = 1
+
+
+def _canonical_body(body: Dict[str, Any]) -> bytes:
+    """The byte form the line CRC covers."""
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class JournalState:
+    """Everything a journal knows: results and quarantines by index."""
+
+    results: Dict[int, Any]
+    failures: Tuple[RunFailure, ...]
+
+    @property
+    def completed_indices(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.results))
+
+
+class CampaignJournal:
+    """One campaign's append-only completion journal.
+
+    ``key`` must be a pure function of the campaign's defining inputs
+    (spec, config, work list); the header pins it so a journal can
+    never be resumed against different work.  Records are flushed
+    line-by-line, so the journal is valid after any prefix of the
+    campaign -- the whole point.
+    """
+
+    def __init__(self, path: Union[str, Path], key: str) -> None:
+        if not key:
+            raise JournalError("journal key must be a non-empty string")
+        self._path = Path(path)
+        self._key = key
+        self._header_written = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def key(self) -> str:
+        return self._key
+
+    # -- writing -------------------------------------------------------------
+
+    def record_chunk(
+        self, indices: Sequence[int], results: Sequence[Any]
+    ) -> None:
+        """Append one completed chunk (parallel lists, any length)."""
+        if len(indices) != len(results):
+            raise JournalError(
+                f"chunk indices/results length mismatch: "
+                f"{len(indices)} != {len(results)}"
+            )
+        if not indices:
+            return
+        payload = pickle.dumps(tuple(results), protocol=4)
+        self._append(
+            {
+                "kind": "chunk",
+                "items": [int(i) for i in indices],
+                "payload": base64.b64encode(payload).decode("ascii"),
+            }
+        )
+
+    def record_quarantine(self, failure: RunFailure) -> None:
+        """Append one quarantined run so resume carries it forward."""
+        self._append({"kind": "quarantine", "failure": failure.as_dict()})
+
+    def _append(self, body: Dict[str, Any]) -> None:
+        if not self._header_written:
+            self._ensure_header()
+        encoded = _canonical_body(body)
+        line = json.dumps(
+            {"crc": zlib.crc32(encoded), "body": body},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+
+    def _ensure_header(self) -> None:
+        """Write the header exactly once per journal file."""
+        if self._path.exists() and self._path.stat().st_size > 0:
+            # Existing journal: load() already validated (or will
+            # validate) the key; appending to it is resumption.
+            self._header_written = True
+            return
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        body = {"kind": "header", "version": _VERSION, "key": self._key}
+        encoded = _canonical_body(body)
+        line = json.dumps(
+            {"crc": zlib.crc32(encoded), "body": body},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with self._path.open("w", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+        self._header_written = True
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> JournalState:
+        """Replay the journal into completed results and quarantines.
+
+        Missing file means a fresh campaign (empty state).  Lines that
+        fail JSON parsing or their CRC -- the signature of a crash
+        mid-append -- are skipped; everything before and after them is
+        still honoured, because lines are independent.  A valid header
+        with the wrong campaign key raises :class:`JournalError`.
+        """
+        if not self._path.exists():
+            return JournalState(results={}, failures=())
+        results: Dict[int, Any] = {}
+        failures: Dict[int, RunFailure] = {}
+        saw_header = False
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                body = self._valid_body(line)
+                if body is None:
+                    continue
+                kind = body.get("kind")
+                if kind == "header":
+                    if body.get("key") != self._key:
+                        raise JournalError(
+                            f"journal {self._path} was written for "
+                            f"campaign key {body.get('key')!r}, not "
+                            f"{self._key!r}; refusing to splice foreign "
+                            "results (use a fresh journal path)"
+                        )
+                    saw_header = True
+                elif kind == "chunk" and saw_header:
+                    self._load_chunk(body, results)
+                elif kind == "quarantine" and saw_header:
+                    try:
+                        failure = RunFailure.from_dict(body["failure"])
+                    except (KeyError, TypeError, ValueError):
+                        continue
+                    failures[failure.index] = failure
+        self._header_written = saw_header
+        ordered = tuple(
+            failures[index] for index in sorted(failures)
+        )
+        return JournalState(results=results, failures=ordered)
+
+    @staticmethod
+    def _valid_body(line: str) -> Optional[Dict[str, Any]]:
+        """Parse one line, returning its body only if the CRC holds."""
+        stripped = line.strip()
+        if not stripped:
+            return None
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        body = record.get("body")
+        if not isinstance(body, dict) or "crc" not in record:
+            return None
+        if zlib.crc32(_canonical_body(body)) != record["crc"]:
+            return None
+        return body
+
+    @staticmethod
+    def _load_chunk(
+        body: Dict[str, Any], results: Dict[int, Any]
+    ) -> None:
+        """Merge one chunk line; drop it wholesale if malformed."""
+        try:
+            indices: List[int] = [int(i) for i in body["items"]]
+            payload = base64.b64decode(body["payload"])
+            values = pickle.loads(payload)
+        except (KeyError, TypeError, ValueError, pickle.PickleError):
+            return
+        if len(values) != len(indices):
+            return
+        for index, value in zip(indices, values):
+            results[index] = value

@@ -62,6 +62,32 @@ class TestSerialPath:
         with pytest.raises(ValueError):
             run_sharded(flaky_on_even, [1, 2, 3])
 
+    def test_propagated_exception_names_the_culprit(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_sharded(flaky_on_even, [1, 3, 4], chunk_size=1)
+        assert excinfo.value.submission_index == 2
+        assert excinfo.value.failing_item == 4
+
+    def test_progress_finishes_even_when_a_chunk_raises(self):
+        events = []
+
+        class Recorder:
+            def start(self, total, workers):
+                events.append("start")
+
+            def update(self, completed, worker_id, busy_s):
+                events.append("update")
+
+            def finish(self):
+                events.append("finish")
+
+        with pytest.raises(ValueError):
+            run_sharded(
+                flaky_on_even, [1, 3, 2], chunk_size=1, progress=Recorder()
+            )
+        assert events[0] == "start"
+        assert events[-1] == "finish"
+
 
 class TestParallelPath:
     def test_matches_serial_output_and_order(self):
@@ -81,3 +107,13 @@ class TestParallelPath:
 
     def test_more_workers_than_chunks(self):
         assert run_sharded(square, [2, 3], workers=8, chunk_size=1) == [4, 9]
+
+    def test_worker_exception_carries_culprit_across_the_pool(self):
+        # The annotation attributes must survive the pickle round trip
+        # back from a spawn worker.
+        with pytest.raises(ValueError) as excinfo:
+            run_sharded(
+                flaky_on_even, [1, 3, 5, 4, 7, 9], workers=2, chunk_size=1
+            )
+        assert excinfo.value.submission_index == 3
+        assert excinfo.value.failing_item == 4

@@ -1,0 +1,95 @@
+"""Property-based tests for the sharded executor's algebra.
+
+The executor's bit-identity story rests on two pure functions:
+:func:`repro.parallel.executor.shard` (split with submission tags) and
+the ordered reduce (sort by tag, concatenate).  Hypothesis drives both
+over arbitrary work lists, chunk sizes -- including chunk sizes larger
+than the work list -- and adversarial completion orders.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.executor import (
+    _CHUNKS_PER_WORKER,
+    default_chunk_size,
+    shard,
+)
+
+items_strategy = st.lists(st.integers(), max_size=200)
+chunk_strategy = st.integers(min_value=1, max_value=300)
+
+
+class TestShardRoundTrip:
+    @given(items=items_strategy, chunk_size=chunk_strategy)
+    @settings(deadline=None)
+    def test_flattening_shards_restores_the_items(self, items, chunk_size):
+        chunks = shard(items, chunk_size)
+        flat = [value for _, chunk in chunks for value in chunk]
+        assert flat == items
+
+    @given(items=items_strategy, chunk_size=chunk_strategy)
+    @settings(deadline=None)
+    def test_indices_are_contiguous_from_zero(self, items, chunk_size):
+        chunks = shard(items, chunk_size)
+        assert [index for index, _ in chunks] == list(range(len(chunks)))
+
+    @given(items=items_strategy, chunk_size=chunk_strategy)
+    @settings(deadline=None)
+    def test_every_chunk_is_full_except_possibly_the_last(
+        self, items, chunk_size
+    ):
+        chunks = shard(items, chunk_size)
+        for _, chunk in chunks[:-1]:
+            assert len(chunk) == chunk_size
+        if chunks:
+            assert 1 <= len(chunks[-1][1]) <= chunk_size
+
+    @given(
+        items=st.lists(st.integers(), min_size=1, max_size=200),
+        chunk_size=chunk_strategy,
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(deadline=None)
+    def test_ordered_reduce_is_completion_order_independent(
+        self, items, chunk_size, seed
+    ):
+        """Any arrival order followed by the sort restores submission
+        order -- the exact invariant the parallel drain relies on."""
+        chunks = shard(items, chunk_size)
+        arrived = list(chunks)
+        random.Random(seed).shuffle(arrived)
+        reduced = [
+            value
+            for _, chunk in sorted(arrived, key=lambda pair: pair[0])
+            for value in chunk
+        ]
+        assert reduced == items
+
+    def test_chunk_size_larger_than_items_is_one_chunk(self):
+        chunks = shard([1, 2, 3], 10)
+        assert chunks == [(0, (1, 2, 3))]
+
+
+class TestDefaultChunkSizeBounds:
+    @given(
+        item_count=st.integers(min_value=0, max_value=100_000),
+        workers=st.integers(min_value=1, max_value=256),
+    )
+    @settings(deadline=None)
+    def test_size_is_positive(self, item_count, workers):
+        assert default_chunk_size(item_count, workers) >= 1
+
+    @given(
+        item_count=st.integers(min_value=1, max_value=100_000),
+        workers=st.integers(min_value=1, max_value=256),
+    )
+    @settings(deadline=None)
+    def test_chunk_count_respects_the_per_worker_target(
+        self, item_count, workers
+    ):
+        size = default_chunk_size(item_count, workers)
+        chunk_count = len(shard(list(range(item_count)), size))
+        assert chunk_count <= _CHUNKS_PER_WORKER * workers

@@ -127,3 +127,45 @@ class TestProgressReporter:
         progress.start(10, 2)
         progress.update(1, "w", 0.1)
         progress.finish()
+
+    def test_update_before_start_is_a_no_op(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, min_interval_s=0.0)
+        reporter.update(3, "early", busy_s=1.0)
+        assert lines == []
+        # ...and the stray update leaves no trace once started.
+        reporter.start(total=2, workers=1)
+        reporter.update(1, "w", busy_s=0.0)
+        assert "1/2 runs" in lines[-1]
+
+    def test_finish_before_start_is_a_no_op(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, min_interval_s=0.0)
+        reporter.finish()
+        assert lines == []
+
+    def test_zero_rate_renders_infinite_eta(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, min_interval_s=0.0)
+        reporter.start(total=5, workers=1)
+        reporter.update(0, "w", busy_s=0.0)
+        assert "ETA inf" in lines[-1]
+
+    def test_utilization_clamps_at_100_percent(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, min_interval_s=0.0)
+        reporter.start(total=2, workers=1)
+        # Busy time wildly exceeding wall time must still render 100%.
+        reporter.update(2, "w", busy_s=1e6)
+        reporter.finish()
+        assert "worker utilization 100%" in lines[-1]
+
+    def test_zero_interval_emits_every_update(self):
+        lines = []
+        reporter = ProgressReporter(lines.append, min_interval_s=0.0)
+        reporter.start(total=3, workers=1)
+        for _ in range(3):
+            reporter.update(1, "w", busy_s=0.0)
+        reporter.finish()
+        # start + one line per update + finish
+        assert len(lines) == 5

@@ -1,0 +1,1 @@
+"""Tests for the crash-tolerant supervised campaign runtime."""

@@ -1,0 +1,108 @@
+"""Tests for the deterministic chaos (infrastructure fault) harness."""
+
+import pickle
+import zlib
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.resilience.chaos import (
+    CORRUPT,
+    CRASH,
+    ERROR,
+    HANG,
+    ChaosInjectedError,
+    ChaosSpec,
+    chaos_decision,
+    corrupt_payload,
+    injected_task_error,
+)
+
+
+class TestChaosSpec:
+    def test_validates_rates(self):
+        with pytest.raises(ModelParameterError):
+            ChaosSpec(crash_rate=-0.1)
+        with pytest.raises(ModelParameterError):
+            ChaosSpec(error_rate=1.5)
+        with pytest.raises(ModelParameterError):
+            ChaosSpec(crash_rate=0.6, hang_rate=0.6)
+        with pytest.raises(ModelParameterError):
+            ChaosSpec(hang_s=0.0)
+
+    def test_any_injection_and_kills_workers(self):
+        assert not ChaosSpec().any_injection
+        assert ChaosSpec(error_rate=0.1).any_injection
+        assert ChaosSpec(poison_units=(1,)).any_injection
+        assert ChaosSpec(crash_rate=0.1).kills_workers
+        assert ChaosSpec(hang_rate=0.1).kills_workers
+        assert not ChaosSpec(error_rate=0.5, corrupt_rate=0.5).kills_workers
+
+
+class TestChaosDecision:
+    def test_none_spec_and_quiet_spec_never_inject(self):
+        assert chaos_decision(None, 0, 1) is None
+        quiet = ChaosSpec()
+        assert all(
+            chaos_decision(quiet, unit, 1) is None for unit in range(50)
+        )
+
+    def test_pure_function_of_seed_unit_attempt(self):
+        spec = ChaosSpec(seed=3, crash_rate=0.3, error_rate=0.3)
+        first = [chaos_decision(spec, unit, 1) for unit in range(100)]
+        second = [chaos_decision(spec, unit, 1) for unit in range(100)]
+        assert first == second
+
+    def test_different_seeds_make_different_plans(self):
+        a = ChaosSpec(seed=1, crash_rate=0.5)
+        b = ChaosSpec(seed=2, crash_rate=0.5)
+        plans = [
+            [chaos_decision(spec, unit, 1) for unit in range(64)]
+            for spec in (a, b)
+        ]
+        assert plans[0] != plans[1]
+
+    def test_certain_rates_are_certain(self):
+        assert chaos_decision(ChaosSpec(crash_rate=1.0), 9, 1) == CRASH
+        assert chaos_decision(ChaosSpec(hang_rate=1.0), 9, 1) == HANG
+        assert chaos_decision(ChaosSpec(error_rate=1.0), 9, 1) == ERROR
+        assert chaos_decision(ChaosSpec(corrupt_rate=1.0), 9, 1) == CORRUPT
+
+    def test_first_attempt_only_spares_retries(self):
+        spec = ChaosSpec(crash_rate=1.0, first_attempt_only=True)
+        assert chaos_decision(spec, 4, 1) == CRASH
+        assert chaos_decision(spec, 4, 2) is None
+
+    def test_persistent_mode_keeps_injecting(self):
+        spec = ChaosSpec(error_rate=1.0, first_attempt_only=False)
+        assert chaos_decision(spec, 4, 1) == ERROR
+        assert chaos_decision(spec, 4, 3) == ERROR
+
+    def test_poison_units_fail_on_every_attempt(self):
+        spec = ChaosSpec(poison_units=(2,))
+        assert chaos_decision(spec, 2, 1) == ERROR
+        assert chaos_decision(spec, 2, 7) == ERROR
+        assert chaos_decision(spec, 3, 1) is None
+
+    def test_rates_are_roughly_honoured_in_aggregate(self):
+        spec = ChaosSpec(seed=11, crash_rate=0.25)
+        crashes = sum(
+            chaos_decision(spec, unit, 1) == CRASH for unit in range(2000)
+        )
+        assert 0.18 < crashes / 2000 < 0.32
+
+
+class TestInjectionHelpers:
+    def test_injected_error_is_a_plain_runtime_error(self):
+        error = injected_task_error(3, 2)
+        assert isinstance(error, ChaosInjectedError)
+        assert isinstance(error, RuntimeError)
+        assert "unit 3" in str(error)
+
+    def test_corrupt_payload_defeats_the_crc(self):
+        payload = pickle.dumps(("ok", 42))
+        crc = zlib.crc32(payload)
+        damaged = corrupt_payload(payload)
+        assert damaged != payload
+        assert zlib.crc32(damaged) != crc
+        assert corrupt_payload(b"") == b""

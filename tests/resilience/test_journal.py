@@ -1,0 +1,138 @@
+"""Tests for the append-only campaign journal (checkpointed resume)."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.resilience.journal import CampaignJournal
+from repro.resilience.records import RunFailure
+
+
+def _failure(index=0):
+    return RunFailure(
+        index=index,
+        item_repr=str(index),
+        error="boom",
+        traceback="",
+        attempts=2,
+        kind="exception",
+    )
+
+
+class TestJournalBasics:
+    def test_missing_file_loads_empty(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", key="k")
+        state = journal.load()
+        assert state.results == {}
+        assert state.failures == ()
+        assert state.completed_indices == ()
+
+    def test_rejects_empty_key(self, tmp_path):
+        with pytest.raises(JournalError):
+            CampaignJournal(tmp_path / "j.jsonl", key="")
+
+    def test_chunk_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", key="k")
+        journal.record_chunk([0, 1], ["a", "b"])
+        journal.record_chunk([3], [{"nested": (1, 2)}])
+        state = CampaignJournal(tmp_path / "j.jsonl", key="k").load()
+        assert state.results == {0: "a", 1: "b", 3: {"nested": (1, 2)}}
+        assert state.completed_indices == (0, 1, 3)
+
+    def test_quarantine_round_trip(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", key="k")
+        journal.record_quarantine(_failure(4))
+        state = journal.load()
+        assert state.failures == (_failure(4),)
+
+    def test_last_write_wins_for_duplicate_indices(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", key="k")
+        journal.record_chunk([0], ["old"])
+        journal.record_chunk([0], ["new"])
+        assert journal.load().results == {0: "new"}
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl", key="k")
+        with pytest.raises(JournalError):
+            journal.record_chunk([0, 1], ["only-one"])
+
+    def test_empty_chunk_writes_nothing(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CampaignJournal(path, key="k").record_chunk([], [])
+        assert not path.exists()
+
+
+class TestJournalIntegrity:
+    def test_wrong_key_refuses_to_load(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CampaignJournal(path, key="campaign-a").record_chunk([0], [1])
+        with pytest.raises(JournalError):
+            CampaignJournal(path, key="campaign-b").load()
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, key="k")
+        journal.record_chunk([0], ["kept"])
+        journal.record_chunk([1], ["torn"])
+        text = path.read_text()
+        # Simulate a crash mid-append: drop the tail of the last line.
+        path.write_text(text[: len(text) - 20])
+        state = CampaignJournal(path, key="k").load()
+        assert state.results == {0: "kept"}
+
+    def test_bit_flipped_line_fails_crc_and_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, key="k")
+        journal.record_chunk([0], ["kept"])
+        journal.record_chunk([1], ["flipped"])
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[2])
+        record["body"]["items"] = [99]  # corrupt without fixing the CRC
+        lines[2] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        state = CampaignJournal(path, key="k").load()
+        assert state.results == {0: "kept"}
+        assert 99 not in state.results
+
+    def test_records_before_a_header_are_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        donor = tmp_path / "donor.jsonl"
+        journal = CampaignJournal(donor, key="k")
+        journal.record_chunk([5], ["orphan"])
+        header, chunk = donor.read_text().splitlines()
+        # A chunk line with a valid CRC but no preceding header must
+        # not be trusted -- it cannot be attributed to any campaign.
+        path.write_text(chunk + "\n")
+        state = CampaignJournal(path, key="k").load()
+        assert state.results == {}
+        # With the header restored in front, the same line loads.
+        path.write_text(header + "\n" + chunk + "\n")
+        assert CampaignJournal(path, key="k").load().results == {5: "orphan"}
+
+    def test_garbage_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CampaignJournal(path, key="k")
+        journal.record_chunk([0], ["kept"])
+        with path.open("a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"crc": 1}\n')
+            handle.write("[1, 2, 3]\n")
+        assert CampaignJournal(path, key="k").load().results == {0: "kept"}
+
+    def test_appending_to_an_existing_journal_keeps_one_header(
+        self, tmp_path
+    ):
+        path = tmp_path / "j.jsonl"
+        CampaignJournal(path, key="k").record_chunk([0], ["first"])
+        CampaignJournal(path, key="k").record_chunk([1], ["second"])
+        headers = [
+            line
+            for line in path.read_text().splitlines()
+            if '"kind":"header"' in line
+        ]
+        assert len(headers) == 1
+        assert CampaignJournal(path, key="k").load().results == {
+            0: "first",
+            1: "second",
+        }

@@ -1,0 +1,122 @@
+"""Tests for failure records, retry policy and outcome accounting."""
+
+import pytest
+
+from repro.errors import ModelParameterError, QuarantineError
+from repro.resilience.records import (
+    FAILURE_KINDS,
+    RetryPolicy,
+    RunFailure,
+    SupervisedOutcome,
+    SupervisorStats,
+)
+
+
+def _failure(index=0, attempts=3, kind="exception"):
+    return RunFailure(
+        index=index,
+        item_repr=str(index),
+        error="ValueError('boom')",
+        traceback="Traceback ...",
+        attempts=attempts,
+        kind=kind,
+    )
+
+
+class TestRunFailure:
+    def test_round_trips_through_dict(self):
+        failure = _failure(index=7, kind="timeout")
+        assert RunFailure.from_dict(failure.as_dict()) == failure
+
+    def test_validates_index_attempts_and_kind(self):
+        with pytest.raises(ModelParameterError):
+            _failure(index=-1)
+        with pytest.raises(ModelParameterError):
+            _failure(attempts=0)
+        with pytest.raises(ModelParameterError):
+            _failure(kind="cosmic-ray")
+
+    def test_every_documented_kind_constructs(self):
+        for kind in FAILURE_KINDS:
+            assert _failure(kind=kind).kind == kind
+
+
+class TestRetryPolicy:
+    def test_max_attempts_counts_the_first_dispatch(self):
+        assert RetryPolicy(max_retries=0).max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+
+    def test_backoff_doubles_and_saturates(self):
+        policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.35)
+        assert policy.backoff_s(1) == 0.0  # first dispatch: no wait
+        assert policy.backoff_s(2) == pytest.approx(0.1)
+        assert policy.backoff_s(3) == pytest.approx(0.2)
+        assert policy.backoff_s(4) == pytest.approx(0.35)  # capped
+        assert policy.backoff_s(10) == pytest.approx(0.35)
+
+    def test_zero_base_disables_backoff(self):
+        policy = RetryPolicy(backoff_base_s=0.0)
+        assert policy.backoff_s(5) == 0.0
+
+    def test_deadline_scales_with_chunk_size(self):
+        policy = RetryPolicy(run_timeout_s=2.0)
+        assert policy.deadline_s(1) == pytest.approx(2.0)
+        assert policy.deadline_s(5) == pytest.approx(10.0)
+        assert policy.deadline_s(0) == pytest.approx(2.0)
+        assert RetryPolicy(run_timeout_s=None).deadline_s(5) is None
+
+    def test_validates_parameters(self):
+        with pytest.raises(ModelParameterError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ModelParameterError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ModelParameterError):
+            RetryPolicy(backoff_base_s=1.0, backoff_cap_s=0.5)
+        with pytest.raises(ModelParameterError):
+            RetryPolicy(run_timeout_s=0.0)
+        with pytest.raises(ModelParameterError):
+            RetryPolicy(startup_grace_s=0.0)
+
+
+class TestSupervisedOutcome:
+    def test_complete_outcome_returns_all_results(self):
+        outcome = SupervisedOutcome(
+            results=(1, 4, 9),
+            indices=(0, 1, 2),
+            failures=(),
+            stats=SupervisorStats(),
+        )
+        assert outcome.complete
+        assert outcome.require_complete() == [1, 4, 9]
+
+    def test_incomplete_outcome_raises_with_failures_attached(self):
+        failures = tuple(_failure(index=i) for i in range(5))
+        outcome = SupervisedOutcome(
+            results=(1,),
+            indices=(5,),
+            failures=failures,
+            stats=SupervisorStats(quarantined=5),
+        )
+        assert not outcome.complete
+        with pytest.raises(QuarantineError) as excinfo:
+            outcome.require_complete()
+        assert excinfo.value.failures == failures
+        # The message names the first culprits and counts the rest.
+        assert "#0" in str(excinfo.value)
+        assert "and 2 more" in str(excinfo.value)
+
+    def test_stats_round_trip(self):
+        stats = SupervisorStats(retries=2, timeouts=1, journal_hits=4)
+        payload = stats.as_dict()
+        assert payload["retries"] == 2
+        assert payload["timeouts"] == 1
+        assert payload["journal_hits"] == 4
+        assert set(payload) == {
+            "retries",
+            "timeouts",
+            "worker_deaths",
+            "corrupt_chunks",
+            "quarantined",
+            "journal_hits",
+            "worker_respawns",
+        }

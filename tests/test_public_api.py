@@ -49,6 +49,7 @@ class TestSubpackagesImport:
             "repro.experiments",
             "repro.intermittent",
             "repro.parallel",
+            "repro.resilience",
             "repro.telemetry",
             "repro.perf",
             "repro.cli",
@@ -69,6 +70,7 @@ class TestSubpackagesImport:
             "repro.harvesters",
             "repro.intermittent",
             "repro.parallel",
+            "repro.resilience",
             "repro.telemetry",
             "repro.perf",
         ],
