@@ -4,6 +4,17 @@ Each benchmark regenerates one of the paper's figures, times the
 computation with pytest-benchmark, prints the figure's rows/series
 (visible with ``pytest -s``), and asserts the paper's qualitative
 claims so a model regression fails loudly.
+
+Two shared services live here:
+
+* **the campaign cache** -- one memo of transient-campaign summaries
+  keyed by the stable fingerprint of ``(spec, config)`` plus any
+  dispatch kwargs (engine, workers), shared by every benchmark module
+  through either the ``campaign_cache`` fixture or the module-level
+  :func:`cached_campaign` helper (both front the same store);
+* **bench-JSON schema checking** -- :func:`assert_bench_schema`
+  validates the key set *and* value types of a ``BENCH_*.json``
+  payload, so a malformed report fails the bench that wrote it.
 """
 
 import pytest
@@ -12,11 +23,53 @@ from repro.core.system import paper_system
 from repro.faults import run_transient_campaign
 from repro.parallel.ids import stable_fingerprint
 
-#: Campaign summaries shared across benchmark modules, keyed by the
-#: stable fingerprint of ``(spec, config)`` -- a pure function of the
-#: campaign inputs, never of wall-clock, session or module state, so
-#: every bench that asks for the same campaign gets the cached one.
-_CAMPAIGN_CACHE = {}
+
+class CampaignCache:
+    """Memo of campaign summaries, keyed by inputs + dispatch kwargs.
+
+    The key is a pure function of the campaign inputs -- never of
+    wall-clock, session or module state -- so every bench that asks
+    for the same campaign gets the cached one, and benches that time
+    a run themselves can :meth:`store` the summary for the others.
+    """
+
+    def __init__(self):
+        self._memo = {}
+
+    @staticmethod
+    def _key(spec, config, kwargs):
+        return (
+            stable_fingerprint(spec, config),
+            tuple(sorted(kwargs.items())),
+        )
+
+    def get(self, spec, config, **kwargs):
+        """Run (or reuse) a transient campaign keyed by its inputs."""
+        key = self._key(spec, config, kwargs)
+        if key not in self._memo:
+            self._memo[key] = run_transient_campaign(
+                spec, config, **kwargs
+            )
+        return self._memo[key]
+
+    def store(self, spec, config, summary, **kwargs):
+        """Seed the cache with a summary a bench already computed."""
+        self._memo[self._key(spec, config, kwargs)] = summary
+
+
+#: The one store behind both access paths (fixture and helper).
+_SHARED_CACHE = CampaignCache()
+
+
+@pytest.fixture(scope="session")
+def campaign_cache():
+    """The session-wide campaign cache (shared with cached_campaign)."""
+    return _SHARED_CACHE
+
+
+def cached_campaign(spec, config, **kwargs):
+    """Run (or reuse) a transient campaign keyed by its inputs."""
+    return _SHARED_CACHE.get(spec, config, **kwargs)
 
 
 @pytest.fixture(scope="session")
@@ -25,14 +78,31 @@ def system():
     return paper_system()
 
 
-def cached_campaign(spec, config, **kwargs):
-    """Run (or reuse) a transient campaign keyed by its inputs."""
-    key = stable_fingerprint(spec, config)
-    if key not in _CAMPAIGN_CACHE:
-        _CAMPAIGN_CACHE[key] = run_transient_campaign(
-            spec, config, **kwargs
+def assert_bench_schema(payload, required):
+    """Assert a BENCH payload has exactly the required keys and types.
+
+    ``required`` maps key -> type (or tuple of types).  Missing keys,
+    unexpected keys and wrongly-typed values all fail, so a malformed
+    ``BENCH_*.json`` cannot be written silently.  ``bool`` is checked
+    strictly (it is not accepted where a number is required).
+    """
+    assert isinstance(payload, dict), f"bench payload is {type(payload)}"
+    missing = sorted(set(required) - set(payload))
+    unexpected = sorted(set(payload) - set(required))
+    assert not missing, f"bench payload missing keys: {missing}"
+    assert not unexpected, f"bench payload has unexpected keys: {unexpected}"
+    for key, expected_type in required.items():
+        value = payload[key]
+        if expected_type is not bool and not (
+            isinstance(expected_type, tuple) and bool in expected_type
+        ):
+            assert not isinstance(value, bool), (
+                f"{key}: bool {value!r} where {expected_type} required"
+            )
+        assert isinstance(value, expected_type), (
+            f"{key}: {value!r} is {type(value).__name__}, "
+            f"wanted {expected_type}"
         )
-    return _CAMPAIGN_CACHE[key]
 
 
 def emit(title: str, body: str) -> None:

@@ -22,7 +22,7 @@ import time
 from pathlib import Path
 
 import pytest
-from conftest import emit
+from conftest import assert_bench_schema, emit
 
 from repro.experiments.report import format_table
 from repro.faults import CampaignConfig, FaultSpec, run_transient_campaign
@@ -42,10 +42,30 @@ def _usable_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def test_parallel_campaign_speedup_and_bit_identity():
+#: Key -> type contract of BENCH_parallel_campaign.json.
+BENCH_SCHEMA = {
+    "bench": str,
+    "runs": int,
+    "workers": int,
+    "serial_wall_s": (int, float),
+    "parallel_wall_s": (int, float),
+    "speedup": (int, float),
+    "target_speedup": (int, float),
+    "speedup_asserted": bool,
+    "bit_identical": bool,
+    "usable_cpus": int,
+    "platform": str,
+    "python": str,
+}
+
+
+def test_parallel_campaign_speedup_and_bit_identity(campaign_cache):
     started = time.perf_counter()
     serial = run_transient_campaign(SPEC, CONFIG, workers=1)
     serial_s = time.perf_counter() - started
+    # Seed the shared cache: other benches asking for this campaign
+    # (the robustness tables, the fleet bench) reuse the timed run.
+    campaign_cache.store(SPEC, CONFIG, serial)
 
     started = time.perf_counter()
     fanned = run_transient_campaign(SPEC, CONFIG, workers=WORKERS)
@@ -58,26 +78,23 @@ def test_parallel_campaign_speedup_and_bit_identity():
         and fanned.records == serial.records
     )
 
+    payload = {
+        "bench": "parallel_campaign",
+        "runs": CONFIG.runs,
+        "workers": WORKERS,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "target_speedup": TARGET_SPEEDUP,
+        "speedup_asserted": cpus >= WORKERS,
+        "bit_identical": identical,
+        "usable_cpus": cpus,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    assert_bench_schema(payload, BENCH_SCHEMA)
     BENCH_PATH.write_text(
-        json.dumps(
-            {
-                "bench": "parallel_campaign",
-                "runs": CONFIG.runs,
-                "workers": WORKERS,
-                "serial_wall_s": round(serial_s, 3),
-                "parallel_wall_s": round(parallel_s, 3),
-                "speedup": round(speedup, 3),
-                "target_speedup": TARGET_SPEEDUP,
-                "speedup_asserted": cpus >= WORKERS,
-                "bit_identical": identical,
-                "usable_cpus": cpus,
-                "platform": platform.platform(),
-                "python": platform.python_version(),
-            },
-            indent=2,
-            sort_keys=True,
-        )
-        + "\n"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
 
     emit(

@@ -63,6 +63,11 @@ from repro.faults import (
     run_intermittent_campaign,
     run_transient_campaign,
 )
+from repro.fleet import (
+    FleetNode,
+    FleetSimulator,
+    FleetState,
+)
 from repro.parallel import (
     ProgressReporter,
     campaign_run_id,
@@ -181,6 +186,10 @@ __all__ = [
     "IntermittentCampaignSummary",
     "run_transient_campaign",
     "run_intermittent_campaign",
+    # batched fleet simulation
+    "FleetNode",
+    "FleetSimulator",
+    "FleetState",
     # parallel execution
     "run_sharded",
     "ProgressReporter",

@@ -438,6 +438,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.fleet:
+        return _cmd_bench_fleet(args)
     from repro.perf.benchmark import run_hotpath_benchmark, write_report
 
     report = run_hotpath_benchmark(rounds=args.rounds, smoke=args.smoke)
@@ -464,6 +466,51 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if not report.default_bit_identical:
         print(
             "error: default path diverged from the reference solver",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet.bench import run_fleet_benchmark, write_report
+
+    report = run_fleet_benchmark(rounds=args.rounds, smoke=args.smoke)
+    out = args.out
+    if out == "BENCH_engine_hotpath.json":
+        out = "BENCH_fleet_engine.json"
+    path = write_report(report, out)
+    print(f"wrote {path}")
+    rows = [
+        (
+            str(timing.batch),
+            f"{timing.fleet_steps_per_s:,.0f}",
+            f"{timing.scalar_steps_per_s:,.0f}",
+            f"{timing.speedup:.2f}x",
+        )
+        for timing in report.timings
+    ] + [
+        (
+            "bit-identical (batch 1)",
+            str(report.batch1_bit_identical),
+            "",
+            "",
+        ),
+        (
+            f"target ({report.target_speedup:.0f}x)",
+            "asserted" if report.speedup_asserted else "recorded only",
+            "",
+            "",
+        ),
+    ]
+    print(
+        format_table(
+            ["batch", "fleet steps/s", "scalar steps/s", "speedup"], rows
+        )
+    )
+    if not report.batch1_bit_identical:
+        print(
+            "error: fleet batch-of-1 diverged from the scalar engine",
             file=sys.stderr,
         )
         return 1
@@ -675,7 +722,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--out", default="BENCH_engine_hotpath.json",
-        help="report JSON output path",
+        help="report JSON output path (--fleet defaults to "
+        "BENCH_fleet_engine.json)",
+    )
+    p_bench.add_argument(
+        "--fleet", action="store_true",
+        help="benchmark the batched fleet engine against N scalar runs "
+        "(aggregate steps/s at batch sizes 1/16/128/1024)",
     )
     p_bench.set_defaults(func=_cmd_bench)
 

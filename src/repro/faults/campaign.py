@@ -74,6 +74,12 @@ from repro.telemetry.session import Telemetry, TelemetrySession
 
 SCHEMES = ("holistic", "fixed")
 
+#: Campaign engine selectors: ``"auto"`` batches through the fleet
+#: engine whenever the execution mode allows it (see
+#: :func:`run_transient_campaign`), ``"scalar"`` forces the historical
+#: one-run-at-a-time path, ``"fleet"`` requires batching.
+ENGINES = ("auto", "scalar", "fleet")
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -474,6 +480,8 @@ def run_transient_campaign(
     progress: "ProgressReporter | None" = None,
     telemetry: "Telemetry | None" = None,
     resilience: "ResilienceConfig | None" = None,
+    engine: str = "auto",
+    batch_size: int = 64,
 ) -> CampaignSummary:
     """Fan ``config.runs`` seeded fault draws across the simulator.
 
@@ -506,8 +514,35 @@ def run_transient_campaign(
     a ``journal_path`` makes the campaign resumable after interruption
     with a bit-identical summary.  ``None`` (the default) keeps the
     legacy fail-stop path.
+
+    ``engine`` selects the simulation core.  ``"auto"`` (the default)
+    batches seeds through the structure-of-arrays fleet engine
+    (:mod:`repro.fleet`) in shards of ``batch_size``, falling back to
+    the scalar path under ``resilience`` (the supervised runtime
+    retries and quarantines *individual* seeds, which requires per-run
+    tasks).  ``"fleet"`` requires batching and raises when combined
+    with ``resilience``; ``"scalar"`` forces the historical path.  The
+    two engines are bit-identical run for run (``tests/fleet/``), so
+    the summary does not depend on the choice.
     """
     config = config or CampaignConfig()
+    if engine not in ENGINES:
+        raise ModelParameterError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    if batch_size < 1:
+        raise ModelParameterError(
+            f"batch_size must be >= 1, got {batch_size}"
+        )
+    if engine == "fleet" and resilience is not None:
+        raise ModelParameterError(
+            "engine='fleet' cannot run under a resilience policy: the "
+            "supervised runtime retries/quarantines individual seeds; "
+            "use engine='auto' (scalar fallback) or engine='scalar'"
+        )
+    use_fleet = engine == "fleet" or (
+        engine == "auto" and resilience is None
+    )
     with_metrics = telemetry is not None and telemetry.enabled
     workload, ideal_result, ideal_cycles = _campaign_reference(config)
     task = partial(
@@ -520,7 +555,31 @@ def run_transient_campaign(
     )
     seeds = [config.base_seed + index for index in range(config.runs)]
     failed_runs: "Tuple[RunFailure, ...]" = ()
-    if resilience is None:
+    if use_fleet:
+        from repro.fleet.campaign import fleet_transient_batch_task
+
+        batch_task = partial(
+            fleet_transient_batch_task,
+            spec=spec,
+            config=config,
+            workload_cycles=workload.cycles,
+            ideal_cycles=ideal_cycles,
+            with_metrics=with_metrics,
+        )
+        batches = [
+            seeds[start:start + batch_size]
+            for start in range(0, len(seeds), batch_size)
+        ]
+        shards = run_sharded(
+            batch_task,
+            batches,
+            workers=workers,
+            chunk_size=chunk_size,
+            progress=progress,
+            telemetry=telemetry,
+        )
+        records = [record for shard in shards for record in shard]
+    elif resilience is None:
         records = run_sharded(
             task,
             seeds,
@@ -799,6 +858,7 @@ def run_intermittent_campaign(
     chunk_size: "int | None" = None,
     progress: "ProgressReporter | None" = None,
     resilience: "ResilienceConfig | None" = None,
+    engine: str = "auto",
 ) -> IntermittentCampaignSummary:
     """Fan seeded fault draws across the checkpointed runtime.
 
@@ -808,8 +868,23 @@ def run_intermittent_campaign(
     reduction, bit-identical summaries at any worker count, supervised
     execution with quarantine and journaled resume when ``resilience``
     is given).
+
+    ``engine``: the intermittent runtime is a reboot-driven state
+    machine with data-dependent control flow per node, which the
+    structure-of-arrays fleet engine does not model yet -- ``"auto"``
+    and ``"scalar"`` both run the scalar path; ``"fleet"`` raises.
     """
     config = config or IntermittentCampaignConfig()
+    if engine not in ENGINES:
+        raise ModelParameterError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    if engine == "fleet":
+        raise ModelParameterError(
+            "the intermittent campaign has no fleet engine: the "
+            "checkpointed runtime is not batched; use engine='auto' "
+            "or engine='scalar'"
+        )
     task = partial(_intermittent_run_task, spec=spec, config=config)
     seeds = [config.base_seed + index for index in range(config.runs)]
     failed_runs: "Tuple[RunFailure, ...]" = ()

@@ -1,0 +1,27 @@
+"""Batched structure-of-arrays simulation of node fleets.
+
+:class:`FleetSimulator` advances many independent harvest-store-compute
+nodes per step with masked array updates, bit-identical lane-for-lane
+to the scalar :class:`~repro.sim.engine.TransientSimulator` (the
+differential harness in ``tests/fleet/`` is the contract).  Campaigns
+dispatch homogeneous-config shards here automatically; see
+``docs/fleet.md``.
+"""
+
+from repro.fleet.bench import FleetReport, run_fleet_benchmark
+from repro.fleet.campaign import fleet_transient_batch_task
+from repro.fleet.engine import FleetNode, FleetSimulator
+from repro.fleet.pv import CellParams, batched_current
+from repro.fleet.state import NO_MODE, FleetState
+
+__all__ = [
+    "CellParams",
+    "FleetNode",
+    "FleetReport",
+    "FleetSimulator",
+    "FleetState",
+    "NO_MODE",
+    "batched_current",
+    "fleet_transient_batch_task",
+    "run_fleet_benchmark",
+]

@@ -1,0 +1,122 @@
+"""Fleet-batched execution of the transient robustness campaign.
+
+:func:`run_transient_campaign <repro.faults.campaign.run_transient_
+campaign>` dispatches homogeneous-config shards here when its
+``engine`` resolves to ``"fleet"``: each shard of seeds becomes one
+:class:`~repro.fleet.engine.FleetSimulator` batch instead of N scalar
+runs.  Every lane is built by the *same* builders the scalar campaign
+task uses (seeded fault draw, faulted system/trace/capacitor/bank,
+scheme controller, per-lane telemetry session), so the resulting
+:class:`~repro.faults.campaign.RunRecord` stream is bit-identical to
+the scalar path -- asserted by ``tests/fleet/``.
+
+The batch task is module-level and fully determined by picklable
+arguments, so it shards across spawn-safe worker processes exactly
+like the scalar task does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    RunRecord,
+    _make_controller,
+    _survived,
+)
+from repro.faults.models import (
+    FaultSpec,
+    draw_faults,
+    faulted_comparator_bank,
+    faulted_node_capacitor,
+    faulted_system,
+    faulted_trace,
+)
+from repro.fleet.engine import FleetNode, FleetSimulator
+from repro.parallel.cache import characterized_system
+from repro.parallel.ids import campaign_run_id
+from repro.processor.workloads import Workload
+from repro.pv.traces import IrradianceTrace
+from repro.sim.engine import SimulationConfig
+from repro.telemetry.aggregate import run_metric_tuple
+from repro.telemetry.session import TelemetrySession
+
+
+def fleet_transient_batch_task(
+    seed_batch: Sequence[int],
+    *,
+    spec: "FaultSpec",
+    config: "CampaignConfig",
+    workload_cycles: int,
+    ideal_cycles: float,
+    with_metrics: bool = False,
+) -> "List[RunRecord]":
+    """Execute one shard of seeded runs as a single fleet batch.
+
+    Mirrors :func:`repro.faults.campaign._transient_run_task` lane for
+    lane: same builders in the same order per seed, same
+    :class:`~repro.sim.engine.SimulationConfig`, same record reduction
+    -- only the inner engine differs, and the engines are bit-identical.
+    """
+    reference_system, lut = characterized_system()
+    comparator_count = len(reference_system.comparator_thresholds_v)
+    sim_config = SimulationConfig(
+        time_step_s=config.time_step_s,
+        stop_on_completion=False,
+        stop_on_brownout=False,
+        recover_from_brownout=True,
+        recovery_voltage_v=config.recovery_voltage_v,
+    )
+    sessions: "List[Optional[TelemetrySession]]" = []
+    nodes: List[FleetNode] = []
+    traces: List[IrradianceTrace] = []
+    for seed in seed_batch:
+        session = TelemetrySession() if with_metrics else None
+        draw = draw_faults(spec, seed, comparator_count=comparator_count)
+        system = faulted_system(draw)
+        nodes.append(
+            FleetNode(
+                cell=system.cell,
+                capacitor=faulted_node_capacitor(
+                    system, draw, config.initial_voltage_v
+                ),
+                processor=system.processor,
+                regulator=system.regulator(config.regulator_name),
+                controller=_make_controller(
+                    config, system, lut, telemetry=session
+                ),
+                comparators=faulted_comparator_bank(system, draw),
+                workload=Workload(name="campaign", cycles=workload_cycles),
+                telemetry=session,
+                seed=seed,
+            )
+        )
+        traces.append(faulted_trace(config.base_trace(), draw))
+        sessions.append(session)
+
+    simulator = FleetSimulator(nodes, config=sim_config)
+    results = simulator.run(traces, duration_s=config.duration_s)
+
+    records: "List[RunRecord]" = []
+    for seed, session, result in zip(seed_batch, sessions, results):
+        records.append(
+            RunRecord(
+                seed=seed,
+                run_id=campaign_run_id(spec, config, seed),
+                survived=_survived(result, config),
+                completed=result.completed,
+                completion_time_s=result.completion_time_s,
+                brownout_count=result.brownout_count,
+                downtime_s=result.downtime_s,
+                final_cycles=float(result.final_cycles),
+                throughput_ratio=float(result.final_cycles) / ideal_cycles,
+                min_node_voltage_v=result.min_node_voltage_v(),
+                metrics=(
+                    run_metric_tuple(session.metrics)
+                    if session is not None
+                    else None
+                ),
+            )
+        )
+    return records

@@ -1,0 +1,679 @@
+"""The batched (structure-of-arrays) fleet simulation engine.
+
+:class:`FleetSimulator` advances ``B`` *independent* harvest-store-
+compute nodes through one shared time grid.  The expensive physics --
+the implicit single-diode PV solve and the capacitor integration -- run
+as masked array updates across all live lanes per step; the per-node
+control flow (controller decisions, DVFS transitions, brownout entry/
+recovery, completion detection) stays per-lane Python because the
+controllers are stateful policy objects, exactly as in the scalar
+engine.
+
+**The equivalence guarantee.**  Lane ``i`` of a fleet run is
+bit-identical to a scalar :class:`~repro.sim.engine.TransientSimulator`
+run of the same node: every float operation happens in the same order
+on the same doubles (the batched Newton freezes each lane exactly where
+the scalar iteration would return -- see :mod:`repro.fleet.pv` -- and
+the vectorised capacitor update preserves the scalar expression order),
+and decisions resolve through the *same*
+:func:`repro.sim.engine.resolve_decision` code path.  ``tests/fleet/``
+asserts this across the full scenario matrix; the differential harness
+is the contract.
+
+Masking semantics: a lane dies (``stop_on_brownout`` break,
+``stop_on_completion`` break) by leaving the live mask -- its state
+freezes at its own end step while surviving lanes march on, so lane
+death never perturbs a neighbour (also a tested property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ModelParameterError,
+    OperatingRangeError,
+    SimulationError,
+)
+from repro.fleet.pv import CellParams, batched_current
+from repro.fleet.state import NO_MODE, FleetState
+from repro.monitor.comparator import ComparatorBank
+from repro.processor.energy import ProcessorModel
+from repro.processor.workloads import Workload
+from repro.pv.cell import SingleDiodeCell
+from repro.pv.traces import IrradianceTrace
+from repro.regulators.base import Regulator
+from repro.sim.dvfs import ControllerView, DvfsController
+from repro.sim.engine import (
+    _IRR_PRECOMPUTE_MAX_SAMPLES,
+    SimulationConfig,
+    resolve_decision,
+)
+from repro.sim.result import SimulationResult
+from repro.sim.transitions import DvfsTransitionModel
+from repro.storage.capacitor import Capacitor
+from repro.telemetry.profiling import Stopwatch
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
+
+
+@dataclass
+class FleetNode:
+    """One lane of a fleet: the same substrates a scalar run takes.
+
+    ``telemetry`` is per-lane so each node's metric registry matches
+    the scalar engine's per-run session exactly; ``seed`` is optional
+    provenance (the campaign fault-draw seed) carried into
+    :class:`~repro.fleet.state.FleetState`.
+    """
+
+    cell: SingleDiodeCell
+    capacitor: Capacitor
+    processor: ProcessorModel
+    regulator: Regulator
+    controller: DvfsController
+    comparators: "ComparatorBank | None" = None
+    workload: "Workload | None" = None
+    transitions: "DvfsTransitionModel | None" = None
+    telemetry: "Telemetry | None" = None
+    seed: "int | None" = None
+
+
+class FleetSimulator:
+    """Simulate a batch of independent nodes on per-lane traces.
+
+    Parameters
+    ----------
+    nodes:
+        One :class:`FleetNode` per lane.
+    config:
+        Shared :class:`~repro.sim.engine.SimulationConfig` -- the fleet
+        batches *homogeneous-config* shards.  ``fast_pv`` and
+        ``pv_reference`` are rejected: the fleet always runs the exact
+        batched solver (the approximate surface and the historical
+        reference loop are scalar-engine benchmarking tools).
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[FleetNode],
+        config: "SimulationConfig | None" = None,
+    ) -> None:
+        if not nodes:
+            raise ModelParameterError("a fleet needs at least one node")
+        self.nodes = list(nodes)
+        self.config = config or SimulationConfig()
+        if self.config.fast_pv or self.config.pv_reference:
+            raise ModelParameterError(
+                "the fleet engine always runs the exact batched solver; "
+                "fast_pv/pv_reference are scalar-engine options"
+            )
+        #: Populated by :meth:`run`; the end-of-run SoA snapshot.
+        self.state: "FleetState | None" = None
+
+    # -- the run -------------------------------------------------------------
+
+    def run(
+        self,
+        traces: Sequence[IrradianceTrace],
+        duration_s: "float | None" = None,
+    ) -> List[SimulationResult]:
+        """Advance every lane over its trace; per-lane results in order.
+
+        ``duration_s`` defaults to the (common) trace duration; lanes
+        share one time grid, so heterogeneous trace durations require
+        an explicit ``duration_s``.  Each lane's capacitor is mutated
+        to its final voltage, as the scalar engine does.
+        """
+        nodes = self.nodes
+        lanes = len(nodes)
+        if len(traces) != lanes:
+            raise ModelParameterError(
+                f"got {len(traces)} traces for {lanes} nodes"
+            )
+        cfg = self.config
+        dt = cfg.time_step_s
+        if duration_s is None:
+            durations = {trace.duration_s for trace in traces}
+            if len(durations) != 1:
+                raise ModelParameterError(
+                    "lanes have different trace durations "
+                    f"({sorted(durations)}); pass duration_s explicitly"
+                )
+            duration_s = durations.pop()
+        if duration_s <= 0.0:
+            raise ModelParameterError(
+                f"duration must be positive, got {duration_s}"
+            )
+        steps = int(np.ceil(duration_s / dt))
+        if steps > cfg.max_steps:
+            raise SimulationError(
+                f"{steps} steps exceed max_steps={cfg.max_steps}; "
+                "raise time_step_s or max_steps"
+            )
+
+        for node in nodes:
+            node.controller.reset()
+            if node.comparators is not None:
+                node.comparators.reset()
+
+        # -- per-lane constants ---------------------------------------
+        controllers = [node.controller for node in nodes]
+        processors = [node.processor for node in nodes]
+        regulators = [node.regulator for node in nodes]
+        transitions = [node.transitions for node in nodes]
+        comparators = [node.comparators for node in nodes]
+        tels = [
+            node.telemetry if node.telemetry is not None else NULL_TELEMETRY
+            for node in nodes
+        ]
+        comparator_power = [
+            node.comparators.total_power_w
+            if node.comparators is not None
+            else 0.0
+            for node in nodes
+        ]
+        targets: "List[float | None]" = [
+            node.workload.cycles if node.workload is not None else None
+            for node in nodes
+        ]
+        caches: "List[Dict[Tuple[float, float], Tuple[float, float]]]" = [
+            {} for _ in range(lanes)
+        ]
+
+        # Batched PV when every lane is a plain SingleDiodeCell;
+        # otherwise exact per-lane scalar solves (same fallback ladder
+        # as the scalar engine).
+        params = CellParams.from_cells([node.cell for node in nodes])
+        scalar_solves = [
+            getattr(node.cell, "current_scalar", None) for node in nodes
+        ]
+
+        # Per-lane irradiance, precomputed in one vectorised sweep per
+        # trace when possible (bit-identical; see step_samples).
+        irr_rows: "List[np.ndarray | None]" = []
+        for trace in traces:
+            row: "np.ndarray | None" = None
+            if steps + 1 <= _IRR_PRECOMPUTE_MAX_SAMPLES:
+                sampler = getattr(trace, "step_samples", None)
+                if sampler is not None:
+                    row = sampler(dt, steps)
+            irr_rows.append(row)
+        irr_mat: "np.ndarray | None" = None
+        if all(row is not None for row in irr_rows):
+            irr_mat = np.stack([row for row in irr_rows if row is not None])
+
+        # -- SoA electrical state and per-lane scratch ----------------
+        v = np.array([node.capacitor.voltage_v for node in nodes])
+        cap_c = np.array([node.capacitor.capacitance_f for node in nodes])
+        cap_esr = np.array([node.capacitor.esr_ohm for node in nodes])
+        cap_vmax = np.array([node.capacitor.max_voltage_v for node in nodes])
+        cap_leak = np.array(
+            [node.capacitor.leakage_current_a for node in nodes]
+        )
+        live = np.ones(lanes, dtype=bool)
+        irr_col = np.zeros(lanes)
+        # Python-float mirrors of the hot per-lane reads: one tolist()
+        # per step costs far less than per-lane numpy scalar indexing,
+        # and float64 -> Python float is exact.
+        v_list: "list" = v.tolist()
+        i_net_list: "list" = [0.0] * lanes
+        irr_pylists: "List[list | None]" = [
+            row.tolist() if row is not None else None for row in irr_rows
+        ]
+        irr_steps: "np.ndarray | None" = (
+            np.ascontiguousarray(irr_mat.T) if irr_mat is not None else None
+        )
+
+        record_count = steps // cfg.record_every + 1
+        rec_t = np.empty((lanes, record_count))
+        rec_vnode = np.empty((lanes, record_count))
+        rec_vproc = np.empty((lanes, record_count))
+        rec_f = np.empty((lanes, record_count))
+        rec_ppv = np.empty((lanes, record_count))
+        rec_pproc = np.empty((lanes, record_count))
+        rec_pdraw = np.empty((lanes, record_count))
+        rec_irr = np.empty((lanes, record_count))
+        rec_mode = np.empty((lanes, record_count), dtype=np.int8)
+        recorded = [0] * lanes
+
+        mode_codes = SimulationResult.MODE_CODES
+
+        # Per-lane loop state, exactly the scalar engine's locals.
+        cycles = [0.0] * lanes
+        prev_v_proc = [0.0] * lanes
+        prev_mode: "List[str | None]" = [None] * lanes
+        prev_setpoint_v = [0.0] * lanes
+        lockout_until = [-1.0] * lanes
+        transition_count = [0] * lanes
+        pending_events: "List[tuple]" = [()] * lanes
+        completed = [False] * lanes
+        completion_time: "List[float | None]" = [None] * lanes
+        browned_out = [False] * lanes
+        brownout_time: "List[float | None]" = [None] * lanes
+        brownout_count = [0] * lanes
+        downtime_s = [0.0] * lanes
+        recovering = [False] * lanes
+        in_brownout = [False] * lanes
+        node_collapsed = [False] * lanes
+        telemetry_mode: "List[str | None]" = [None] * lanes
+        outage_started_s: "List[float | None]" = [None] * lanes
+        events: "List[list]" = [[] for _ in range(lanes)]
+        end_step = [-1] * lanes
+        end_time = [float("nan")] * lanes
+
+        watch = Stopwatch()
+        for i in range(lanes):
+            tels[i].begin_span(
+                "engine.run", 0.0, track="engine",
+                dt_s=dt, planned_steps=steps,
+            )
+
+        def finish_lane(i: int, lane_step: int, lane_t: float) -> None:
+            """The scalar engine's after-loop telemetry, at lane end."""
+            tel = tels[i]
+            outage_start = outage_started_s[i]
+            if outage_start is not None:
+                tel.end_span(lane_t)
+                tel.observe("brownout.outage_s", lane_t - outage_start)
+            tel.end_span(lane_t, steps=float(lane_step + 1))
+            tel.count("engine.steps", float(lane_step + 1))
+            tel.gauge("brownout.downtime_s", downtime_s[i])
+            tel.gauge("engine.final_cycles", float(cycles[i]))
+            tel.profile("engine.run_wall_s", watch.elapsed_s())
+            live[i] = False
+            end_step[i] = lane_step
+            end_time[i] = lane_t
+
+        alive = list(range(lanes))
+        alive_count = lanes
+        t = 0.0
+        step = 0
+        for step in range(steps + 1):
+            # One batched PV solve across all live lanes.
+            i_pv_list: "list | None" = None
+            if params is not None:
+                if irr_steps is not None:
+                    irr_arr = irr_steps[step]
+                else:
+                    for i in alive:
+                        pylist = irr_pylists[i]
+                        irr_col[i] = (
+                            pylist[step]
+                            if pylist is not None
+                            else traces[i](t)
+                        )
+                    irr_arr = irr_col
+                i_pv_list = batched_current(
+                    params, v, irr_arr, live
+                ).tolist()
+
+            any_died = False
+            for i in alive:
+                tel = tels[i]
+                v_node = v_list[i]
+                pylist = irr_pylists[i]
+                irr = pylist[step] if pylist is not None else traces[i](t)
+
+                if i_pv_list is not None:
+                    i_pv = i_pv_list[i]
+                    p_pv = v_node * i_pv
+                else:
+                    solve = scalar_solves[i]
+                    if solve is not None:
+                        i_pv = solve(v_node, irr)
+                        p_pv = v_node * i_pv
+                    else:
+                        i_pv = 0.0
+                        p_pv = 0.0
+
+                # Power-good release (see the scalar engine).
+                if recovering[i] and v_node >= cfg.recovery_voltage_v:
+                    recovering[i] = False
+                    events[i].append(("recovered", t))
+                    tel.event("recovered", t, track="engine", node_v=v_node)
+                    outage_start = outage_started_s[i]
+                    if outage_start is not None:
+                        tel.end_span(t)
+                        tel.observe("brownout.outage_s", t - outage_start)
+                        outage_started_s[i] = None
+
+                view = ControllerView(
+                    time_s=t,
+                    node_voltage_v=v_node,
+                    processor_voltage_v=prev_v_proc[i],
+                    cycles_done=cycles[i],
+                    comparator_events=pending_events[i],
+                    recovering=recovering[i],
+                    brownout_count=brownout_count[i],
+                )
+                decision = controllers[i].decide(view)
+                v_proc, f, p_proc, p_draw, mode = resolve_decision(
+                    processors[i], regulators[i], decision, v_node, caches[i]
+                )
+                if recovering[i]:
+                    v_proc, f, p_proc, p_draw, mode = (
+                        0.0, 0.0, 0.0, 0.0, "halt",
+                    )
+                prev_v_proc[i] = v_proc
+
+                # DVFS transition accounting: settle lockout + recharge.
+                tr = transitions[i]
+                if tr is not None:
+                    if tr.is_transition(
+                        prev_mode[i], prev_setpoint_v[i], mode, v_proc
+                    ):
+                        transition_count[i] += 1
+                        tel.count("dvfs.transitions")
+                        tel.event(
+                            "dvfs.transition", t, track="engine",
+                            previous=prev_mode[i] or "", new=mode,
+                            setpoint_v=v_proc,
+                        )
+                        lockout_until[i] = t + tr.settle_time_s
+                        recharge = tr.transition_energy_j(
+                            prev_setpoint_v[i], v_proc
+                        )
+                        if recharge > 0.0:
+                            p_draw += recharge / dt
+                    if mode != "halt":
+                        prev_mode[i] = mode
+                        prev_setpoint_v[i] = v_proc
+                    if t < lockout_until[i] and f > 0.0:
+                        f = 0.0
+                        p_proc = (
+                            float(processors[i].leakage.power(v_proc))
+                            if v_proc >= processors[i].min_operating_v
+                            else 0.0
+                        )
+                        if mode == "regulated":
+                            try:
+                                p_draw = max(
+                                    p_draw,
+                                    regulators[i].input_power(
+                                        v_proc, p_proc, v_in=v_node
+                                    ),
+                                )
+                            except OperatingRangeError:
+                                pass
+                        elif mode == "bypass":
+                            p_draw = p_proc
+
+                # Converter-path mode switch telemetry.
+                if mode != telemetry_mode[i]:
+                    if telemetry_mode[i] is not None:
+                        tel.count("regulator.mode_switches")
+                        tel.event(
+                            "regulator.mode_switch", t, track="engine",
+                            previous=telemetry_mode[i], new=mode,
+                            node_v=v_node,
+                        )
+                    telemetry_mode[i] = mode
+
+                # Brownout: commanded work the supply cannot run.
+                stalled = (
+                    decision.frequency_hz > 0.0
+                    and f == 0.0
+                    and mode == "halt"
+                    and decision.mode != "halt"
+                    and not completed[i]
+                    and not recovering[i]
+                )
+                if stalled and not in_brownout[i]:
+                    in_brownout[i] = True
+                    browned_out[i] = True
+                    brownout_count[i] += 1
+                    if brownout_time[i] is None:
+                        brownout_time[i] = t
+                    events[i].append(("brownout", t))
+                    tel.count("brownout.count")
+                    tel.event("brownout", t, track="engine", node_v=v_node)
+                    if cfg.stop_on_brownout:
+                        if step % cfg.record_every == 0:
+                            col = recorded[i]
+                            rec_t[i, col] = t
+                            rec_vnode[i, col] = v_node
+                            rec_vproc[i, col] = v_proc
+                            rec_f[i, col] = 0.0
+                            rec_ppv[i, col] = (
+                                p_pv
+                                if params is not None
+                                or scalar_solves[i] is not None
+                                else float(nodes[i].cell.power(v_node, irr))
+                            )
+                            rec_pproc[i, col] = 0.0
+                            rec_pdraw[i, col] = 0.0
+                            rec_irr[i, col] = irr
+                            rec_mode[i, col] = mode_codes["halt"]
+                            recorded[i] = col + 1
+                        finish_lane(i, step, t)
+                        any_died = True
+                        continue
+                    if cfg.recover_from_brownout:
+                        recovering[i] = True
+                        if outage_started_s[i] is None:
+                            tel.begin_span(
+                                "brownout.outage", t, track="engine"
+                            )
+                            outage_started_s[i] = t
+                        v_proc, f, p_proc, p_draw, mode = (
+                            0.0, 0.0, 0.0, 0.0, "halt",
+                        )
+                        prev_v_proc[i] = 0.0
+                elif f > 0.0:
+                    in_brownout[i] = False
+
+                if params is None and scalar_solves[i] is None:
+                    p_pv = float(nodes[i].cell.power(v_node, irr))
+                if step % cfg.record_every == 0:
+                    col = recorded[i]
+                    rec_t[i, col] = t
+                    rec_vnode[i, col] = v_node
+                    rec_vproc[i, col] = v_proc
+                    rec_f[i, col] = f
+                    rec_ppv[i, col] = p_pv
+                    rec_pproc[i, col] = p_proc
+                    rec_pdraw[i, col] = p_draw
+                    rec_irr[i, col] = irr
+                    rec_mode[i, col] = mode_codes[mode]
+                    recorded[i] = col + 1
+
+                if step == steps:
+                    continue
+
+                # Cycle bookkeeping and completion detection.
+                target = targets[i]
+                new_cycles = cycles[i] + f * dt
+                if (
+                    target is not None
+                    and not completed[i]
+                    and new_cycles >= target
+                ):
+                    completed[i] = True
+                    if f > 0.0:
+                        crossed_t = t + (target - cycles[i]) / f
+                    else:
+                        crossed_t = t
+                    completion_time[i] = crossed_t
+                    events[i].append(("completed", crossed_t))
+                    tel.event(
+                        "workload.completed", crossed_t,
+                        track="engine", cycles=float(target),
+                    )
+                    if cfg.stop_on_completion:
+                        cycles[i] = new_cycles
+                        finish_lane(i, step, t)
+                        any_died = True
+                        continue
+                cycles[i] = new_cycles
+
+                if recovering[i] or (in_brownout[i] and f == 0.0):
+                    downtime_s[i] += dt
+
+                # Node demand; the capacitor integration is batched.
+                if params is None and scalar_solves[i] is None:
+                    i_pv = float(nodes[i].cell.current(v_node, irr))
+                demand_w = p_draw + comparator_power[i]
+                if v_node > 1e-6:
+                    i_draw = demand_w / v_node
+                    node_collapsed[i] = False
+                else:
+                    i_draw = 0.0
+                    if demand_w > 0.0 and not node_collapsed[i]:
+                        node_collapsed[i] = True
+                        events[i].append(("node_collapse", t))
+                        tel.event("node.collapse", t, track="engine")
+                i_net_list[i] = i_pv - i_draw
+
+            if step == steps:
+                break
+            if any_died:
+                alive = [i for i in alive if live[i]]
+                alive_count = len(alive)
+                if not alive:
+                    break
+
+            # Masked capacitor update across all live lanes, preserving
+            # the scalar expression order (leak subtraction only when
+            # leaking and charged; left-associative V + (I*dt)/C; clamp
+            # to [0, rating]).
+            i_net = np.asarray(i_net_list)
+            adj = np.where(
+                (cap_leak > 0.0) & (v > 0.0), i_net - cap_leak, i_net
+            )
+            v_next = np.minimum(
+                np.maximum(v + adj * dt / cap_c, 0.0), cap_vmax
+            )
+            if alive_count == lanes:
+                if not np.all(np.isfinite(v_next)):
+                    raise SimulationError(
+                        f"node voltage became non-finite at t={t}"
+                    )
+                v = v_next
+            else:
+                if not np.all(np.isfinite(v_next[live])):
+                    raise SimulationError(
+                        f"node voltage became non-finite at t={t}"
+                    )
+                v[live] = v_next[live]
+            v_list = v.tolist()
+
+            # Comparator observations feed the next step's views.
+            for i in alive:
+                bank = comparators[i]
+                if bank is not None:
+                    pending_events[i] = tuple(
+                        bank.observe(t + dt, v_list[i])
+                    )
+                else:
+                    pending_events[i] = ()
+
+            t += dt
+
+        # Lanes that reached the end of the grid finish here, exactly
+        # like the scalar engine's after-loop block.
+        for i in range(lanes):
+            if live[i]:
+                finish_lane(i, step, t)
+
+        # Final capacitor write-back (the scalar engine mutates its
+        # capacitor in place throughout; the fleet defers to the end).
+        for i in range(lanes):
+            nodes[i].capacitor.charge(float(v[i]))
+
+        self.state = FleetState(
+            time_s=t,
+            step=step,
+            node_voltage_v=v.copy(),
+            processor_voltage_v=np.array(prev_v_proc),
+            cycles_done=np.array(cycles),
+            prev_setpoint_v=np.array(prev_setpoint_v),
+            lockout_until_s=np.array(lockout_until),
+            downtime_s=np.array(downtime_s),
+            completion_time_s=np.array(
+                [
+                    float("nan") if value is None else value
+                    for value in completion_time
+                ]
+            ),
+            brownout_time_s=np.array(
+                [
+                    float("nan") if value is None else value
+                    for value in brownout_time
+                ]
+            ),
+            outage_started_s=np.array(
+                [
+                    float("nan") if value is None else value
+                    for value in outage_started_s
+                ]
+            ),
+            end_time_s=np.array(end_time),
+            prev_mode=np.array(
+                [
+                    NO_MODE if name is None else mode_codes[name]
+                    for name in prev_mode
+                ],
+                dtype=np.int8,
+            ),
+            telemetry_mode=np.array(
+                [
+                    NO_MODE if name is None else mode_codes[name]
+                    for name in telemetry_mode
+                ],
+                dtype=np.int8,
+            ),
+            transition_count=np.array(transition_count, dtype=np.int64),
+            brownout_count=np.array(brownout_count, dtype=np.int64),
+            end_step=np.array(end_step, dtype=np.int64),
+            completed=np.array(completed, dtype=bool),
+            browned_out=np.array(browned_out, dtype=bool),
+            recovering=np.array(recovering, dtype=bool),
+            in_brownout=np.array(in_brownout, dtype=bool),
+            node_collapsed=np.array(node_collapsed, dtype=bool),
+            live=live.copy(),
+            capacitance_f=cap_c.copy(),
+            esr_ohm=cap_esr.copy(),
+            max_voltage_v=cap_vmax.copy(),
+            leakage_current_a=cap_leak.copy(),
+            seeds=np.array(
+                [
+                    -1 if node.seed is None else node.seed
+                    for node in nodes
+                ],
+                dtype=np.int64,
+            ),
+        )
+
+        results: List[SimulationResult] = []
+        for i in range(lanes):
+            n = recorded[i]
+            result = SimulationResult(
+                time_s=rec_t[i, :n].copy(),
+                node_voltage_v=rec_vnode[i, :n].copy(),
+                processor_voltage_v=rec_vproc[i, :n].copy(),
+                frequency_hz=rec_f[i, :n].copy(),
+                harvest_power_w=rec_ppv[i, :n].copy(),
+                processor_power_w=rec_pproc[i, :n].copy(),
+                draw_power_w=rec_pdraw[i, :n].copy(),
+                irradiance=rec_irr[i, :n].copy(),
+                mode=rec_mode[i, :n].copy(),
+                completed=completed[i],
+                completion_time_s=completion_time[i],
+                browned_out=browned_out[i],
+                brownout_time_s=brownout_time[i],
+                brownout_count=brownout_count[i],
+                downtime_s=downtime_s[i],
+                final_cycles=cycles[i],
+                events=events[i],
+                metrics=tels[i].result_metrics(),
+            )
+            result.events.extend(
+                [("transitions", float(transition_count[i]))]
+                if transitions[i] is not None
+                else []
+            )
+            results.append(result)
+        return results

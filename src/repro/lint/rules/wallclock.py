@@ -4,11 +4,13 @@ The simulator (``sim/``), the fault campaigns (``faults/``), the
 parallel executor's result path (``parallel/``), the telemetry
 layer (``telemetry/`` -- its traces must be byte-identical across
 seeded re-runs), the hot-path layer (``perf/`` -- its surfaces and
-benchmark *results* feed bit-identity claims) and the supervised
+benchmark *results* feed bit-identity claims), the supervised
 runtime (``resilience/`` -- retry schedules, chaos decisions and
 journaled resume must replay exactly, or a recovered campaign could
-diverge from an uninterrupted one) promise bit-identical outputs for
-identical inputs.
+diverge from an uninterrupted one) and the batched fleet engine
+(``fleet/`` -- its lane-for-lane bit-identity contract with the
+scalar simulator is the whole point) promise bit-identical outputs
+for identical inputs.
 ``time.time()``, ``datetime.now()``,
 ``os.urandom()``, ``uuid.uuid1/uuid4`` and everything in ``secrets``
 read ambient machine state, so a single call anywhere in those
@@ -36,6 +38,7 @@ DETERMINISTIC_SEGMENTS: Tuple[str, ...] = (
     "telemetry",
     "perf",
     "resilience",
+    "fleet",
 )
 
 _DATETIME_METHODS = ("now", "utcnow", "today", "fromtimestamp")
@@ -45,9 +48,9 @@ class WallClockRule(Rule):
     rule_id = "REP002"
     title = "wall-clock / OS-entropy call in a deterministic package"
     rationale = (
-        "sim/, faults/, parallel/, telemetry/, perf/ and resilience/ "
-        "promise bit-identical outputs; wall-clock and OS-entropy reads "
-        "break replay and golden fixtures"
+        "sim/, faults/, parallel/, telemetry/, perf/, resilience/ and "
+        "fleet/ promise bit-identical outputs; wall-clock and OS-entropy "
+        "reads break replay and golden fixtures"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:

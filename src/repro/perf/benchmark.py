@@ -148,8 +148,13 @@ def _run_fig8_once(
     return watch.elapsed_s(), result
 
 
-def _results_bit_identical(a: SimulationResult, b: SimulationResult) -> bool:
-    """Exact equality of every recorded array, scalar and event."""
+def results_bit_identical(a: SimulationResult, b: SimulationResult) -> bool:
+    """Exact equality of every recorded array, scalar and event.
+
+    Public because the fleet bench and the differential equivalence
+    harness in ``tests/fleet/`` apply the same definition of
+    "bit-identical" to fleet-vs-scalar pairs.
+    """
     arrays = (
         "time_s",
         "node_voltage_v",
@@ -245,7 +250,7 @@ def run_hotpath_benchmark(
             by_name["fast_pv"].steps_per_s / by_name["reference"].steps_per_s
         ),
         target_speedup=TARGET_SPEEDUP,
-        default_bit_identical=_results_bit_identical(reference, default),
+        default_bit_identical=results_bit_identical(reference, default),
         fast_pv_max_node_voltage_error_v=float(
             np.max(np.abs(reference.node_voltage_v - fast.node_voltage_v))
         ),

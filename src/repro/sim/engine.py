@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -49,6 +49,80 @@ _IRR_PRECOMPUTE_MAX_SAMPLES = 2_000_001
 #: processor power) pairs kept per run before the cache resets.  The
 #: mapping is a pure function, so resetting is value-transparent.
 _DECISION_CACHE_MAX = 65_536
+
+#: Type of the per-run decision memo shared with the fleet engine.
+DecisionCache = Optional[Dict[Tuple[float, float], Tuple[float, float]]]
+
+
+def clamped_frequency_and_power(
+    processor: ProcessorModel,
+    v_eval: float,
+    commanded_hz: float,
+    cache: DecisionCache,
+) -> "tuple[float, float]":
+    """Supply-clamped frequency and processor power at ``v_eval``.
+
+    A pure function of its float arguments, so the per-run memo (keyed
+    on the exact doubles) is value-transparent: the engine revisits the
+    same setpoints thousands of times per run, and the frequency/power
+    models cost microseconds each.  Module-level so the scalar engine
+    and the batched fleet engine resolve decisions through the *same*
+    code path (their equivalence is asserted bit-for-bit).
+    """
+    if cache is not None:
+        hit = cache.get((v_eval, commanded_hz))
+        if hit is not None:
+            return hit
+    f = min(commanded_hz, float(processor.max_frequency(v_eval)))
+    p_proc = float(processor.power(v_eval, f))
+    if cache is not None:
+        if len(cache) >= _DECISION_CACHE_MAX:
+            cache.clear()
+        cache[(v_eval, commanded_hz)] = (f, p_proc)
+    return (f, p_proc)
+
+
+def resolve_decision(
+    processor: ProcessorModel,
+    regulator: Regulator,
+    decision: ControlDecision,
+    v_node: float,
+    cache: DecisionCache = None,
+) -> "tuple[float, float, float, float, str]":
+    """Turn a decision into ``(v_proc, f, p_proc, p_draw, mode)``.
+
+    Clamps the commanded frequency to what the supply allows and
+    degrades gracefully (to halt) when the converter cannot operate
+    from the present node voltage.  Shared by
+    :class:`TransientSimulator` and :class:`repro.fleet.FleetSimulator`.
+    """
+    if decision.mode == "halt":
+        # Power-gated: no draw from the node at all.
+        return (0.0, 0.0, 0.0, 0.0, "halt")
+
+    if decision.mode == "bypass":
+        v_proc = v_node
+        if v_proc < processor.min_operating_v:
+            return (v_proc, 0.0, 0.0, 0.0, "halt")
+        v_eval = min(v_proc, processor.max_operating_v)
+        f, p_proc = clamped_frequency_and_power(
+            processor, v_eval, decision.frequency_hz, cache
+        )
+        return (v_proc, f, p_proc, p_proc, "bypass")
+
+    # Regulated.
+    v_out = decision.output_voltage_v
+    if v_out < processor.min_operating_v:
+        return (v_out, 0.0, 0.0, 0.0, "halt")
+    f, p_proc = clamped_frequency_and_power(
+        processor, v_out, decision.frequency_hz, cache
+    )
+    try:
+        p_draw = regulator.input_power(v_out, p_proc, v_in=v_node)
+    except OperatingRangeError:
+        # Node too low (duty limit / no ratio band): converter dropout.
+        return (v_out, 0.0, 0.0, 0.0, "halt")
+    return (v_out, f, p_proc, p_draw, "regulated")
 
 
 @dataclass(frozen=True)
@@ -185,24 +259,10 @@ class TransientSimulator:
         commanded_hz: float,
         cache: "dict[tuple[float, float], tuple[float, float]] | None",
     ) -> "tuple[float, float]":
-        """Supply-clamped frequency and processor power at ``v_eval``.
-
-        A pure function of its float arguments, so the per-run memo
-        (keyed on the exact doubles) is value-transparent: the engine
-        revisits the same setpoints thousands of times per run, and the
-        frequency/power models cost microseconds each.
-        """
-        if cache is not None:
-            hit = cache.get((v_eval, commanded_hz))
-            if hit is not None:
-                return hit
-        f = min(commanded_hz, float(self.processor.max_frequency(v_eval)))
-        p_proc = float(self.processor.power(v_eval, f))
-        if cache is not None:
-            if len(cache) >= _DECISION_CACHE_MAX:
-                cache.clear()
-            cache[(v_eval, commanded_hz)] = (f, p_proc)
-        return (f, p_proc)
+        """Delegates to :func:`clamped_frequency_and_power`."""
+        return clamped_frequency_and_power(
+            self.processor, v_eval, commanded_hz, cache
+        )
 
     def _resolve_decision(
         self,
@@ -210,39 +270,10 @@ class TransientSimulator:
         v_node: float,
         cache: "dict[tuple[float, float], tuple[float, float]] | None" = None,
     ) -> "tuple[float, float, float, float, str]":
-        """Turn a decision into (v_proc, f, p_proc, p_draw, mode).
-
-        Clamps the commanded frequency to what the supply allows and
-        degrades gracefully (to halt) when the converter cannot operate
-        from the present node voltage.
-        """
-        if decision.mode == "halt":
-            # Power-gated: no draw from the node at all.
-            return (0.0, 0.0, 0.0, 0.0, "halt")
-
-        if decision.mode == "bypass":
-            v_proc = v_node
-            if v_proc < self.processor.min_operating_v:
-                return (v_proc, 0.0, 0.0, 0.0, "halt")
-            v_eval = min(v_proc, self.processor.max_operating_v)
-            f, p_proc = self._clamped_frequency_and_power(
-                v_eval, decision.frequency_hz, cache
-            )
-            return (v_proc, f, p_proc, p_proc, "bypass")
-
-        # Regulated.
-        v_out = decision.output_voltage_v
-        if v_out < self.processor.min_operating_v:
-            return (v_out, 0.0, 0.0, 0.0, "halt")
-        f, p_proc = self._clamped_frequency_and_power(
-            v_out, decision.frequency_hz, cache
+        """Delegates to the shared :func:`resolve_decision`."""
+        return resolve_decision(
+            self.processor, self.regulator, decision, v_node, cache
         )
-        try:
-            p_draw = self.regulator.input_power(v_out, p_proc, v_in=v_node)
-        except OperatingRangeError:
-            # Node too low (duty limit / no ratio band): converter dropout.
-            return (v_out, 0.0, 0.0, 0.0, "halt")
-        return (v_out, f, p_proc, p_draw, "regulated")
 
     # -- the run -------------------------------------------------------------------
 

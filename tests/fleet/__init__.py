@@ -1,0 +1,1 @@
+"""Differential equivalence harness for the fleet engine."""

@@ -1,0 +1,327 @@
+"""Shared scenario matrix + equality helpers for the fleet tests.
+
+Each :class:`Scenario` knows how to build *fresh* simulator parts (a
+stateful controller, a charged capacitor, a comparator bank) so the
+same scenario can be instantiated once for the scalar engine and once
+per fleet lane without shared mutable state.  The memoizing MPP
+tracker and the characterized system are module-level singletons --
+both are value-transparent caches, shared exactly as the campaign and
+the benches share them.
+
+The equality helpers spell out the contract of the differential
+harness: *bit* identity on every recorded array and scalar, exact
+equality on events and telemetry metrics, and NaN-aware equality on
+``summary()`` (an incomplete run reports ``completion_time_s = nan``,
+and ``nan != nan`` would otherwise fail scalar-vs-itself).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mppt import DischargeTimeMppTracker, MppTrackingController
+from repro.core.operating_point import OperatingPointOptimizer
+from repro.core.sprint import SprintController, SprintScheduler
+from repro.faults.campaign import CampaignConfig, _make_controller
+from repro.faults.models import (
+    FaultSpec,
+    draw_faults,
+    faulted_comparator_bank,
+    faulted_node_capacitor,
+    faulted_system,
+    faulted_trace,
+)
+from repro.fleet.engine import FleetNode, FleetSimulator
+from repro.parallel.cache import characterized_system
+from repro.perf.benchmark import results_bit_identical
+from repro.processor.workloads import Workload, image_frame_workload
+from repro.pv.traces import IrradianceTrace, cloud_trace, step_trace
+from repro.sim.dvfs import FixedOperatingPointController
+from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.sim.result import SimulationResult
+from repro.sim.transitions import DvfsTransitionModel
+from repro.telemetry.session import Telemetry, TelemetrySession
+
+SYSTEM, LUT = characterized_system()
+
+#: One memoizing tracker shared by every MPPT lane (value-transparent:
+#: the operating-point memo is a pure function of irradiance).
+TRACKER = DischargeTimeMppTracker(SYSTEM, "sc", lut=LUT)
+
+#: The design-time fixed operating point (bright-light optimum).
+FIXED_POINT = OperatingPointOptimizer(SYSTEM).best_point("sc", 1.0)
+
+PartsBuilder = Callable[[Optional[Telemetry]], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One differential scenario: a config, a trace and fresh parts."""
+
+    name: str
+    config: SimulationConfig
+    trace: IrradianceTrace
+    parts: PartsBuilder
+    duration_s: Optional[float] = None
+
+
+def run_scalar(
+    scenario: Scenario, telemetry: "Optional[Telemetry]" = None
+) -> SimulationResult:
+    """Run one scenario through the scalar reference engine."""
+    parts = dict(scenario.parts(telemetry))
+    parts["node_capacitor"] = parts.pop("capacitor")
+    simulator = TransientSimulator(
+        config=scenario.config, telemetry=telemetry, **parts
+    )
+    return simulator.run(scenario.trace, duration_s=scenario.duration_s)
+
+
+def run_batch(
+    scenarios: Sequence[Scenario], with_metrics: bool = False
+) -> "Tuple[FleetSimulator, List[SimulationResult], List[Optional[TelemetrySession]]]":
+    """Run scenarios as lanes of one fleet batch (shared config).
+
+    Every scenario in the batch must share the same
+    :class:`SimulationConfig` and effective duration -- that is the
+    homogeneity the campaign sharder guarantees.
+    """
+    configs = {id(scenario.config) for scenario in scenarios}
+    assert len(configs) == 1, "batch lanes must share one config"
+    durations = {scenario.duration_s for scenario in scenarios}
+    assert len(durations) == 1, "batch lanes must share one duration"
+    sessions: "List[Optional[TelemetrySession]]" = [
+        TelemetrySession() if with_metrics else None for _ in scenarios
+    ]
+    nodes = [
+        FleetNode(telemetry=session, **scenario.parts(session))
+        for scenario, session in zip(scenarios, sessions)
+    ]
+    simulator = FleetSimulator(nodes, config=scenarios[0].config)
+    results = simulator.run(
+        [scenario.trace for scenario in scenarios],
+        duration_s=next(iter(durations)),
+    )
+    return simulator, results, sessions
+
+
+# -- equality helpers ---------------------------------------------------------
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Exact equality that treats NaN as equal to NaN (bit-level intent)."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return a == b
+    return bool(a == b)
+
+
+def trees_equal(a: Any, b: Any) -> bool:
+    """Recursive :func:`values_equal` over dict/list/tuple trees."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(
+            trees_equal(a[key], b[key]) for key in a
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            trees_equal(x, y) for x, y in zip(a, b)
+        )
+    return values_equal(a, b)
+
+
+def assert_summaries_identical(
+    a: SimulationResult, b: SimulationResult
+) -> None:
+    """Exact (NaN-aware) equality of the two ``summary()`` dicts."""
+    sa, sb = a.summary(), b.summary()
+    assert set(sa) == set(sb), (sorted(sa), sorted(sb))
+    for key in sorted(sa):
+        assert values_equal(sa[key], sb[key]), (key, sa[key], sb[key])
+
+
+def assert_results_identical(
+    a: SimulationResult, b: SimulationResult
+) -> None:
+    """The full differential contract between the two engines."""
+    assert results_bit_identical(a, b)
+    assert a.events == b.events
+    assert a.metrics == b.metrics
+    assert_summaries_identical(a, b)
+
+
+# -- the scenario matrix ------------------------------------------------------
+
+#: Shared config of the stop-free matrix scenarios (fig6/fig8/sprint
+#: lanes can therefore mix in one batch).
+MATRIX_CONFIG = SimulationConfig(
+    time_step_s=10e-6, record_every=4, stop_on_brownout=False
+)
+
+#: Matrix trace: bright then dimmed, the Fig. 8 stress shape.
+MATRIX_TRACE = step_trace(1.0, 0.3, 4e-3, 12e-3)
+
+
+def _fig6_fixed_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    return {
+        "cell": SYSTEM.cell,
+        "capacitor": SYSTEM.new_node_capacitor(1.2),
+        "processor": SYSTEM.processor,
+        "regulator": SYSTEM.regulator("sc"),
+        "controller": FixedOperatingPointController(
+            FIXED_POINT.processor_voltage_v, FIXED_POINT.frequency_hz
+        ),
+        "comparators": SYSTEM.new_comparator_bank(),
+    }
+
+
+def _fig8_mppt_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    return {
+        "cell": SYSTEM.cell,
+        "capacitor": SYSTEM.new_node_capacitor(SYSTEM.mpp(1.0).voltage_v),
+        "processor": SYSTEM.processor,
+        "regulator": SYSTEM.regulator("sc"),
+        "controller": MppTrackingController(
+            TRACKER, initial_irradiance=1.0, telemetry=telemetry
+        ),
+        "comparators": SYSTEM.new_comparator_bank(),
+    }
+
+
+def _transitions_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    parts = _fig8_mppt_parts(telemetry)
+    parts["transitions"] = DvfsTransitionModel()
+    return parts
+
+
+def _sprint_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    workload = image_frame_workload(10e-3)
+    scheduler = SprintScheduler(SYSTEM, "buck", sprint_factor=0.2)
+    v_start = SYSTEM.mpp(1.0).voltage_v
+    plan = scheduler.plan(workload, v_start)
+    return {
+        "cell": SYSTEM.cell,
+        "capacitor": SYSTEM.new_node_capacitor(v_start),
+        "processor": SYSTEM.processor,
+        "regulator": SYSTEM.regulator("buck"),
+        "controller": SprintController(
+            plan,
+            allow_bypass=True,
+            telemetry=telemetry,
+            deadline_s=workload.deadline_s,
+        ),
+        "comparators": SYSTEM.new_comparator_bank(),
+        "workload": workload,
+    }
+
+
+#: The stop-free matrix: one shared config, mixable lanes.
+MATRIX_SCENARIOS: "Tuple[Scenario, ...]" = (
+    Scenario("fig6_fixed", MATRIX_CONFIG, MATRIX_TRACE, _fig6_fixed_parts),
+    Scenario("fig8_mppt", MATRIX_CONFIG, MATRIX_TRACE, _fig8_mppt_parts),
+    Scenario(
+        "fig8_transitions", MATRIX_CONFIG, MATRIX_TRACE, _transitions_parts
+    ),
+    Scenario("fig9_sprint", MATRIX_CONFIG, MATRIX_TRACE, _sprint_parts),
+)
+
+
+def _stop_scenario(name: str, **overrides: Any) -> Scenario:
+    config = SimulationConfig(
+        time_step_s=10e-6, record_every=4, **overrides
+    )
+    if name == "stop_on_completion":
+        return Scenario(name, config, MATRIX_TRACE, _sprint_parts)
+    # The design-time fixed point has no headroom under the dimmed
+    # tail, so this lane actually browns out and dies early.
+    return Scenario(name, config, MATRIX_TRACE, _fig6_fixed_parts)
+
+
+#: Early-exit scenarios: lane death by brownout and by completion.
+STOP_SCENARIOS: "Tuple[Scenario, ...]" = (
+    _stop_scenario("stop_on_brownout", stop_on_brownout=True),
+    _stop_scenario(
+        "stop_on_completion",
+        stop_on_brownout=False,
+        stop_on_completion=True,
+    ),
+)
+
+#: Brownout-recovery scenario: the fixed point under a passing cloud
+#: browns out, halts through the recovery gate, recharges past the
+#: threshold and is released -- exercising the outage span both ways.
+RECOVERY_SCENARIO = Scenario(
+    "brownout_recovery",
+    SimulationConfig(
+        time_step_s=10e-6,
+        record_every=4,
+        stop_on_brownout=False,
+        recover_from_brownout=True,
+        recovery_voltage_v=1.05,
+    ),
+    cloud_trace(1.0, 0.01, 2e-3, 5e-3, 20e-3, edge_s=0.5e-3),
+    _fig6_fixed_parts,
+)
+
+ALL_SCENARIOS: "Tuple[Scenario, ...]" = (
+    MATRIX_SCENARIOS + STOP_SCENARIOS + (RECOVERY_SCENARIO,)
+)
+
+
+# -- seeded fault-campaign lanes ---------------------------------------------
+
+CAMPAIGN_SPEC = FaultSpec(
+    comparator_offset_sigma_v=80e-3, flicker_depth_max=0.6
+)
+CAMPAIGN_CONFIG = CampaignConfig(
+    runs=4, duration_s=30e-3, dim_time_s=12e-3
+)
+CAMPAIGN_SIM_CONFIG = SimulationConfig(
+    time_step_s=CAMPAIGN_CONFIG.time_step_s,
+    stop_on_completion=False,
+    stop_on_brownout=False,
+    recover_from_brownout=True,
+    recovery_voltage_v=CAMPAIGN_CONFIG.recovery_voltage_v,
+)
+
+#: Cycle budget for the campaign-lane workload (fixed, not the
+#: reference probe -- the engines are what is under test).
+CAMPAIGN_CYCLES = 200_000
+
+
+def campaign_scenario(seed: int) -> Scenario:
+    """A seeded fault-campaign lane as a differential scenario."""
+    comparator_count = len(SYSTEM.comparator_thresholds_v)
+
+    def parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+        draw = draw_faults(
+            CAMPAIGN_SPEC, seed, comparator_count=comparator_count
+        )
+        system = faulted_system(draw)
+        return {
+            "cell": system.cell,
+            "capacitor": faulted_node_capacitor(
+                system, draw, CAMPAIGN_CONFIG.initial_voltage_v
+            ),
+            "processor": system.processor,
+            "regulator": system.regulator(CAMPAIGN_CONFIG.regulator_name),
+            "controller": _make_controller(
+                CAMPAIGN_CONFIG, system, LUT, telemetry=telemetry
+            ),
+            "comparators": faulted_comparator_bank(system, draw),
+            "workload": Workload(name="campaign", cycles=CAMPAIGN_CYCLES),
+        }
+
+    draw = draw_faults(
+        CAMPAIGN_SPEC, seed, comparator_count=comparator_count
+    )
+    trace = faulted_trace(CAMPAIGN_CONFIG.base_trace(), draw)
+    return Scenario(
+        f"campaign_seed{seed}",
+        CAMPAIGN_SIM_CONFIG,
+        trace,
+        parts,
+        duration_s=CAMPAIGN_CONFIG.duration_s,
+    )

@@ -1,0 +1,158 @@
+"""Hypothesis property tests for the fleet engine's masked updates.
+
+Randomised counterparts of the fixed differential matrix: arbitrary
+fixed operating points and dim levels generate arbitrary
+brownout/recovery schedules per lane, and the fleet engine must stay
+bit-identical to the scalar reference through all of them; lane order
+must never matter; :class:`FleetState` must survive pickling.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet.engine import FleetNode, FleetSimulator
+from repro.fleet.state import FleetState
+from repro.pv.traces import step_trace
+from repro.sim.dvfs import FixedOperatingPointController
+from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.telemetry.session import Telemetry
+
+from tests.fleet.scenarios import SYSTEM, assert_results_identical
+
+#: Shared config of the randomized runs: brownout recovery on, so a
+#: lane that dies can come back and the masked halt/release path runs.
+CONFIG = SimulationConfig(
+    time_step_s=20e-6,
+    record_every=2,
+    stop_on_brownout=False,
+    recover_from_brownout=True,
+    recovery_voltage_v=1.0,
+)
+
+DURATION_S = 8e-3
+
+
+def _fixed_parts(
+    setpoint_v: float, frequency_hz: float, initial_v: float
+) -> Dict[str, Any]:
+    return {
+        "cell": SYSTEM.cell,
+        "capacitor": SYSTEM.new_node_capacitor(initial_v),
+        "processor": SYSTEM.processor,
+        "regulator": SYSTEM.regulator("sc"),
+        "controller": FixedOperatingPointController(
+            setpoint_v, frequency_hz
+        ),
+        "comparators": SYSTEM.new_comparator_bank(),
+    }
+
+
+def _trace(dim_to: float):
+    return step_trace(1.0, dim_to, 2e-3, DURATION_S)
+
+
+@given(
+    setpoint_v=st.floats(min_value=0.5, max_value=0.62),
+    freq_mhz=st.floats(min_value=20.0, max_value=60.0),
+    initial_v=st.floats(min_value=0.8, max_value=1.3),
+    dim_to=st.floats(min_value=0.02, max_value=1.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_random_brownout_recovery_matches_scalar(
+    setpoint_v: float, freq_mhz: float, initial_v: float, dim_to: float
+) -> None:
+    """Whatever brownout/recovery schedule the draw induces, the fleet
+    batch-of-1 is bit-identical to the scalar engine."""
+    trace = _trace(dim_to)
+    parts = _fixed_parts(setpoint_v, freq_mhz * 1e6, initial_v)
+    scalar_parts = dict(parts)
+    scalar_parts["node_capacitor"] = scalar_parts.pop("capacitor")
+    scalar = TransientSimulator(config=CONFIG, **scalar_parts).run(trace)
+    node = FleetNode(**_fixed_parts(setpoint_v, freq_mhz * 1e6, initial_v))
+    fleet = FleetSimulator([node], config=CONFIG).run([trace])[0]
+    assert_results_identical(scalar, fleet)
+
+
+def _lane_parts(index: int, initial_v: float) -> Dict[str, Any]:
+    # Heterogeneous fixed points: each lane gets its own setpoint,
+    # frequency and starting charge, so lanes are distinguishable.
+    setpoints = (0.52, 0.55, 0.58, 0.61)
+    freqs = (25e6, 35e6, 45e6, 55e6)
+    return _fixed_parts(
+        setpoints[index % 4], freqs[index % 4], initial_v
+    )
+
+
+@given(
+    order=st.permutations(list(range(4))),
+    initial_vs=st.lists(
+        st.floats(min_value=0.8, max_value=1.3), min_size=4, max_size=4
+    ),
+    dim_to=st.floats(min_value=0.02, max_value=1.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_lane_permutation_is_invariant(
+    order: List[int], initial_vs: List[float], dim_to: float
+) -> None:
+    """Permuting the lanes permutes the results and the state, exactly."""
+    trace = _trace(dim_to)
+
+    def run(lane_order: List[int]):
+        nodes = [
+            FleetNode(seed=i, **_lane_parts(i, initial_vs[i]))
+            for i in lane_order
+        ]
+        simulator = FleetSimulator(nodes, config=CONFIG)
+        results = simulator.run([trace] * 4)
+        assert simulator.state is not None
+        return results, simulator.state
+
+    base_results, base_state = run(list(range(4)))
+    perm_results, perm_state = run(order)
+    for position, lane in enumerate(order):
+        assert_results_identical(base_results[lane], perm_results[position])
+    assert base_state.permuted(order).equals(perm_state)
+    assert not base_state.equals(perm_state) or order == list(range(4))
+
+
+@given(initial_v=st.floats(min_value=0.8, max_value=1.3))
+@settings(max_examples=10, deadline=None)
+def test_fleet_state_round_trips_through_pickle(initial_v: float) -> None:
+    node = FleetNode(**_lane_parts(0, initial_v))
+    simulator = FleetSimulator([node], config=CONFIG)
+    simulator.run([_trace(0.3)])
+    state = simulator.state
+    assert state is not None
+    clone = pickle.loads(pickle.dumps(state))
+    assert isinstance(clone, FleetState)
+    assert clone is not state
+    assert state.equals(clone)
+    assert clone.equals(state)
+    # a bit-level perturbation must break equality
+    clone.node_voltage_v[0] = clone.node_voltage_v[0] + 1e-9
+    assert not state.equals(clone)
+
+
+def test_dead_lane_mask_freezes_voltage() -> None:
+    """A lane killed by stop_on_brownout keeps its final voltage while
+    the surviving lane keeps integrating."""
+    config = SimulationConfig(
+        time_step_s=20e-6, record_every=2, stop_on_brownout=True
+    )
+    trace = _trace(0.05)
+    dying = FleetNode(**_fixed_parts(0.61, 55e6, 0.85))
+    surviving = FleetNode(**_fixed_parts(0.52, 25e6, 1.3))
+    simulator = FleetSimulator([dying, surviving], config=config)
+    results = simulator.run([trace, trace])
+    state = simulator.state
+    assert state is not None
+    if results[0].brownout_count >= 1:
+        dead_final = results[0].node_voltage_v[-1]
+        assert state.node_voltage_v[0] == dead_final
+        assert not np.isnan(state.node_voltage_v[1])

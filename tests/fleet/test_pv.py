@@ -1,0 +1,108 @@
+"""Bit-identity of the batched PV Newton solve vs the scalar solver."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelParameterError
+from repro.fleet.pv import CellParams, batched_current
+from repro.pv.cell import SingleDiodeCell, kxob22_cell
+
+CELL = kxob22_cell()
+PARAMS = CellParams.from_cells([CELL])
+
+
+def _zero_rs_cell() -> SingleDiodeCell:
+    return replace(CELL, series_resistance_ohm=0.0)
+
+
+def test_dense_grid_matches_scalar_bitwise() -> None:
+    voc = CELL.open_circuit_voltage(1.0)
+    voltages = np.linspace(0.0, 1.1 * voc, 47)
+    for irradiance in (0.02, 0.3, 1.0):
+        scalar = np.array(
+            [CELL.current_scalar(float(v), irradiance) for v in voltages]
+        )
+        params = CellParams.from_cells([CELL] * len(voltages))
+        batched = batched_current(
+            params,
+            voltages,
+            np.full(len(voltages), irradiance),
+            np.ones(len(voltages), dtype=bool),
+        )
+        assert batched.tolist() == scalar.tolist()  # bit-for-bit
+
+
+def test_zero_series_resistance_closed_form() -> None:
+    cell = _zero_rs_cell()
+    params = CellParams.from_cells([cell, cell])
+    voltages = np.array([0.2, 0.45])
+    batched = batched_current(
+        params, voltages, np.array([1.0, 0.4]), np.ones(2, dtype=bool)
+    )
+    expected = [
+        cell.current_scalar(0.2, 1.0),
+        cell.current_scalar(0.45, 0.4),
+    ]
+    assert batched.tolist() == expected
+
+
+def test_inactive_lanes_are_masked_out() -> None:
+    params = CellParams.from_cells([CELL] * 3)
+    voltages = np.array([0.4, 0.5, 0.6])
+    active = np.array([True, False, True])
+    out = batched_current(params, voltages, np.full(3, 1.0), active)
+    assert out[1] == 0.0
+    assert out[0] == CELL.current_scalar(0.4, 1.0)
+    assert out[2] == CELL.current_scalar(0.6, 1.0)
+
+
+def test_negative_irradiance_rejected() -> None:
+    params = CellParams.from_cells([CELL])
+    with pytest.raises(ModelParameterError, match="irradiance"):
+        batched_current(
+            params,
+            np.array([0.5]),
+            np.array([-0.1]),
+            np.ones(1, dtype=bool),
+        )
+
+
+def test_from_cells_requires_single_diode() -> None:
+    class OtherCell(SingleDiodeCell):
+        pass
+
+    other = OtherCell(
+        photo_current_full_sun_a=CELL.photo_current_full_sun_a,
+        saturation_current_a=CELL.saturation_current_a,
+        ideality_factor=CELL.ideality_factor,
+        series_cells=CELL.series_cells,
+        series_resistance_ohm=CELL.series_resistance_ohm,
+        shunt_resistance_ohm=CELL.shunt_resistance_ohm,
+    )
+    assert CellParams.from_cells([CELL, other]) is None
+    with pytest.raises(ModelParameterError):
+        CellParams.from_cells([])
+
+
+@given(
+    voltage=st.floats(min_value=0.0, max_value=1.6),
+    irradiance=st.floats(min_value=0.0, max_value=1.5),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_batched_equals_scalar(
+    voltage: float, irradiance: float
+) -> None:
+    assert PARAMS is not None
+    batched = batched_current(
+        PARAMS,
+        np.array([voltage]),
+        np.array([irradiance]),
+        np.ones(1, dtype=bool),
+    )
+    assert batched.tolist() == [CELL.current_scalar(voltage, irradiance)]

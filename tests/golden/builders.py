@@ -77,6 +77,87 @@ def campaign_payload() -> "dict[str, object]":
     }
 
 
+def fleet_16node_payload() -> "dict[str, object]":
+    """16 heterogeneous-seed fault lanes through the fleet engine.
+
+    One batch of 16 seeded campaign lanes (each with its own faulted
+    system, capacitor, trace and comparator bank) run by
+    :class:`~repro.fleet.engine.FleetSimulator` with per-lane
+    telemetry.  The fixture pins every lane's ``summary()`` -- the
+    headline physics plus the sorted ``metrics.*`` telemetry keys --
+    so drift in the batched PV solve, the masked integrator or the
+    per-lane bookkeeping shows up seed by seed.
+    """
+    from repro.faults.campaign import _make_controller
+    from repro.faults.models import (
+        draw_faults,
+        faulted_comparator_bank,
+        faulted_node_capacitor,
+        faulted_system,
+        faulted_trace,
+    )
+    from repro.fleet.engine import FleetNode, FleetSimulator
+    from repro.parallel.cache import characterized_system
+    from repro.processor.workloads import Workload
+    from repro.sim.engine import SimulationConfig
+    from repro.telemetry.session import TelemetrySession
+
+    reference_system, lut = characterized_system()
+    comparator_count = len(reference_system.comparator_thresholds_v)
+    config = CAMPAIGN_CONFIG
+    sim_config = SimulationConfig(
+        time_step_s=config.time_step_s,
+        stop_on_completion=False,
+        stop_on_brownout=False,
+        recover_from_brownout=True,
+        recovery_voltage_v=config.recovery_voltage_v,
+    )
+    seeds = list(range(1, 17))
+    nodes, traces = [], []
+    for seed in seeds:
+        session = TelemetrySession()
+        draw = draw_faults(
+            CAMPAIGN_SPEC, seed, comparator_count=comparator_count
+        )
+        system = faulted_system(draw)
+        nodes.append(
+            FleetNode(
+                cell=system.cell,
+                capacitor=faulted_node_capacitor(
+                    system, draw, config.initial_voltage_v
+                ),
+                processor=system.processor,
+                regulator=system.regulator(config.regulator_name),
+                controller=_make_controller(
+                    config, system, lut, telemetry=session
+                ),
+                comparators=faulted_comparator_bank(system, draw),
+                workload=Workload(name="golden_fleet", cycles=200_000),
+                telemetry=session,
+                seed=seed,
+            )
+        )
+        traces.append(faulted_trace(config.base_trace(), draw))
+    results = FleetSimulator(nodes, config=sim_config).run(
+        traces, duration_s=config.duration_s
+    )
+    return {
+        "engine": "fleet",
+        "lanes": len(results),
+        "nodes": {
+            str(seed): result.summary()
+            for seed, result in zip(seeds, results)
+        },
+        "metric_keys": sorted(
+            {
+                key
+                for result in results
+                for key in (result.metrics or {})
+            }
+        ),
+    }
+
+
 def fig6_trace_payload() -> str:
     """JSONL telemetry trace of a short run at the Fig. 6 best point.
 
@@ -122,6 +203,7 @@ def fig6_trace_payload() -> str:
 PAYLOADS = {
     "fig6_operating_points.json": fig6_payload,
     "transient_campaign.json": campaign_payload,
+    "fleet_16node.json": fleet_16node_payload,
 }
 
 #: fixture file name -> builder returning verbatim text (JSONL traces);

@@ -52,6 +52,7 @@ class TestSubpackagesImport:
             "repro.resilience",
             "repro.telemetry",
             "repro.perf",
+            "repro.fleet",
             "repro.cli",
         ],
     )
@@ -73,6 +74,7 @@ class TestSubpackagesImport:
             "repro.resilience",
             "repro.telemetry",
             "repro.perf",
+            "repro.fleet",
         ],
     )
     def test_subpackage_all_resolves(self, module):
