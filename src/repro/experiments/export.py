@@ -125,6 +125,6 @@ def export_all(
     for figure_id in figures:
         payload = export_figure(figure_id, system)
         path = target / f"{figure_id}.json"
-        path.write_text(json.dumps(payload, indent=2))
+        path.write_text(json.dumps(payload, indent=2))  # repro-lint: disable=REP007 -- keys follow dataclass field order (source-pinned); sort_keys would churn committed fig*.json goldens
         written.append(path)
     return written

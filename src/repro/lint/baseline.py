@@ -1,0 +1,113 @@
+"""Baseline files: adopt new rules on a large tree without a flag day.
+
+A baseline records a *fingerprint* per accepted finding so known debt
+stays silent while anything new still fails the build.  Fingerprints
+are deliberately line-number-free::
+
+    sha256("RULE:relative/path.py:stripped source line text")
+
+so inserting code above a baselined finding does not resurrect it; the
+finding only reappears when the offending line itself (or its rule, or
+its file) changes -- exactly when a human should look again.  Lines
+that can no longer be read (file deleted, line gone) simply never
+match, so stale entries are inert; ``--write-baseline`` regenerates a
+minimal file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set
+
+from repro.lint.core import Diagnostic
+
+BASELINE_SCHEMA = 1
+
+
+def _line_text(path: str, line: int, cache: Dict[str, List[str]]) -> str:
+    if path not in cache:
+        try:
+            cache[path] = Path(path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            cache[path] = []
+    lines = cache[path]
+    if 1 <= line <= len(lines):
+        return lines[line - 1].strip()
+    return ""
+
+
+def fingerprint(
+    diag: Diagnostic,
+    *,
+    root: "Path | None" = None,
+    _cache: "Dict[str, List[str]] | None" = None,
+) -> str:
+    """Stable identity of a finding across unrelated edits."""
+    base = (root or Path.cwd()).resolve()
+    try:
+        rel = Path(diag.path).resolve().relative_to(base).as_posix()
+    except ValueError:
+        rel = Path(diag.path).as_posix()
+    cache = _cache if _cache is not None else {}
+    text = _line_text(diag.path, diag.line, cache)
+    raw = f"{diag.rule_id}:{rel}:{text}"
+    return hashlib.sha256(raw.encode()).hexdigest()
+
+
+def write_baseline(
+    diagnostics: Sequence[Diagnostic],
+    path: Path,
+    *,
+    root: "Path | None" = None,
+) -> int:
+    """Persist fingerprints of ``diagnostics``; returns the count."""
+    cache: Dict[str, List[str]] = {}
+    prints = sorted(
+        {fingerprint(d, root=root, _cache=cache) for d in diagnostics}
+    )
+    payload = {"schema": BASELINE_SCHEMA, "fingerprints": prints}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(prints)
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprint set from a baseline file (missing/corrupt -> empty)."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return set()
+    prints = data.get("fingerprints") if isinstance(data, dict) else None
+    if not isinstance(prints, list):
+        return set()
+    return {str(p) for p in prints}
+
+
+def apply_baseline(
+    diagnostics: Sequence[Diagnostic],
+    baseline: Set[str],
+    *,
+    root: "Path | None" = None,
+) -> List[Diagnostic]:
+    """Drop findings whose fingerprint the baseline accepts."""
+    if not baseline:
+        return list(diagnostics)
+    cache: Dict[str, List[str]] = {}
+    return [
+        diag
+        for diag in diagnostics
+        if fingerprint(diag, root=root, _cache=cache) not in baseline
+    ]
+
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "apply_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]

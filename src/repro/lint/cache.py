@@ -1,0 +1,221 @@
+"""Content-hash incremental cache for whole-tree lint runs.
+
+The interprocedural rules made a full-tree run the only meaningful
+invocation -- and also made it slower (call graph + fixpoint).  This
+cache gives the common case back: when nothing changed, a warm run
+reads file bytes, hashes them, matches the stored tree fingerprint and
+returns the previous diagnostics without parsing a single AST.
+
+Granularity follows :attr:`repro.lint.core.Rule.scope`:
+
+* **file-scoped** rules (REP001--REP004, REP010) depend only on one
+  module's content and path, so their diagnostics are cached per
+  ``(path, sha256(content))`` and survive edits to *other* files;
+* **project-scoped** rules (REP005, REP007--REP009, REP011, REP012)
+  read whole-program analyses, so their diagnostics are keyed by the
+  tree fingerprint (the hash of every file's ``path:hash`` line) and
+  recompute whenever anything changes;
+* syntax errors (REP000) and unjustified-suppression findings (SUP001)
+  are file-scoped and cached alongside the file rules, so a warm run
+  reproduces them -- including the exit code they imply.
+
+The cache key also folds in the rule registry (ids) and a schema
+version, so adding a rule or changing the format invalidates cleanly.
+Corrupt or unreadable cache files are treated as empty, never fatal.
+``--select`` runs bypass the cache entirely: partial rule sets would
+poison the stored full-run diagnostics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.core import (
+    Diagnostic,
+    ModuleInfo,
+    Project,
+    Rule,
+    build_project,
+    discover_files,
+    suppression_diagnostics,
+)
+
+#: Bump to invalidate every existing cache file on format changes.
+CACHE_SCHEMA = 2
+
+#: Default cache location, relative to the invocation directory.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+@dataclass
+class CacheStats:
+    """What a cached run reused, for the bench note and tests."""
+
+    files: int = 0
+    file_hits: int = 0
+    full_hit: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "files": self.files,
+            "file_hits": self.file_hits,
+            "full_hit": self.full_hit,
+        }
+
+
+def _rules_key(rules: Sequence[Rule]) -> str:
+    ids = ",".join(rule.rule_id for rule in rules)
+    return hashlib.sha256(f"v{CACHE_SCHEMA}:{ids}".encode()).hexdigest()
+
+
+def _hash_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _tree_fingerprint(hashes: Dict[str, str]) -> str:
+    joined = "\n".join(f"{path}:{digest}" for path, digest in sorted(hashes.items()))
+    return hashlib.sha256(joined.encode()).hexdigest()
+
+
+def _serialize(diagnostics: Sequence[Diagnostic]) -> List[Dict[str, object]]:
+    return [diag.as_dict() for diag in sorted(diagnostics)]
+
+
+def _deserialize(raw: object) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    if not isinstance(raw, list):
+        return out
+    for item in raw:
+        if not isinstance(item, dict):
+            continue
+        out.append(
+            Diagnostic(
+                path=str(item["path"]),
+                line=int(item["line"]),  # type: ignore[arg-type]
+                col=int(item["col"]),  # type: ignore[arg-type]
+                rule_id=str(item["rule"]),
+                message=str(item["message"]),
+            )
+        )
+    return out
+
+
+def load_cache(path: Path) -> Dict[str, object]:
+    """Read a cache file; anything unreadable degrades to empty."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return data if isinstance(data, dict) else {}
+
+
+def lint_paths_cached(
+    paths: Sequence[Path],
+    rules: Sequence[Rule],
+    cache_path: Path,
+) -> Tuple[List[Diagnostic], CacheStats]:
+    """Full-rule-set lint with incremental reuse through ``cache_path``."""
+    stats = CacheStats()
+    files = discover_files(paths)
+    hashes: Dict[str, str] = {}
+    for file_path in files:
+        try:
+            hashes[str(file_path)] = _hash_bytes(file_path.read_bytes())
+        except OSError:
+            continue
+    stats.files = len(hashes)
+    fingerprint = _tree_fingerprint(hashes)
+    rules_key = _rules_key(rules)
+
+    cache = load_cache(cache_path)
+    fresh = cache.get("rules_key") == rules_key
+    if fresh and cache.get("tree") == fingerprint:
+        stats.full_hit = True
+        stats.file_hits = stats.files
+        return _deserialize(cache.get("diagnostics")), stats
+
+    cached_files = cache.get("files") if fresh else {}
+    if not isinstance(cached_files, dict):
+        cached_files = {}
+
+    project, errors = build_project(paths)
+    errors_by_path: Dict[str, List[Diagnostic]] = {}
+    for diag in errors:
+        errors_by_path.setdefault(diag.path, []).append(diag)
+
+    file_rules = [rule for rule in rules if rule.scope == "file"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+
+    diagnostics: List[Diagnostic] = []
+    files_section: Dict[str, Dict[str, object]] = {}
+    infos_by_path = {str(info.path): info for info in project.modules.values()}
+    for path_str, digest in hashes.items():
+        entry = cached_files.get(path_str)
+        if isinstance(entry, dict) and entry.get("hash") == digest:
+            file_diags = _deserialize(entry.get("diags"))
+            stats.file_hits += 1
+        else:
+            file_diags = _compute_file_diagnostics(
+                path_str, infos_by_path, errors_by_path, project, file_rules
+            )
+        diagnostics.extend(file_diags)
+        files_section[path_str] = {
+            "hash": digest,
+            "diags": _serialize(file_diags),
+        }
+
+    for rule in project_rules:
+        for info in project.modules.values():
+            for diag in rule.check(info, project):
+                if not info.is_suppressed(diag.line, diag.rule_id):
+                    diagnostics.append(diag)
+
+    result = sorted(diagnostics)
+    payload: Dict[str, object] = {
+        "schema": CACHE_SCHEMA,
+        "rules_key": rules_key,
+        "tree": fingerprint,
+        "diagnostics": _serialize(result),
+        "files": files_section,
+    }
+    try:
+        cache_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        )
+    except OSError:
+        pass  # read-only invocation directory: still return diagnostics
+    return result, stats
+
+
+def _compute_file_diagnostics(
+    path_str: str,
+    infos_by_path: Dict[str, ModuleInfo],
+    errors_by_path: Dict[str, List[Diagnostic]],
+    project: Project,
+    file_rules: Sequence[Rule],
+) -> List[Diagnostic]:
+    """File-scoped findings for one path: rules + REP000 + SUP001."""
+    found: List[Diagnostic] = list(errors_by_path.get(path_str, ()))
+    info = infos_by_path.get(path_str)
+    if info is None:
+        return found
+    for rule in file_rules:
+        for diag in rule.check(info, project):
+            if not info.is_suppressed(diag.line, diag.rule_id):
+                found.append(diag)
+    single = Project(modules={info.module_name: info})
+    found.extend(suppression_diagnostics(single))
+    return found
+
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "DEFAULT_CACHE_PATH",
+    "lint_paths_cached",
+    "load_cache",
+]

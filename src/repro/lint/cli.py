@@ -6,7 +6,20 @@ Reachable three ways (all share :func:`run_lint`):
 * ``python -m repro.lint [paths]`` -- standalone module;
 * :func:`main` -- for tests.
 
-Exit codes: 0 clean, 1 diagnostics found, 2 usage error.
+Exit codes: 0 clean, 1 diagnostics found, 2 usage error *or* syntax
+error in a linted file (a tree that does not parse cannot have been
+meaningfully linted, so CI must treat it as broken tooling input, not
+as "findings").
+
+Supporting tooling grown alongside the interprocedural rules:
+
+* ``--format sarif`` -- SARIF 2.1.0 for GitHub code scanning;
+* ``--baseline FILE`` / ``--write-baseline FILE`` -- accept existing
+  findings when adopting a new rule on a large tree;
+* ``--cache [FILE]`` -- content-hash incremental cache; a warm
+  whole-tree run with no changes skips parsing entirely;
+* ``--bench-cache`` -- measure cold vs warm and record the result in
+  ``BENCH_lint_cache.json``.
 """
 
 from __future__ import annotations
@@ -14,11 +27,18 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Sequence, TextIO
 
+from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cache import DEFAULT_CACHE_PATH, lint_paths_cached
 from repro.lint.core import Diagnostic, lint_paths
 from repro.lint.rules import ALL_RULES, RULES_BY_ID
+from repro.lint.sarif import render_sarif
+
+#: Findings with this id mean the *input* was unlintable -- exit 2.
+SYNTAX_RULE_ID = "REP000"
 
 
 def default_target() -> Path:
@@ -58,6 +78,9 @@ def run_lint(
     output_format: str = "human",
     select: "Sequence[str] | None" = None,
     self_check: bool = False,
+    baseline: "str | None" = None,
+    write_baseline_to: "str | None" = None,
+    cache: "str | None" = None,
     stream: "TextIO | None" = None,
 ) -> int:
     """Lint ``paths`` (or the defaults) and render; returns exit code."""
@@ -87,12 +110,90 @@ def run_lint(
                 file=sys.stderr,
             )
             return 2
-    diagnostics = lint_paths(targets, ALL_RULES, select=select)
+    if cache is not None and select is None:
+        diagnostics, _stats = lint_paths_cached(
+            targets, ALL_RULES, Path(cache)
+        )
+    else:
+        # --select runs bypass the cache: a partial rule set must not
+        # poison (or be served from) full-run cached diagnostics.
+        diagnostics = lint_paths(targets, ALL_RULES, select=select)
+    if write_baseline_to is not None:
+        count = write_baseline(diagnostics, Path(write_baseline_to))
+        print(
+            f"repro lint: wrote {count} fingerprint(s) to "
+            f"{write_baseline_to}",
+            file=stream,
+        )
+        return 0
+    broken = any(d.rule_id == SYNTAX_RULE_ID for d in diagnostics)
+    if baseline is not None:
+        diagnostics = apply_baseline(diagnostics, load_baseline(Path(baseline)))
     if output_format == "json":
         render_json(diagnostics, stream)
+    elif output_format == "sarif":
+        render_sarif(diagnostics, ALL_RULES, stream)
     else:
         render_human(diagnostics, stream)
+    if broken:
+        return 2
     return 1 if diagnostics else 0
+
+
+def bench_cache(
+    paths: Sequence[str],
+    *,
+    cache: "str | None" = None,
+    output: str = "BENCH_lint_cache.json",
+    stream: "TextIO | None" = None,
+) -> int:
+    """Time a cold then a warm cached whole-tree run; record the ratio."""
+    stream = stream if stream is not None else sys.stdout
+    targets = (
+        [Path(p) for p in paths] if paths else [default_target()]
+    )
+    cache_path = Path(cache if cache is not None else DEFAULT_CACHE_PATH)
+    if cache_path.exists():
+        cache_path.unlink()
+
+    t0 = time.perf_counter()
+    cold_diags, cold_stats = lint_paths_cached(targets, ALL_RULES, cache_path)
+    cold_s = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    warm_diags, warm_stats = lint_paths_cached(targets, ALL_RULES, cache_path)
+    warm_s = time.perf_counter() - t1
+
+    identical = cold_diags == warm_diags
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    payload = {
+        "bench": "lint_cache",
+        "targets": [str(t) for t in targets],
+        "files": cold_stats.files,
+        "findings": len(cold_diags),
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(speedup, 2),
+        "warm_full_hit": warm_stats.full_hit,
+        "diagnostics_identical": identical,
+    }
+    Path(output).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(
+        f"repro lint bench: cold {cold_s:.3f}s, warm {warm_s:.3f}s "
+        f"({speedup:.1f}x), {cold_stats.files} files, "
+        f"warm full hit: {warm_stats.full_hit} -> {output}",
+        file=stream,
+    )
+    if not identical:
+        print(
+            "repro lint bench: WARM RUN DIVERGED FROM COLD RUN",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
 
 
 def list_rules(stream: "TextIO | None" = None) -> int:
@@ -112,7 +213,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format", dest="output_format", default="human",
-        choices=["human", "json"],
+        choices=["human", "json", "sarif"],
         help="diagnostic output format",
     )
     parser.add_argument(
@@ -127,17 +228,51 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="suppress findings whose fingerprints this file accepts",
+    )
+    parser.add_argument(
+        "--write-baseline", dest="write_baseline", metavar="FILE",
+        default=None,
+        help="record current findings as the accepted baseline and exit",
+    )
+    parser.add_argument(
+        "--cache", nargs="?", metavar="FILE", default=None,
+        const=DEFAULT_CACHE_PATH,
+        help=(
+            "enable the content-hash incremental cache "
+            f"(default file: {DEFAULT_CACHE_PATH})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the cache even if --cache was given",
+    )
+    parser.add_argument(
+        "--bench-cache", action="store_true",
+        help=(
+            "time a cold then warm cached run and write "
+            "BENCH_lint_cache.json"
+        ),
+    )
 
 
 def lint_command(args: argparse.Namespace) -> int:
     """Execute a parsed lint invocation (used by both CLIs)."""
     if args.list_rules:
         return list_rules()
+    cache = None if args.no_cache else args.cache
+    if args.bench_cache:
+        return bench_cache(args.paths, cache=cache)
     return run_lint(
         args.paths,
         output_format=args.output_format,
         select=args.select,
         self_check=args.self_check,
+        baseline=args.baseline,
+        write_baseline_to=args.write_baseline,
+        cache=cache,
     )
 
 

@@ -16,9 +16,10 @@ per line with an inline marker::
     risky_line()  # repro-lint: disable=REP001 -- justification here
 
 Several rule ids separate with commas (``disable=REP001,REP003``) and
-``disable=all`` silences every rule on that line.  Suppressions are
-expected to carry a justification; the linter does not parse it, humans
-do in review.
+``disable=all`` silences every rule on that line.  Suppressions MUST
+carry a non-empty justification after a ``--`` separator; one without
+it still suppresses its target rule but earns a ``SUP001`` diagnostic
+of its own, so an unexplained escape hatch can never ride through CI.
 """
 
 from __future__ import annotations
@@ -29,12 +30,35 @@ import tokenize
 from dataclasses import dataclass, field
 from io import StringIO
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Set, Tuple
-
-#: Inline suppression marker, e.g. ``# repro-lint: disable=REP001,REP002``.
-_SUPPRESS_RE = re.compile(
-    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+|all)"
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
 )
+
+if TYPE_CHECKING:  # deferred to break the core <-> analysis import cycle
+    from repro.lint.flow import FlowAnalysis
+    from repro.lint.graph import CallGraph
+
+#: Inline suppression marker: a ``repro-lint`` comment naming the
+#: disabled rule ids (or ``all``).  The justification group captures
+#: everything after the ``--`` separator; SUP001 fires when it is
+#: missing or blank.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable="
+    r"(?P<rules>[A-Za-z0-9_,\s]+|all)"
+    r"(?:--\s*(?P<why>.*))?"
+)
+
+#: Engine-level rule id for suppressions missing a justification.
+SUPPRESSION_RULE_ID = "SUP001"
 
 
 @dataclass(frozen=True, order=True)
@@ -76,6 +100,8 @@ class ModuleInfo:
     imports: Tuple[str, ...]
     #: line number -> frozenset of suppressed rule ids ("all" wildcard).
     suppressions: Mapping[int, frozenset] = field(default_factory=dict)
+    #: Lines whose suppression marker lacks a justification (SUP001).
+    unjustified_suppressions: Tuple[int, ...] = ()
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         rules = self.suppressions.get(line)
@@ -86,9 +112,32 @@ class ModuleInfo:
 
 @dataclass
 class Project:
-    """All modules under analysis plus the derived import graph."""
+    """All modules under analysis plus the derived import graph.
+
+    Whole-program analyses (the call graph, the interprocedural flow
+    summaries) are built lazily and cached on the instance, so every
+    rule in a run shares one analysis pass.
+    """
 
     modules: Dict[str, ModuleInfo]
+    _call_graph: "Optional[CallGraph]" = field(default=None, repr=False)
+    _flow: "Optional[FlowAnalysis]" = field(default=None, repr=False)
+
+    def call_graph(self) -> "CallGraph":
+        """The project-wide call graph (built once, shared by rules)."""
+        if self._call_graph is None:
+            from repro.lint.graph import build_call_graph
+
+            self._call_graph = build_call_graph(self)
+        return self._call_graph
+
+    def flow(self) -> "FlowAnalysis":
+        """The interprocedural flow analysis (built once, shared)."""
+        if self._flow is None:
+            from repro.lint.flow import FlowAnalysis
+
+            self._flow = FlowAnalysis(self)
+        return self._flow
 
     def import_graph(self) -> Dict[str, Set[str]]:
         """module name -> set of *in-project* modules it imports."""
@@ -149,6 +198,11 @@ class Rule:
     rule_id: str = "REP000"
     title: str = ""
     rationale: str = ""
+    #: ``"file"`` rules depend only on one module's content (and name);
+    #: ``"project"`` rules read the whole-program import/call graph.
+    #: The incremental cache keys file-scoped results on the file's
+    #: content hash alone, project-scoped results on the whole tree's.
+    scope: str = "file"
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
         raise NotImplementedError
@@ -166,13 +220,18 @@ class Rule:
         )
 
 
-def parse_suppressions(source: str) -> Dict[int, frozenset]:
+def parse_suppressions(
+    source: str,
+) -> "Tuple[Dict[int, frozenset], Tuple[int, ...]]":
     """Extract ``# repro-lint: disable=...`` markers per physical line.
 
     Uses the tokenizer, not a regex over raw lines, so markers inside
-    string literals are not mistaken for suppressions.
+    string literals are not mistaken for suppressions.  Returns the
+    suppression table plus the lines whose marker carries no (or an
+    empty) ``-- justification`` -- those earn SUP001 diagnostics.
     """
     table: Dict[int, frozenset] = {}
+    unjustified: List[int] = []
     try:
         tokens = tokenize.generate_tokens(StringIO(source).readline)
         for token in tokens:
@@ -192,11 +251,14 @@ def parse_suppressions(source: str) -> Dict[int, frozenset]:
                 )
             line = token.start[0]
             table[line] = table.get(line, frozenset()) | rules
+            why = match.group("why")
+            if why is None or not why.strip():
+                unjustified.append(line)
     except tokenize.TokenError:
         # Unterminated constructs: fall back to no suppressions; the
         # parse error will surface through ast.parse anyway.
         pass
-    return table
+    return table, tuple(unjustified)
 
 
 def module_name_for(path: Path) -> str:
@@ -253,13 +315,15 @@ def load_module(path: Path) -> ModuleInfo:
     source = path.read_text(encoding="utf-8")
     tree = ast.parse(source, filename=str(path))
     name = module_name_for(path)
+    suppressions, unjustified = parse_suppressions(source)
     return ModuleInfo(
         path=path,
         module_name=name,
         source=source,
         tree=tree,
         imports=_collect_imports(tree, name),
-        suppressions=parse_suppressions(source),
+        suppressions=suppressions,
+        unjustified_suppressions=unjustified,
     )
 
 
@@ -302,6 +366,32 @@ def build_project(paths: Sequence[Path]) -> Tuple[Project, List[Diagnostic]]:
     return Project(modules=modules), errors
 
 
+def suppression_diagnostics(project: Project) -> List[Diagnostic]:
+    """SUP001 findings: suppressions missing their ``--`` justification.
+
+    Engine-level (not a :class:`Rule`): a suppression comment is the
+    one construct a rule can never see, because the engine strips its
+    findings before they surface.  SUP001 is itself unsuppressable for
+    the same reason.
+    """
+    found: List[Diagnostic] = []
+    for info in project.modules.values():
+        for line in info.unjustified_suppressions:
+            found.append(
+                Diagnostic(
+                    path=str(info.path),
+                    line=line,
+                    col=1,
+                    rule_id=SUPPRESSION_RULE_ID,
+                    message=(
+                        "suppression lacks a justification; write "
+                        "`# repro-lint: disable=RULE -- why this is safe`"
+                    ),
+                )
+            )
+    return found
+
+
 def run_rules(
     project: Project,
     rules: Sequence[Rule],
@@ -318,6 +408,8 @@ def run_rules(
             for diag in rule.check(info, project):
                 if not info.is_suppressed(diag.line, diag.rule_id):
                     diagnostics.append(diag)
+    if wanted is None or SUPPRESSION_RULE_ID in wanted:
+        diagnostics.extend(suppression_diagnostics(project))
     return sorted(diagnostics)
 
 

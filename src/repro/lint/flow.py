@@ -1,0 +1,744 @@
+"""Interprocedural flow summaries for the determinism rules.
+
+Layered on the :mod:`repro.lint.graph` call graph, this module computes
+a per-function **summary** -- which taints a function's return value
+carries, which of its parameters flow into a deterministic sink, and
+whether it hides unthreadable randomness -- and propagates summaries to
+a fixpoint across project call edges.  Rules REP007/REP008/REP009 then
+read the per-function **events** (taint-meets-sink, order-dependent
+fold) this analysis records; REP012 reads the seed-threading facts.
+
+Taint kinds
+-----------
+
+``order``
+    The value's iteration order is not part of its logical content:
+    dict/set views (``.items()``/``.keys()``/``.values()`` unwrapped by
+    ``sorted``), ``os.listdir``/``glob`` results, ``set`` displays, and
+    anything derived from iterating them.  Two logically equal values
+    can carry different orders (insertion history, hash randomisation,
+    filesystem order), so an order-tainted value entering a
+    deterministic export makes bytes depend on invisible history.
+``wallclock`` / ``env`` / ``rng``
+    Ambient machine state: wall-clock reads, ``os.environ`` lookups,
+    unseeded RNG draws.  REP002 flags the *call sites* inside
+    deterministic packages; the flow analysis tracks the *values* so a
+    read two frames away from an exporter is still caught (REP008).
+
+The analysis is flow-insensitive inside statements but tracks local
+variables in statement order, runs each function body twice per
+fixpoint pass (so loop-carried taint converges), and treats every
+unresolved callee as taint-preserving for its arguments -- unknown
+code neither launders nor invents taint.  ``sorted(...)`` is the one
+explicit cleanser for ``order``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.core import Project
+from repro.lint.graph import CallGraph, FunctionNode
+from repro.lint.rules.common import (
+    ImportBindings,
+    collect_imports,
+    dotted_name,
+    mentions_seed,
+)
+from repro.lint.rules.randomness import _has_seed_argument
+from repro.lint.rules.seed_threading import _is_rng_constructor
+
+ORDER = "order"
+WALLCLOCK = "wallclock"
+ENV = "env"
+RNG = "rng"
+
+#: Taints whose *value* (not ordering) is nondeterministic -- REP008.
+VALUE_TAINTS: FrozenSet[str] = frozenset({WALLCLOCK, ENV, RNG})
+
+#: Callables (matched by final name component) whose arguments must be
+#: deterministic: the exporters, snapshot/merge constructors, journal
+#: writes and the ordered-reduce dispatchers.
+DETERMINISTIC_SINKS: FrozenSet[str] = frozenset(
+    {
+        "to_jsonl",
+        "write_jsonl",
+        "to_chrome_trace",
+        "write_chrome_trace",
+        "MetricsSnapshot",
+        "merge_snapshots",
+        "record_chunk",
+        "record_quarantine",
+        "run_sharded",
+        "run_supervised",
+    }
+)
+
+_DATETIME_METHODS = ("now", "utcnow", "today", "fromtimestamp")
+_DICT_VIEWS = ("items", "keys", "values")
+_FS_ORDER_METHODS = ("iterdir", "glob", "rglob")
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+@dataclass(frozen=True)
+class Summary:
+    """One function's interprocedural facts (fixpoint-stable)."""
+
+    #: Taint kinds the return value can carry.
+    returns: FrozenSet[str] = _EMPTY
+    #: Parameter names that (transitively) reach a deterministic sink.
+    sink_params: FrozenSet[str] = _EMPTY
+    #: Constructs an RNG whose stream no caller can pin: the seed
+    #: expression mentions neither a seed-named identifier nor any
+    #: parameter of the function.
+    direct_hidden_rng: bool = False
+    #: Parameter names containing ``seed`` (the thread to pull).
+    seed_params: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FlowEvent:
+    """One analysis finding inside a function body."""
+
+    kind: str  # "sink" | "fold"
+    node: ast.AST = field(compare=False)
+    taints: FrozenSet[str] = _EMPTY
+    #: Sink callable name ("write_jsonl", "json.dumps", ...).
+    sink: str = ""
+    #: Fold flavour: "sum" | "max" | "min" | "augmented-accumulation".
+    fold: str = ""
+    #: Callee qualname when the sink is reached through a call edge.
+    via: str = ""
+
+
+class FlowAnalysis:
+    """Whole-project fixpoint over per-function summaries."""
+
+    #: Fixpoint pass bound; summaries form a finite lattice so this is
+    #: a safety net, not a tuning knob.
+    MAX_PASSES = 12
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.graph: CallGraph = project.call_graph()
+        self._bindings: Dict[str, ImportBindings] = {}
+        self._json_aliases: Dict[str, Set[str]] = {}
+        for name, info in project.modules.items():
+            self._bindings[name] = collect_imports(info.tree)
+            self._json_aliases[name] = _json_import_aliases(info.tree)
+        self.summaries: Dict[str, Summary] = {
+            qual: Summary(seed_params=_seed_params(fn.node))
+            for qual, fn in self.graph.functions.items()
+        }
+        self.events: Dict[str, Tuple[FlowEvent, ...]] = {}
+        self._solve()
+        self.hidden_rng: FrozenSet[str] = self._close_hidden_rng()
+
+    # -- public accessors ----------------------------------------------------
+
+    def functions_in(self, module_name: str) -> List[FunctionNode]:
+        return [
+            fn
+            for fn in self.graph.functions.values()
+            if fn.module == module_name
+        ]
+
+    def events_for(
+        self, module_name: str
+    ) -> Iterator[Tuple[FunctionNode, FlowEvent]]:
+        for fn in self.functions_in(module_name):
+            for event in self.events.get(fn.qualname, ()):
+                yield fn, event
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _solve(self) -> None:
+        for _ in range(self.MAX_PASSES):
+            changed = False
+            for qual, fn in self.graph.functions.items():
+                summary, _events = self._analyze(fn)
+                if summary != self.summaries[qual]:
+                    self.summaries[qual] = summary
+                    changed = True
+            if not changed:
+                break
+        for qual, fn in self.graph.functions.items():
+            _summary, events = self._analyze(fn)
+            self.events[qual] = tuple(events)
+
+    def _analyze(
+        self, fn: FunctionNode
+    ) -> Tuple[Summary, List[FlowEvent]]:
+        analyzer = _FunctionAnalyzer(
+            fn,
+            self,
+            self._bindings[fn.module],
+            self._json_aliases[fn.module],
+        )
+        # Two body passes: taint assigned late in a loop body reaches
+        # uses earlier in the (next) iteration on the second pass.
+        analyzer.run()
+        analyzer.run()
+        return analyzer.summary(), analyzer.events
+
+    def _close_hidden_rng(self) -> FrozenSet[str]:
+        """Functions that (transitively) hide unthreadable randomness."""
+        direct = {
+            qual
+            for qual, summary in self.summaries.items()
+            if summary.direct_hidden_rng
+        }
+        hidden: Set[str] = set()
+        for qual in self.graph.functions:
+            if self.graph.transitive_callees([qual]) & direct:
+                hidden.add(qual)
+        return frozenset(hidden)
+
+
+def _seed_params(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef",
+) -> Tuple[str, ...]:
+    args = node.args
+    every = args.posonlyargs + args.args + args.kwonlyargs
+    return tuple(a.arg for a in every if "seed" in a.arg.lower())
+
+
+def _param_names(fn: FunctionNode) -> List[str]:
+    args = fn.node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if fn.is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _positional_params(fn: FunctionNode) -> List[str]:
+    args = fn.node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if fn.is_method and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _json_import_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "json":
+                    aliases.add(alias.asname or "json")
+    return aliases
+
+
+@dataclass
+class _Value:
+    """Abstract value: taint kinds plus parameter provenance."""
+
+    taints: FrozenSet[str] = _EMPTY
+    params: FrozenSet[str] = _EMPTY
+
+    def union(self, other: "_Value") -> "_Value":
+        return _Value(self.taints | other.taints, self.params | other.params)
+
+
+_CLEAN = _Value()
+
+
+class _FunctionAnalyzer:
+    """One pass of abstract interpretation over a function body."""
+
+    def __init__(
+        self,
+        fn: FunctionNode,
+        flow: FlowAnalysis,
+        bind: ImportBindings,
+        json_aliases: Set[str],
+    ) -> None:
+        self.fn = fn
+        self.flow = flow
+        self.bind = bind
+        self.json_aliases = json_aliases
+        self.env: Dict[str, _Value] = {}
+        for name in _param_names(fn):
+            self.env[name] = _Value(params=frozenset({name}))
+        self.returns: Set[str] = set()
+        self.sink_params: Set[str] = set()
+        self.direct_hidden_rng = False
+        self.events: List[FlowEvent] = []
+        self._event_keys: Set[
+            Tuple[str, int, FrozenSet[str], str, str, str]
+        ] = set()
+        #: Nesting depth of loops over order-tainted iterables: any
+        #: assignment inside accumulates iteration order into its
+        #: target.
+        self._order_loops = 0
+
+    def summary(self) -> Summary:
+        return Summary(
+            returns=frozenset(self.returns),
+            sink_params=frozenset(self.sink_params),
+            direct_hidden_rng=self.direct_hidden_rng,
+            seed_params=_seed_params(self.fn.node),
+        )
+
+    def run(self) -> None:
+        self.events = []
+        self._event_keys = set()
+        for stmt in self.fn.node.body:
+            self._exec(stmt)
+
+    def _emit(self, event: FlowEvent) -> None:
+        """Record an event once per site.
+
+        Sink checking re-evaluates argument expressions, so a fold or
+        sink nested inside another call's arguments would otherwise be
+        reported once per evaluation.
+        """
+        key = (
+            event.kind,
+            id(event.node),
+            event.taints,
+            event.sink,
+            event.fold,
+            event.via,
+        )
+        if key in self._event_keys:
+            return
+        self._event_keys.add(key)
+        self.events.append(event)
+
+    # -- statements ----------------------------------------------------------
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind_target(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind_target(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            value = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                held = self.env.get(stmt.target.id, _CLEAN)
+                self.env[stmt.target.id] = held.union(value)
+                self._maybe_order_fold(stmt, value)
+            elif isinstance(stmt.target, ast.Subscript):
+                self._bind_target(stmt.target, value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self._eval(stmt.value).taints
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(stmt.iter)
+            self._bind_target(stmt.target, iterable)
+            nondet = ORDER in iterable.taints
+            if nondet:
+                self._order_loops += 1
+            for inner in stmt.body + stmt.orelse:
+                self._exec(inner)
+            if nondet:
+                self._order_loops -= 1
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._eval(stmt.test)
+            for inner in stmt.body + stmt.orelse:
+                self._exec(inner)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, value)
+            for inner in stmt.body:
+                self._exec(inner)
+        elif isinstance(stmt, ast.Try):
+            for inner in stmt.body + stmt.orelse + stmt.finalbody:
+                self._exec(inner)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self._exec(inner)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are analysed through the call graph when
+            # called; their bodies are skipped here.
+            return
+        # Remaining statements (pass, raise, import, ...) carry no flow.
+
+    def _bind_target(self, target: ast.AST, value: _Value) -> None:
+        inside = (
+            _Value(taints=frozenset({ORDER})) if self._order_loops else _CLEAN
+        )
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value.union(inside)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, value)
+        elif isinstance(target, ast.Subscript):
+            # `container[key] = value` folds iteration order into the
+            # container when executed inside a nondet-ordered loop.
+            base = target.value
+            if isinstance(base, ast.Name):
+                held = self.env.get(base.id, _CLEAN)
+                self.env[base.id] = held.union(value).union(inside)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value)
+
+    def _maybe_order_fold(self, stmt: ast.AugAssign, value: _Value) -> None:
+        """``acc += expr`` inside a nondet-ordered loop is REP009."""
+        if not self._order_loops:
+            return
+        if not isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mult)):
+            return
+        if isinstance(stmt.value, ast.Constant):
+            # `count += 1` is order-independent.
+            return
+        self._emit(
+            FlowEvent(
+                kind="fold",
+                node=stmt,
+                taints=frozenset({ORDER}),
+                fold="augmented-accumulation",
+            )
+        )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, node: Optional[ast.expr]) -> _Value:
+        if node is None:
+            return _CLEAN
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _CLEAN)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval(node.value)
+        if isinstance(node, ast.Subscript):
+            return self._eval(node.value).union(self._eval(node.slice))
+        if isinstance(node, (ast.Set,)):
+            value = _Value(taints=frozenset({ORDER}))
+            for element in node.elts:
+                value = value.union(self._eval(element))
+            return value
+        if isinstance(node, (ast.List, ast.Tuple)):
+            value = _CLEAN
+            for element in node.elts:
+                value = value.union(self._eval(element))
+            return value
+        if isinstance(node, ast.Dict):
+            value = _CLEAN
+            for key in node.keys:
+                if key is not None:
+                    value = value.union(self._eval(key))
+            for val in node.values:
+                value = value.union(self._eval(val))
+            return value
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            return self._eval_comprehension(node, force_order=False)
+        if isinstance(node, ast.SetComp):
+            return self._eval_comprehension(node, force_order=True)
+        if isinstance(node, ast.BinOp):
+            return self._eval(node.left).union(self._eval(node.right))
+        if isinstance(node, ast.BoolOp):
+            value = _CLEAN
+            for operand in node.values:
+                value = value.union(self._eval(operand))
+            return value
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand)
+        if isinstance(node, ast.Compare):
+            value = self._eval(node.left)
+            for comparator in node.comparators:
+                value = value.union(self._eval(comparator))
+            return value
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            return self._eval(node.body).union(self._eval(node.orelse))
+        if isinstance(node, ast.JoinedStr):
+            value = _CLEAN
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    value = value.union(self._eval(part.value))
+            return value
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return _CLEAN
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value)
+            self._bind_target(node.target, value)
+            return value
+        return _CLEAN
+
+    def _eval_comprehension(
+        self,
+        node: "ast.ListComp | ast.SetComp | ast.GeneratorExp | ast.DictComp",
+        force_order: bool,
+    ) -> _Value:
+        value = _Value(
+            taints=frozenset({ORDER}) if force_order else _EMPTY
+        )
+        for generator in node.generators:
+            iterable = self._eval(generator.iter)
+            self._bind_target(generator.target, iterable)
+            value = value.union(iterable)
+            for condition in generator.ifs:
+                self._eval(condition)
+        if isinstance(node, ast.DictComp):
+            value = value.union(self._eval(node.key))
+            value = value.union(self._eval(node.value))
+        else:
+            value = value.union(self._eval(node.elt))
+        return value
+
+    # -- calls ---------------------------------------------------------------
+
+    def _eval_call(self, call: ast.Call) -> _Value:
+        arg_value = _CLEAN
+        for arg in call.args:
+            arg_value = arg_value.union(self._eval(arg))
+        for keyword in call.keywords:
+            arg_value = arg_value.union(self._eval(keyword.value))
+
+        source = self._source_taints(call)
+        self._record_hidden_rng(call)
+        self._check_sinks(call)
+
+        name = _call_name(call)
+        if name == "sorted":
+            # The canonical order cleanser.
+            return _Value(
+                arg_value.taints - {ORDER}, arg_value.params
+            )
+        if name in ("sum", "max", "min") and call.args:
+            first = self._eval(call.args[0])
+            if ORDER in first.taints:
+                self._emit(
+                    FlowEvent(
+                        kind="fold",
+                        node=call,
+                        taints=frozenset({ORDER}),
+                        fold=name,
+                    )
+                )
+            # The fold site is reported; its scalar result no longer
+            # carries an order (double-report downstream would be noise).
+            return _Value(arg_value.taints - {ORDER}, arg_value.params)
+        if name == "set":
+            return arg_value.union(_Value(taints=frozenset({ORDER})))
+        if name in _DICT_VIEWS and isinstance(call.func, ast.Attribute) \
+                and not call.args and not call.keywords:
+            receiver = self._eval(call.func.value)
+            return _Value(
+                receiver.taints | {ORDER}, receiver.params
+            )
+        if source is not None:
+            return arg_value.union(_Value(taints=frozenset({source})))
+
+        callee = self.flow.graph.resolve_call(call)
+        if callee is not None:
+            summary = self.flow.summaries.get(callee, Summary())
+            return _Value(frozenset(summary.returns), arg_value.params)
+        # Unknown callee: taint-preserving in both directions.
+        return arg_value
+
+    def _source_taints(self, call: ast.Call) -> Optional[str]:
+        """Ambient-state source kind for this call, if it is one."""
+        name = dotted_name(call.func)
+        if name is None:
+            # `.iterdir()` / `.glob()` on an arbitrary receiver.
+            if isinstance(call.func, ast.Attribute) and (
+                call.func.attr in _FS_ORDER_METHODS
+            ):
+                return ORDER
+            return None
+        parts = name.split(".")
+        head, fn = parts[0], parts[-1]
+        bind = self.bind
+        if len(parts) == 2 and head in bind.time and fn in ("time", "time_ns"):
+            return WALLCLOCK
+        if len(parts) == 2 and head in bind.os and fn == "urandom":
+            return WALLCLOCK
+        if len(parts) == 1 and head in bind.from_wallclock:
+            return WALLCLOCK
+        if (
+            len(parts) >= 2
+            and fn in _DATETIME_METHODS
+            and (
+                parts[-2] in bind.datetime_class
+                or parts[-2] in bind.date_class
+                or parts[0] in bind.datetime_module
+            )
+        ):
+            return WALLCLOCK
+        if len(parts) == 2 and head in bind.uuid and fn in ("uuid1", "uuid4"):
+            return WALLCLOCK
+        if len(parts) == 2 and head in bind.secrets:
+            return WALLCLOCK
+        if len(parts) == 2 and head in bind.os and fn == "getenv":
+            return ENV
+        if "environ" in parts and head in bind.os:
+            return ENV
+        if len(parts) == 2 and head in bind.os and fn == "listdir":
+            return ORDER
+        if fn in ("glob", "iglob") and len(parts) == 2 and head == "glob":
+            return ORDER
+        if fn in _FS_ORDER_METHODS and len(parts) >= 2:
+            return ORDER
+        if self._is_unseeded_rng(call, name, parts):
+            return RNG
+        return None
+
+    def _is_unseeded_rng(
+        self, call: ast.Call, name: str, parts: List[str]
+    ) -> bool:
+        bind = self.bind
+        head, fn = parts[0], parts[-1]
+        if _is_rng_constructor(call, bind):
+            return not _has_seed_argument(call)
+        is_np_random = (
+            len(parts) >= 3 and head in bind.numpy and parts[1] == "random"
+        ) or (len(parts) == 2 and head in bind.numpy_random)
+        if is_np_random and fn != "default_rng":
+            return True
+        if len(parts) == 2 and head in bind.stdlib_random and fn != "Random":
+            return True
+        if len(parts) == 1 and head in bind.from_random:
+            return bind.from_random[head] != "Random"
+        return False
+
+    def _record_hidden_rng(self, call: ast.Call) -> None:
+        """Seeded RNG construction no caller can influence (REP012)."""
+        if not _is_rng_constructor(call, self.bind):
+            return
+        if not (call.args or call.keywords):
+            return  # unseeded: REP001 territory
+        params = set(_param_names(self.fn))
+        for expr in list(call.args) + [kw.value for kw in call.keywords]:
+            if mentions_seed(expr):
+                return
+            for child in ast.walk(expr):
+                if isinstance(child, ast.Name) and child.id in params:
+                    return
+                if (
+                    isinstance(child, ast.Attribute)
+                    and isinstance(child.value, ast.Name)
+                    and child.value.id in ("self", "cls")
+                ):
+                    # Seeded from instance state: threaded earlier.
+                    return
+        self.direct_hidden_rng = True
+
+    # -- sinks ---------------------------------------------------------------
+
+    def _check_sinks(self, call: ast.Call) -> None:
+        name = _call_name(call)
+        if name in DETERMINISTIC_SINKS:
+            self._report_tainted_args(call, name, via="")
+            return
+        if self._is_unsorted_json_dump(call):
+            self._report_tainted_args(
+                call, f"json.{_call_name(call)}", via="", order_only=True
+            )
+            return
+        callee = self.flow.graph.resolve_call(call)
+        if callee is None:
+            return
+        summary = self.flow.summaries.get(callee)
+        if summary is None or not summary.sink_params:
+            return
+        fn = self.flow.graph.functions[callee]
+        positional = _positional_params(fn)
+        for position, arg in enumerate(call.args):
+            if position >= len(positional):
+                break
+            if positional[position] not in summary.sink_params:
+                continue
+            self._report_arg(call, arg, fn.qualname, via=callee)
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg not in summary.sink_params:
+                continue
+            self._report_arg(call, keyword.value, fn.qualname, via=callee)
+
+    def _report_tainted_args(
+        self,
+        call: ast.Call,
+        sink: str,
+        via: str,
+        order_only: bool = False,
+    ) -> None:
+        for expr in list(call.args) + [kw.value for kw in call.keywords]:
+            value = self._eval(expr)
+            taints = value.taints
+            if order_only:
+                taints = taints & {ORDER}
+            if taints:
+                self._emit(
+                    FlowEvent(
+                        kind="sink",
+                        node=call,
+                        taints=frozenset(taints),
+                        sink=sink,
+                        via=via,
+                    )
+                )
+            if value.params:
+                self.sink_params |= value.params
+        # Params that flow into a sink count even when not yet tainted:
+        # that is what lets a *caller's* taint find this sink.
+
+    def _report_arg(
+        self, call: ast.Call, expr: ast.expr, sink: str, via: str
+    ) -> None:
+        value = self._eval(expr)
+        if value.taints:
+            self._emit(
+                FlowEvent(
+                    kind="sink",
+                    node=call,
+                    taints=frozenset(value.taints),
+                    sink=sink,
+                    via=via,
+                )
+            )
+        if value.params:
+            self.sink_params |= value.params
+
+    def _is_unsorted_json_dump(self, call: ast.Call) -> bool:
+        if not isinstance(call.func, ast.Attribute):
+            return False
+        if call.func.attr not in ("dump", "dumps"):
+            return False
+        if not (
+            isinstance(call.func.value, ast.Name)
+            and call.func.value.id in self.json_aliases
+        ):
+            return False
+        for keyword in call.keywords:
+            if keyword.arg == "sort_keys" and (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return False
+        return True
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+__all__ = [
+    "DETERMINISTIC_SINKS",
+    "ENV",
+    "FlowAnalysis",
+    "FlowEvent",
+    "ORDER",
+    "RNG",
+    "Summary",
+    "VALUE_TAINTS",
+    "WALLCLOCK",
+]

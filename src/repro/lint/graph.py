@@ -1,0 +1,295 @@
+"""Project-wide call graph over the two-pass lint build.
+
+The prepass already parses every target file into a
+:class:`~repro.lint.core.Project`.  This module adds the second
+whole-program structure the interprocedural rules need: a best-effort
+static **call graph** -- every function/method definition in the
+project, plus resolved edges between them.
+
+Resolution is deliberately conservative (a lint must never crash on
+dynamic dispatch):
+
+* top-level functions resolve by local name, by import binding
+  (``from repro.sim.engine import simulate`` / ``import repro.sim.engine``
+  / ``from repro.sim import engine`` forms all work), and by dotted
+  attribute chains through imported modules;
+* methods resolve for ``self.method(...)`` / ``cls.method(...)`` calls
+  within the defining class, and for ``ClassName.method`` /
+  ``imported_instanceless`` chains when the class is project-local;
+* anything else (duck-typed attributes, callables passed as values)
+  stays unresolved -- rules treat unresolved callees as having no
+  summary, which biases every interprocedural rule toward silence
+  rather than false positives.
+
+Qualified names are ``module.path:func`` or ``module.path:Class.method``
+so rules can report a human-readable call chain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.core import ModuleInfo, Project
+
+
+@dataclass
+class FunctionNode:
+    """One function or method definition in the project."""
+
+    qualname: str
+    module: str
+    #: ``func`` or ``Class.method``.
+    local_name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_public(self) -> bool:
+        """Public API: neither the function nor its class is private."""
+        if self.node.name.startswith("_") and not (
+            self.node.name.startswith("__") and self.node.name.endswith("__")
+        ):
+            return False
+        if self.class_name is not None and self.class_name.startswith("_"):
+            return False
+        return True
+
+
+@dataclass
+class CallGraph:
+    """Every definition plus resolved caller -> callee edges."""
+
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    #: caller qualname -> set of resolved project callee qualnames.
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    #: id(ast.Call) -> resolved callee qualname (project-local only).
+    call_targets: Dict[int, str] = field(default_factory=dict)
+    #: qualname of the function whose body owns each node (by id).
+    owner_of: Dict[int, str] = field(default_factory=dict)
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """The project function a call targets, if statically known."""
+        return self.call_targets.get(id(call))
+
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def transitive_callees(self, roots: "List[str] | Set[str]") -> Set[str]:
+        seen: Set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.edges.get(name, set()) - seen)
+        return seen
+
+
+@dataclass
+class _ModuleBindings:
+    """What each local name means for cross-module call resolution."""
+
+    #: local alias -> project module name (``import repro.sim as s``).
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, symbol) for ``from mod import symbol``.
+    symbol_aliases: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+
+def _module_bindings(info: ModuleInfo, project: Project) -> _ModuleBindings:
+    bindings = _ModuleBindings()
+    names = set(project.modules)
+    package_parts = info.module_name.split(".")
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.asname:
+                        bindings.module_aliases[local] = alias.name
+                    else:
+                        # `import a.b.c` binds `a`; dotted chains are
+                        # resolved against the full path at call sites.
+                        bindings.module_aliases.setdefault(
+                            local, alias.name.split(".")[0]
+                        )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                anchor = package_parts[: len(package_parts) - node.level]
+                base = ".".join(
+                    anchor + ([node.module] if node.module else [])
+                )
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                submodule = f"{base}.{alias.name}"
+                if submodule in names:
+                    bindings.module_aliases[local] = submodule
+                elif base in names:
+                    bindings.symbol_aliases[local] = (base, alias.name)
+    return bindings
+
+
+def _collect_definitions(
+    info: ModuleInfo, graph: CallGraph
+) -> Dict[str, str]:
+    """Register this module's defs; return local name -> qualname."""
+    local: Dict[str, str] = {}
+    for node in info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{info.module_name}:{node.name}"
+            graph.functions[qual] = FunctionNode(
+                qualname=qual,
+                module=info.module_name,
+                local_name=node.name,
+                node=node,
+            )
+            local[node.name] = qual
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{info.module_name}:{node.name}.{item.name}"
+                    graph.functions[qual] = FunctionNode(
+                        qualname=qual,
+                        module=info.module_name,
+                        local_name=f"{node.name}.{item.name}",
+                        node=item,
+                        class_name=node.name,
+                    )
+            local.setdefault(node.name, f"{info.module_name}:{node.name}")
+    return local
+
+
+def resolve_callee(
+    call: ast.Call,
+    info: ModuleInfo,
+    project: Project,
+    local_defs: Dict[str, str],
+    bindings: _ModuleBindings,
+    enclosing_class: Optional[str],
+) -> Optional[str]:
+    """Best-effort qualname of the project function a call targets."""
+    func = call.func
+    # Bare name: local def, or `from mod import symbol`.  Class names
+    # resolve to the bare class qualname; the caller maps those onto
+    # `Class.__init__` against the set of known definitions.
+    if isinstance(func, ast.Name):
+        if func.id in local_defs:
+            return local_defs[func.id]
+        if func.id in bindings.symbol_aliases:
+            module, symbol = bindings.symbol_aliases[func.id]
+            return f"{module}:{symbol}"
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    # self.method() / cls.method() inside a class body.
+    if (
+        isinstance(func.value, ast.Name)
+        and func.value.id in ("self", "cls")
+        and enclosing_class is not None
+    ):
+        return f"{info.module_name}:{enclosing_class}.{func.attr}"
+    # Dotted chain: walk back to a Name head and try module prefixes.
+    parts: List[str] = [func.attr]
+    cursor: ast.AST = func.value
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    parts.append(cursor.id)
+    parts.reverse()
+    head = parts[0]
+    # `ClassName.method(...)` on a project-local class.
+    if head in local_defs and len(parts) == 2:
+        return f"{info.module_name}:{head}.{parts[1]}"
+    # `alias.sub...func(...)` through an imported module.
+    if head in bindings.module_aliases:
+        dotted = bindings.module_aliases[head].split(".") + parts[1:]
+    else:
+        dotted = parts
+    # Longest module prefix wins: repro.sim.engine.simulate ->
+    # module "repro.sim.engine", symbol "simulate" (or "Cls.meth").
+    names = set(project.modules)
+    for cut in range(len(dotted) - 1, 0, -1):
+        prefix = ".".join(dotted[:cut])
+        if prefix in names:
+            symbol = ".".join(dotted[cut:])
+            return f"{prefix}:{symbol}"
+    return None
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Build the whole-project call graph (one pass per module)."""
+    graph = CallGraph()
+    locals_by_module: Dict[str, Dict[str, str]] = {}
+    bindings_by_module: Dict[str, _ModuleBindings] = {}
+    for name, info in project.modules.items():
+        locals_by_module[name] = _collect_definitions(info, graph)
+        bindings_by_module[name] = _module_bindings(info, project)
+
+    defined = set(graph.functions)
+    for name, info in project.modules.items():
+        local_defs = locals_by_module[name]
+        bindings = bindings_by_module[name]
+        _resolve_module_calls(
+            info, project, graph, local_defs, bindings, defined
+        )
+    return graph
+
+
+def _resolve_module_calls(
+    info: ModuleInfo,
+    project: Project,
+    graph: CallGraph,
+    local_defs: Dict[str, str],
+    bindings: _ModuleBindings,
+    defined: Set[str],
+) -> None:
+    """Attribute calls/owners for one module, walking with context."""
+
+    def visit(
+        node: ast.AST,
+        owner: Optional[str],
+        enclosing_class: Optional[str],
+    ) -> None:
+        next_owner = owner
+        next_class = enclosing_class
+        if isinstance(node, ast.ClassDef):
+            next_class = node.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if enclosing_class is not None and owner is None:
+                next_owner = (
+                    f"{info.module_name}:{enclosing_class}.{node.name}"
+                )
+            elif owner is None:
+                next_owner = f"{info.module_name}:{node.name}"
+            # Nested defs attribute to the outermost enclosing function.
+        if isinstance(node, ast.Call):
+            graph.owner_of[id(node)] = next_owner or ""
+            target = resolve_callee(
+                node, info, project, local_defs, bindings, enclosing_class
+            )
+            if target is not None and target not in defined:
+                # A bare class-name call is a constructor invocation.
+                if f"{target}.__init__" in defined:
+                    target = f"{target}.__init__"
+            if target is not None and target in defined:
+                graph.call_targets[id(node)] = target
+                if next_owner is not None:
+                    graph.edges.setdefault(next_owner, set()).add(target)
+        for child in ast.iter_child_nodes(node):
+            visit(child, next_owner, next_class)
+
+    visit(info.tree, None, None)

@@ -3,6 +3,10 @@
 Importing this package yields :data:`ALL_RULES`, the ordered tuple of
 rule instances the CLI runs by default.  Rules are stateless, so the
 shared instances are safe to reuse across projects and invocations.
+
+REP001--REP006 are the original per-file rules; REP007--REP012 are the
+interprocedural generation built on the :mod:`repro.lint.graph` call
+graph and the :mod:`repro.lint.flow` fixpoint summaries.
 """
 
 from __future__ import annotations
@@ -10,10 +14,18 @@ from __future__ import annotations
 from typing import Dict, Tuple
 
 from repro.lint.core import Rule
+from repro.lint.rules.float_fold import FloatFoldRule
+from repro.lint.rules.iteration_order import IterationOrderRule
 from repro.lint.rules.module_state import ModuleStateRule
+from repro.lint.rules.pickle_boundary import PickleBoundaryRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
 from repro.lint.rules.seed_threading import SeedThreadingRule
+from repro.lint.rules.seed_threading_interproc import (
+    InterprocSeedThreadingRule,
+)
 from repro.lint.rules.spec_mutation import SpecMutationRule
+from repro.lint.rules.swallowed_exceptions import SwallowedExceptionRule
+from repro.lint.rules.taint_export import TaintedExportRule
 from repro.lint.rules.units import UnitDisciplineRule
 from repro.lint.rules.wallclock import WallClockRule
 
@@ -24,6 +36,12 @@ ALL_RULES: Tuple[Rule, ...] = (
     SpecMutationRule(),
     ModuleStateRule(),
     SeedThreadingRule(),
+    IterationOrderRule(),
+    TaintedExportRule(),
+    FloatFoldRule(),
+    PickleBoundaryRule(),
+    SwallowedExceptionRule(),
+    InterprocSeedThreadingRule(),
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -37,4 +55,10 @@ __all__ = [
     "SpecMutationRule",
     "ModuleStateRule",
     "SeedThreadingRule",
+    "IterationOrderRule",
+    "TaintedExportRule",
+    "FloatFoldRule",
+    "PickleBoundaryRule",
+    "SwallowedExceptionRule",
+    "InterprocSeedThreadingRule",
 ]

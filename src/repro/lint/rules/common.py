@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
+
+if TYPE_CHECKING:
+    from repro.lint.core import Project
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -176,6 +179,40 @@ def literal_float(node: ast.AST) -> Optional[float]:
             return None
         return float(node.value)
     return None
+
+
+#: Dispatch entry points whose task callables run in spawned workers.
+WORKER_DISPATCHERS = ("run_sharded", "run_supervised")
+
+
+def worker_closure(project: "Project") -> Set[str]:
+    """Modules a spawn worker (or supervisor child) can see.
+
+    Roots are the executor/supervisor modules themselves plus every
+    module that calls a worker dispatcher (those modules define the
+    task callables workers import); the result is their transitive
+    import closure over the linted project.  Shared by REP005 (module
+    state), REP010 (pickle boundary) and REP011 (swallowed
+    exceptions), which all reason about code that runs -- or fails --
+    inside a worker process.
+    """
+    roots: Set[str] = set()
+    for name, info in project.modules.items():
+        if name.endswith("parallel.executor") or name.endswith(
+            "resilience.supervisor"
+        ):
+            roots.add(name)
+            continue
+        for imported in info.imports:
+            last = imported.rsplit(".", 1)[-1]
+            if (
+                last in WORKER_DISPATCHERS
+                or imported.endswith("parallel.executor")
+                or imported.endswith("resilience.supervisor")
+            ):
+                roots.add(name)
+                break
+    return project.closure(roots)
 
 
 def mentions_seed(node: ast.AST) -> bool:

@@ -1,0 +1,49 @@
+"""REP009 -- order-dependent accumulation over nondeterministic order.
+
+Floating-point addition is not associative: ``sum()`` or ``+=`` folds
+over an iterable whose order is construction history (unsorted dict
+views, sets, directory listings) can produce different low bits on
+logically identical inputs -- the classic way "bit-identical across
+worker counts" dies.  ``max``/``min`` folds are order-dependent too
+through their tie-breaking: the *first* maximal element wins, and
+"first" is exactly what a nondeterministic order fails to pin down.
+
+The rule reads fold events from :mod:`repro.lint.flow`: a
+``sum``/``max``/``min`` call whose first argument carries the
+``order`` taint, or an augmented accumulation (``acc += expr``)
+executed inside a loop over an order-tainted iterable.  Counter-style
+``count += 1`` folds are exempt (constant increments commute).  The
+fix is the same as REP007: fold over ``sorted(...)`` so the reduction
+order is content, not history.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+
+
+class FloatFoldRule(Rule):
+    rule_id = "REP009"
+    title = "order-dependent fold over a nondeterministically ordered iterable"
+    rationale = (
+        "float accumulation and max/min tie-breaks depend on operand "
+        "order; folding an unsorted dict/set makes results depend on "
+        "construction history"
+    )
+    scope = "project"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        flow = project.flow()
+        for fn, event in flow.events_for(module.module_name):
+            if event.kind != "fold":
+                continue
+            yield self.diagnostic(
+                module,
+                event.node,
+                f"`{fn.local_name}` folds (`{event.fold}`) over an iterable "
+                "with nondeterministic order; reduce over `sorted(...)` so "
+                "the accumulation order is content, not construction "
+                "history",
+            )

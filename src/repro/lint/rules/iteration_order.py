@@ -1,0 +1,55 @@
+"""REP007 -- nondeterministic iteration order reaching a deterministic sink.
+
+A Python dict iterates in *insertion* order, which is construction
+history, not content: a journal-resumed campaign and a fresh run can
+build logically equal dicts whose iteration orders differ.  Sets are
+worse (hash-randomised across processes), and ``os.listdir``/``glob``
+follow filesystem order.  None of that matters until the order leaks
+into an artifact the project promises is byte-identical -- a JSONL
+export, a Chrome trace, a ``MetricsSnapshot``, a journal record, or
+the ordered-reduce work list of ``run_sharded``.
+
+This rule is interprocedural: the :mod:`repro.lint.flow` analysis
+tags values derived from unsorted dict/set views and directory
+listings with an ``order`` taint, propagates it through assignments,
+containers, comprehensions and project-local call returns, and
+records an event wherever a tainted value lands in a sink argument --
+including sinks reached *through* another project function whose
+parameter is known (by fixpoint summary) to flow into one.  Wrapping
+the iterable in ``sorted(...)`` clears the taint and is the expected
+fix.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.flow import ORDER
+
+
+class IterationOrderRule(Rule):
+    rule_id = "REP007"
+    title = "nondeterministic iteration order reaches a deterministic sink"
+    rationale = (
+        "dict/set/filesystem iteration order is construction history, "
+        "not content; exported bytes must not depend on it"
+    )
+    scope = "project"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        flow = project.flow()
+        for fn, event in flow.events_for(module.module_name):
+            if event.kind != "sink" or ORDER not in event.taints:
+                continue
+            where = (
+                f"via `{event.via}`" if event.via else f"into `{event.sink}`"
+            )
+            yield self.diagnostic(
+                module,
+                event.node,
+                f"`{fn.local_name}` passes a value with nondeterministic "
+                f"iteration order {where}; wrap the source iteration in "
+                "`sorted(...)` so exported bytes do not depend on dict/set "
+                "construction history",
+            )

@@ -28,6 +28,7 @@ import ast
 from typing import Iterator, Optional, Set
 
 from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import worker_closure
 
 #: Call-constructor names treated as mutable containers.
 _MUTABLE_CONSTRUCTORS = (
@@ -65,8 +66,10 @@ class ModuleStateRule(Rule):
         "results depend on worker count and run history"
     )
 
+    scope = "project"
+
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
-        closure = _worker_closure(project)
+        closure = worker_closure(project)
         if module.module_name not in closure:
             return
         mutated = _mutated_names(module.tree)
@@ -91,21 +94,6 @@ class ModuleStateRule(Rule):
                 "different state (pass state explicitly, or suppress "
                 "with a justification if per-process caching is the point)",
             )
-
-
-def _worker_closure(project: Project) -> Set[str]:
-    """Modules a spawn worker can see, per the static import graph."""
-    roots = set()
-    for name, info in project.modules.items():
-        if name.endswith("parallel.executor"):
-            roots.add(name)
-            continue
-        for imported in info.imports:
-            last = imported.rsplit(".", 1)[-1]
-            if last == "run_sharded" or imported.endswith("parallel.executor"):
-                roots.add(name)
-                break
-    return project.closure(roots)
 
 
 def _module_level_target(

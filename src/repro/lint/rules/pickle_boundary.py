@@ -1,0 +1,182 @@
+"""REP010 -- unpicklable callables crossing the worker dispatch boundary.
+
+``run_sharded`` and ``run_supervised`` ship their task callable to
+spawn workers by pickling it, and pickle serialises functions *by
+reference*: a lambda, a def nested inside another function, or a
+method bound to a live instance either fails to pickle outright or --
+worse -- drags a snapshot of enclosing state across the process
+boundary where it silently diverges from the parent.  The contract is
+that every dispatched task is a module-level callable (optionally
+wrapped in ``functools.partial`` over picklable arguments), so a
+worker reconstructs exactly what the serial path ran.
+
+The rule finds dispatcher call sites and inspects the task argument
+(first positional, or the ``task`` keyword), unwrapping ``partial``:
+
+* a ``lambda`` is flagged always;
+* a bare name is flagged when it resolves to a def *nested in the
+  enclosing function* (a local closure);
+* ``self.method`` / ``cls.method``, and ``obj.method`` where ``obj``
+  is a local variable or parameter, are flagged as bound methods --
+  attribute access on an imported *module* stays allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import (
+    WORKER_DISPATCHERS,
+    enclosing_function_map,
+)
+
+
+class PickleBoundaryRule(Rule):
+    rule_id = "REP010"
+    title = "unpicklable callable passed to a worker dispatcher"
+    rationale = (
+        "spawn workers rebuild tasks from pickle; lambdas, local "
+        "closures and bound methods do not round-trip by reference"
+    )
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        owner = enclosing_function_map(module.tree)
+        nested = _nested_defs(module.tree, owner)
+        module_aliases = _imported_module_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in WORKER_DISPATCHERS:
+                continue
+            task = _task_argument(node)
+            if task is None:
+                continue
+            enclosing = owner.get(node)
+            problem = _classify(
+                _unwrap_partial(task),
+                enclosing,
+                nested,
+                module_aliases,
+            )
+            if problem is None:
+                continue
+            yield self.diagnostic(
+                module,
+                task,
+                f"{problem} passed to `{name}`; spawn workers pickle "
+                "tasks by reference -- use a module-level function "
+                "(wrapped in functools.partial for arguments)",
+            )
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return ""
+
+
+def _task_argument(call: ast.Call) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == "task":
+            return keyword.value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+def _unwrap_partial(expr: ast.expr) -> ast.expr:
+    """``partial(f, ...)`` dispatches ``f``; inspect that instead."""
+    while (
+        isinstance(expr, ast.Call)
+        and _call_name(expr) == "partial"
+        and expr.args
+    ):
+        expr = expr.args[0]
+    return expr
+
+
+def _classify(
+    task: ast.expr,
+    enclosing: Optional[ast.AST],
+    nested: Dict[ast.AST, Set[str]],
+    module_aliases: Set[str],
+) -> Optional[str]:
+    if isinstance(task, ast.Lambda):
+        return "lambda"
+    if isinstance(task, ast.Name):
+        if enclosing is not None and task.id in nested.get(enclosing, set()):
+            return f"local closure `{task.id}`"
+        return None
+    if isinstance(task, ast.Attribute) and isinstance(task.value, ast.Name):
+        head = task.value.id
+        if head in ("self", "cls"):
+            return f"bound method `{head}.{task.attr}`"
+        if head in module_aliases:
+            return None  # module-level function through an import
+        if enclosing is not None and head in _local_names(enclosing):
+            return f"bound method `{head}.{task.attr}`"
+    return None
+
+
+def _nested_defs(
+    tree: ast.Module, owner: Dict[ast.AST, Optional[ast.AST]]
+) -> Dict[ast.AST, Set[str]]:
+    """Function node -> names of defs nested directly or deeper inside."""
+    nested: Dict[ast.AST, Set[str]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        enclosing = owner.get(node)
+        while enclosing is not None:
+            nested.setdefault(enclosing, set()).add(node.name)
+            enclosing = owner.get(enclosing)
+    return nested
+
+
+def _local_names(function: ast.AST) -> Set[str]:
+    """Parameters plus locally assigned names of a function body."""
+    names: Set[str] = set()
+    if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return names
+    args = function.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        names.add(arg.arg)
+    if args.vararg is not None:
+        names.add(args.vararg.arg)
+    if args.kwarg is not None:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(function):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for child in ast.walk(node.target):
+                if isinstance(child, ast.Name):
+                    names.add(child.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    names.add(item.optional_vars.id)
+    return names
+
+
+def _imported_module_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    names.add(alias.asname or alias.name)
+    return names

@@ -1,0 +1,132 @@
+"""REP012 -- severed seed threads across call edges.
+
+REP006 checks one frame: a public function that *itself* constructs
+an RNG without accepting a seed.  But the thread severs just as fatally
+one call away -- a public entry point with no seed parameter calling a
+private helper that pins ``default_rng(1234)`` internally leaves every
+caller unable to reproduce the randomness, and REP006 never sees it
+(the helper is private, the entry point constructs nothing).
+
+Two interprocedural shapes, both read off the
+:mod:`repro.lint.flow` summaries:
+
+* **hidden construction** -- a public function (no seed parameter)
+  whose transitive callees include a function that constructs an RNG
+  from an expression mentioning neither a seed-named identifier, nor
+  any of its own parameters, nor instance state.  The diagnostic
+  lands on the call edge that reaches the hidden construction.
+* **dead-end forwarding** -- a public function (no seed parameter)
+  passing a non-constant, non-seed-derived expression into a callee's
+  seed-named parameter: the callee is reproducible, but from a value
+  the caller's caller cannot influence.  Literal seeds and omitted
+  defaults stay silent (pinned-but-reproducible is REP006's concern
+  at most, and flooding fixed fixtures helps nobody).
+
+Direct constructions in the public function itself are skipped --
+that is exactly REP006, and double-reporting one defect as two rules
+would teach people to suppress rather than fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.flow import FlowAnalysis
+from repro.lint.graph import FunctionNode
+from repro.lint.rules.common import mentions_seed
+
+
+class InterprocSeedThreadingRule(Rule):
+    rule_id = "REP012"
+    title = "public entry point severs the seed thread across a call edge"
+    rationale = (
+        "replaying a run from (spec, config, seed) requires the seed "
+        "thread to survive every call edge from public entry to RNG"
+    )
+    scope = "project"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        flow = project.flow()
+        graph = flow.graph
+        for fn in flow.functions_in(module.module_name):
+            if not fn.is_public:
+                continue
+            summary = flow.summaries[fn.qualname]
+            if summary.seed_params:
+                continue  # the thread exists; callers can pull it
+            direct = summary.direct_hidden_rng
+            for call in _calls_owned_by(module.tree, fn, graph.owner_of):
+                target = graph.resolve_call(call)
+                if target is None:
+                    continue
+                if not direct and target in flow.hidden_rng:
+                    yield self.diagnostic(
+                        module,
+                        call,
+                        f"public `{fn.local_name}` (no seed parameter) "
+                        f"calls `{target}`, which pins an RNG seed no "
+                        "caller can influence; accept a seed and thread "
+                        "it through this edge",
+                    )
+                    continue
+                yield from self._check_forwarding(
+                    module, fn, call, target, flow
+                )
+
+    def _check_forwarding(
+        self,
+        module: ModuleInfo,
+        fn: FunctionNode,
+        call: ast.Call,
+        target: str,
+        flow: FlowAnalysis,
+    ) -> Iterator[Diagnostic]:
+        callee_summary = flow.summaries.get(target)
+        if callee_summary is None or not callee_summary.seed_params:
+            return
+        callee = flow.graph.functions[target]
+        for param, expr in _seed_arguments(call, callee, callee_summary.seed_params):
+            if isinstance(expr, ast.Constant):
+                continue  # pinned literal: reproducible, if inflexible
+            if mentions_seed(expr):
+                continue  # derived from a threaded seed; thread intact
+            yield self.diagnostic(
+                module,
+                expr,
+                f"public `{fn.local_name}` (no seed parameter) passes a "
+                f"non-seed value into `{target}`'s `{param}`; callers "
+                "cannot reproduce this randomness -- accept a seed and "
+                "forward it instead",
+            )
+
+
+def _calls_owned_by(
+    tree: ast.Module,
+    fn: FunctionNode,
+    owner_of: "dict[int, str]",
+) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and owner_of.get(id(node)) == fn.qualname:
+            yield node
+
+
+def _seed_arguments(
+    call: ast.Call,
+    callee: FunctionNode,
+    seed_params: "tuple[str, ...]",
+) -> "List[tuple[str, ast.expr]]":
+    """(seed-param name, argument expression) pairs at this call site."""
+    args = callee.node.args
+    positional = [a.arg for a in args.posonlyargs + args.args]
+    if callee.is_method and positional and positional[0] in ("self", "cls"):
+        positional = positional[1:]
+    found: List[tuple[str, ast.expr]] = []
+    for position, expr in enumerate(call.args):
+        if position < len(positional) and positional[position] in seed_params:
+            found.append((positional[position], expr))
+    for keyword in call.keywords:
+        if keyword.arg in seed_params:
+            found.append((keyword.arg, keyword.value))
+    return found

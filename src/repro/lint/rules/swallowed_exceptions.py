@@ -1,0 +1,85 @@
+"""REP011 -- broad except-pass in worker/supervisor failure paths.
+
+The resilience layer's whole value is its failure taxonomy: a task
+that dies produces a ``RunFailure`` whose ``failure_kind`` drives
+retry, quarantine and journal decisions.  A ``try: ... except: pass``
+(or ``except Exception: pass``) anywhere on a worker or supervisor
+path erases that evidence -- the task appears to have succeeded or
+vanishes without a classification, and the campaign's crash
+accounting silently under-reports.
+
+The rule fires on exception handlers that (a) catch broadly -- bare
+``except``, ``Exception``, or ``BaseException`` -- and (b) do nothing
+but ``pass``/``...``, restricted to the worker-visible module closure
+(the executor and supervisor modules plus everything a dispatched
+task imports, per the shared :func:`worker_closure` computation).
+Narrow handlers (``except ValueError: pass``) express an intentional,
+bounded decision and stay exempt; broad handlers that log, re-raise,
+or record the failure also stay exempt because their body is not
+empty.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.rules.common import worker_closure
+
+_BROAD = ("Exception", "BaseException")
+
+
+class SwallowedExceptionRule(Rule):
+    rule_id = "REP011"
+    title = "broad except-pass on a worker/supervisor path"
+    rationale = (
+        "an empty broad handler erases RunFailure.failure_kind; retry/"
+        "quarantine accounting needs every failure classified"
+    )
+    scope = "project"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        if module.module_name not in worker_closure(project):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if not _body_is_empty(node.body):
+                continue
+            yield self.diagnostic(
+                module,
+                node,
+                "broad exception handler with an empty body on a "
+                "worker/supervisor path; this erases the failure "
+                "classification (`RunFailure.failure_kind`) -- narrow "
+                "the exception type, or record/re-raise the failure",
+            )
+
+
+def _is_broad(annotation: "ast.expr | None") -> bool:
+    if annotation is None:
+        return True  # bare `except:`
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _BROAD
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _BROAD
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _body_is_empty(body: "list[ast.stmt]") -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and (stmt.value.value is Ellipsis or isinstance(stmt.value.value, str))
+        ):
+            continue  # `...` or a lone docstring-style comment
+        return False
+    return True

@@ -1,0 +1,55 @@
+"""REP008 -- ambient machine state flowing into deterministic exports.
+
+REP002 bans wall-clock *call sites* inside the deterministic packages
+-- a module allowlist, blind to dataflow.  This rule generalises it:
+the :mod:`repro.lint.flow` analysis tags values produced by wall-clock
+reads (``time.time``, ``datetime.now``, ``uuid4``, ``os.urandom``),
+environment lookups (``os.environ``/``os.getenv``) and unseeded RNG
+draws, then follows them through assignments, arithmetic, containers
+and project-local call returns.  A diagnostic fires where such a value
+reaches a deterministic sink -- the JSONL/Chrome-trace exporters,
+``MetricsSnapshot``, journal writes, or the sharded/supervised
+dispatchers -- even when the read and the export live in different
+functions or different modules.
+
+Unlike REP002 this needs no per-package CI invocation: the taint
+travels with the value, so linting the whole tree in one pass finds a
+read two frames away from the exporter it corrupts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Diagnostic, ModuleInfo, Project, Rule
+from repro.lint.flow import VALUE_TAINTS
+
+
+class TaintedExportRule(Rule):
+    rule_id = "REP008"
+    title = "wall-clock/env/RNG-tainted value reaches a deterministic export"
+    rationale = (
+        "artifacts replayed from (spec, config, seed) must not embed "
+        "wall-clock, environment, or unseeded-RNG values"
+    )
+    scope = "project"
+
+    def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:
+        flow = project.flow()
+        for fn, event in flow.events_for(module.module_name):
+            if event.kind != "sink":
+                continue
+            kinds = sorted(event.taints & VALUE_TAINTS)
+            if not kinds:
+                continue
+            where = (
+                f"via `{event.via}`" if event.via else f"into `{event.sink}`"
+            )
+            yield self.diagnostic(
+                module,
+                event.node,
+                f"`{fn.local_name}` passes a {'/'.join(kinds)}-tainted "
+                f"value {where}; deterministic exports must be a function "
+                "of (spec, config, seed) only -- derive the value from "
+                "sim time or a threaded seed instead",
+            )

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 export for GitHub code scanning.
+
+One run, one tool (``repro-lint``), one result per diagnostic.  Paths
+are emitted repo-relative (POSIX separators) when they live under the
+invocation directory, which is what the ``upload-sarif`` action needs
+to attach findings to files in the web UI.  Output is fully sorted
+(``sort_keys`` plus pre-sorted diagnostics), so SARIF artifacts are as
+byte-stable as the JSONL exporters this linter polices.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, TextIO
+
+from repro.lint.core import Diagnostic, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _relative_uri(path: str, root: Path) -> str:
+    try:
+        return Path(path).resolve().relative_to(root).as_posix()
+    except ValueError:
+        return Path(path).as_posix()
+
+
+def _rule_metadata(rules: Sequence[Rule]) -> List[Dict[str, object]]:
+    descriptors: List[Dict[str, object]] = []
+    for rule in sorted(rules, key=lambda r: r.rule_id):
+        descriptors.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.title},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "warning"},
+            }
+        )
+    return descriptors
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Sequence[Rule],
+    stream: TextIO,
+    *,
+    root: "Path | None" = None,
+) -> None:
+    """Write one SARIF run covering ``diagnostics`` to ``stream``."""
+    base = (root or Path.cwd()).resolve()
+    results: List[Dict[str, object]] = []
+    for diag in sorted(diagnostics):
+        results.append(
+            {
+                "ruleId": diag.rule_id,
+                "level": "error" if diag.rule_id == "REP000" else "warning",
+                "message": {"text": diag.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _relative_uri(diag.path, base),
+                            },
+                            "region": {
+                                "startLine": diag.line,
+                                "startColumn": diag.col,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload: Dict[str, object] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": _rule_metadata(rules),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    print(file=stream)
+
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "render_sarif"]

@@ -105,7 +105,9 @@ class ProgressReporter(NullProgress):
         remaining = max(self._total - self._completed, 0)
         eta = remaining / rate if rate > 0.0 else float("inf")
         utilization = min(
-            sum(self._busy_s.values()) / (elapsed * self._workers), 1.0
+            sum(self._busy_s.values())  # repro-lint: disable=REP009 -- display-only wall-clock utilisation; never exported
+            / (elapsed * self._workers),
+            1.0,
         )
         return (
             f"{self._label}: {self._completed}/{self._total} runs, "

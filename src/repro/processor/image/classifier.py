@@ -49,7 +49,8 @@ class NearestCentroidClassifier:
                 np.asarray(descriptor, dtype=float).ravel()
             )
         self._centroids = {
-            label: np.mean(group, axis=0) for label, group in grouped.items()
+            label: np.mean(group, axis=0)
+            for label, group in sorted(grouped.items())
         }
 
     def scores(self, descriptor: np.ndarray) -> "dict[str, float]":
@@ -58,7 +59,7 @@ class NearestCentroidClassifier:
             raise ModelParameterError("classifier has not been trained")
         d = np.asarray(descriptor, dtype=float).ravel()
         result = {}
-        for label, centroid in self._centroids.items():
+        for label, centroid in sorted(self._centroids.items()):
             if centroid.shape != d.shape:
                 raise ModelParameterError(
                     f"descriptor length {d.shape[0]} does not match "

@@ -35,16 +35,16 @@ class AccuracyReport:
     def per_class_accuracy(self) -> "dict[str, float]":
         """Recall per true class."""
         result = {}
-        for truth, row in self.confusion.items():
-            seen = sum(row.values())
+        for truth, row in sorted(self.confusion.items()):
+            seen = sum(sorted(row.values()))
             result[truth] = row.get(truth, 0) / seen if seen else 0.0
         return result
 
     def most_confused_pair(self) -> "tuple[str, str, int] | None":
         """(truth, predicted, count) of the worst off-diagonal cell."""
         worst = None
-        for truth, row in self.confusion.items():
-            for predicted, count in row.items():
+        for truth, row in sorted(self.confusion.items()):
+            for predicted, count in sorted(row.items()):
                 if predicted == truth or count == 0:
                     continue
                 if worst is None or count > worst[2]:

@@ -75,7 +75,15 @@ class ChaosSpec:
                 raise ModelParameterError(
                     f"{name} must be in [0, 1], got {rate}"
                 )
-        total = sum(rates.values())
+        # Summed in declaration order (not over the dict view) so the
+        # float accumulation order is pinned by the source, not by
+        # dict construction history.
+        total = (
+            self.crash_rate
+            + self.hang_rate
+            + self.error_rate
+            + self.corrupt_rate
+        )
         if total > 1.0:
             raise ModelParameterError(
                 f"injection rates must sum to <= 1, got {total}"

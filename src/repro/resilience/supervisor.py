@@ -462,7 +462,7 @@ class _Supervisor:
                         self.ledger.worker_deaths += 1
                         unit = handle.unit
                         handle.unit = None
-                        self.fail_unit(
+                        self.fail_unit(  # repro-lint: disable=REP007 -- journal record order is timing-dependent by design; determinism is restored by the ordered reduce at merge
                             unit,
                             kind="worker-death",
                             error=(
@@ -487,7 +487,7 @@ class _Supervisor:
                     self.ledger.timeouts += 1
                     unit = handle.unit
                     handle.unit = None
-                    self.fail_unit(
+                    self.fail_unit(  # repro-lint: disable=REP007 -- journal record order is timing-dependent by design; determinism is restored by the ordered reduce at merge
                         unit,
                         kind="timeout",
                         error=(

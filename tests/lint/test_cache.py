@@ -1,0 +1,118 @@
+"""Incremental cache behaviour (`repro.lint.cache`)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint import ALL_RULES, lint_paths, lint_paths_cached
+from repro.lint.cli import main as lint_main
+
+_VIOLATION = (
+    "import numpy as np\n"
+    "def draw():\n"
+    "    return np.random.uniform(0.0, 1.0)\n"
+)
+
+_CLEAN = "def f(x: int) -> int:\n    return x\n"
+
+
+def _tree(tmp_path: Path) -> Path:
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "dirty.py").write_text(_VIOLATION)
+    (root / "clean.py").write_text(_CLEAN)
+    return root
+
+
+def test_warm_run_is_a_full_hit_with_identical_diagnostics(tmp_path):
+    root = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold_diags, cold_stats = lint_paths_cached([root], ALL_RULES, cache)
+    warm_diags, warm_stats = lint_paths_cached([root], ALL_RULES, cache)
+    assert cold_stats.full_hit is False
+    assert warm_stats.full_hit is True
+    assert warm_stats.file_hits == warm_stats.files == 2
+    assert warm_diags == cold_diags
+    assert warm_diags == lint_paths([root], ALL_RULES)
+
+
+def test_editing_a_file_invalidates_only_that_file(tmp_path):
+    root = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint_paths_cached([root], ALL_RULES, cache)
+    (root / "clean.py").write_text(
+        "import numpy as np\n"
+        "def jitter():\n"
+        "    return np.random.normal(0.0, 1.0)\n"
+    )
+    diags, stats = lint_paths_cached([root], ALL_RULES, cache)
+    assert stats.full_hit is False
+    assert stats.file_hits == 1  # dirty.py reused, clean.py recomputed
+    assert any(d.path.endswith("clean.py") for d in diags)
+    assert diags == lint_paths([root], ALL_RULES)
+
+
+def test_cached_syntax_error_survives_a_warm_run(tmp_path):
+    root = tmp_path / "tree"
+    root.mkdir()
+    (root / "broken.py").write_text("def oops(:\n")
+    cache = tmp_path / "cache.json"
+    cold_diags, _ = lint_paths_cached([root], ALL_RULES, cache)
+    warm_diags, stats = lint_paths_cached([root], ALL_RULES, cache)
+    assert stats.full_hit is True
+    assert [d.rule_id for d in warm_diags] == ["REP000"]
+    assert warm_diags == cold_diags
+
+
+def test_corrupt_cache_file_degrades_to_a_cold_run(tmp_path):
+    root = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json at all")
+    diags, stats = lint_paths_cached([root], ALL_RULES, cache)
+    assert stats.full_hit is False
+    assert diags == lint_paths([root], ALL_RULES)
+    # ... and the bad file was replaced with a usable one.
+    _, warm_stats = lint_paths_cached([root], ALL_RULES, cache)
+    assert warm_stats.full_hit is True
+
+
+def test_rule_set_change_invalidates_the_cache(tmp_path):
+    root = _tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint_paths_cached([root], ALL_RULES, cache)
+    subset = [r for r in ALL_RULES if r.rule_id != "REP001"]
+    diags, stats = lint_paths_cached([root], subset, cache)
+    assert stats.full_hit is False
+    assert "REP001" not in [d.rule_id for d in diags]
+
+
+def test_cli_select_bypasses_the_cache(tmp_path, monkeypatch, capsys):
+    root = _tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([str(root), "--cache"]) == 1
+    stale = json.loads(Path(".repro-lint-cache.json").read_text())
+    # A --select run must not read or overwrite the full-run cache.
+    assert lint_main([str(root), "--cache", "--select", "REP002"]) == 0
+    capsys.readouterr()
+    assert json.loads(Path(".repro-lint-cache.json").read_text()) == stale
+
+
+def test_cli_no_cache_wins_over_cache(tmp_path, monkeypatch):
+    root = _tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([str(root), "--cache", "--no-cache"]) == 1
+    assert not Path(".repro-lint-cache.json").exists()
+
+
+def test_bench_cache_records_the_note(tmp_path, monkeypatch, capsys):
+    root = _tree(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([str(root), "--bench-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "warm full hit: True" in out
+    note = json.loads(Path("BENCH_lint_cache.json").read_text())
+    assert note["bench"] == "lint_cache"
+    assert note["files"] == 2
+    assert note["warm_full_hit"] is True
+    assert note["diagnostics_identical"] is True

@@ -1,0 +1,57 @@
+"""CLI edge cases: empty trees, unparseable input, exit-code contract."""
+
+from __future__ import annotations
+
+from repro.lint.cli import main as lint_main
+
+_VIOLATION = (
+    "import numpy as np\n"
+    "def draw():\n"
+    "    return np.random.uniform(0.0, 1.0)\n"
+)
+
+
+def test_empty_target_directory_is_clean(tmp_path, capsys):
+    assert lint_main([str(tmp_path)]) == 0
+    assert "0 issues found" in capsys.readouterr().out
+
+
+def test_directory_with_no_python_files_is_clean(tmp_path):
+    (tmp_path / "notes.txt").write_text("not python\n")
+    assert lint_main([str(tmp_path)]) == 0
+
+
+def test_syntax_error_exits_two_not_one(tmp_path, capsys):
+    """An unparseable tree is broken input, not 'findings'."""
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    assert lint_main([str(tmp_path)]) == 2
+    assert "REP000" in capsys.readouterr().out
+
+
+def test_syntax_error_beats_ordinary_findings(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    assert lint_main([str(tmp_path)]) == 2
+
+
+def test_syntax_error_exit_code_survives_a_warm_cache(tmp_path, monkeypatch):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    monkeypatch.chdir(tmp_path)
+    assert lint_main([str(tmp_path), "--cache"]) == 2
+    assert lint_main([str(tmp_path), "--cache"]) == 2  # served from cache
+
+
+def test_baseline_cannot_mask_a_syntax_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    assert lint_main(
+        [str(tmp_path), "--write-baseline", "baseline.json"]
+    ) == 0
+    capsys.readouterr()
+    assert lint_main([str(tmp_path), "--baseline", "baseline.json"]) == 2
+
+
+def test_unknown_select_rule_exits_two(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text("x = 1\n")
+    assert lint_main([str(tmp_path), "--select", "NOPE99"]) == 2
+    assert "unknown rule" in capsys.readouterr().err

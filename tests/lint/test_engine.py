@@ -36,7 +36,7 @@ def test_suppression_of_a_different_rule_does_not_silence(lint_files):
         "import numpy as np\n"
         "def draw():\n"
         "    return np.random.uniform(0.0, 1.0)"
-        "  # repro-lint: disable=REP002\n"
+        "  # repro-lint: disable=REP002 -- fixture justification\n"
     )})
     assert "REP001" in rule_ids(diags)
 
@@ -46,7 +46,7 @@ def test_disable_all_silences_every_rule_on_the_line(lint_files):
         "import numpy as np\n"
         "def draw(make):\n"
         "    return make(np.random.uniform(0.0, 1.0), delay_s=2e-5)"
-        "  # repro-lint: disable=all\n"
+        "  # repro-lint: disable=all -- fixture justification\n"
     )})
     assert rule_ids(diags) == []
 
@@ -56,9 +56,39 @@ def test_comma_separated_suppression(lint_files):
         "import numpy as np\n"
         "def draw(make):\n"
         "    return make(np.random.uniform(0.0, 1.0), delay_s=2e-5)"
-        "  # repro-lint: disable=REP001,REP003\n"
+        "  # repro-lint: disable=REP001,REP003 -- fixture justification\n"
     )})
     assert rule_ids(diags) == []
+
+
+def test_unjustified_suppression_is_a_finding(lint_files):
+    """A bare `disable=` marker without `-- why` earns SUP001."""
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.uniform(0.0, 1.0)"
+        "  # repro-lint: disable=REP001\n"
+    )})
+    assert rule_ids(diags) == ["SUP001"]
+    assert "justification" in diags[0].message
+
+
+def test_sup001_cannot_be_suppressed(lint_files):
+    """`disable=all` without a justification still reports SUP001."""
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def draw():\n"
+        "    return np.random.uniform(0.0, 1.0)"
+        "  # repro-lint: disable=all\n"
+    )})
+    assert rule_ids(diags) == ["SUP001"]
+
+
+def test_blank_justification_is_still_unjustified(lint_files):
+    diags = lint_files({"mod.py": (
+        "x = 1  # repro-lint: disable=REP003 --   \n"
+    )})
+    assert rule_ids(diags) == ["SUP001"]
 
 
 def test_suppression_marker_inside_string_is_not_a_suppression(lint_files):

@@ -1,0 +1,140 @@
+"""Call-graph construction and resolution (`repro.lint.graph`)."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint import build_project
+
+
+def _graph(tmp_path, files):
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        current = target.parent
+        while current != tmp_path:
+            marker = current / "__init__.py"
+            if not marker.exists():
+                marker.write_text("")
+            current = current.parent
+        target.write_text(source)
+    project, errors = build_project([tmp_path])
+    assert errors == []
+    return project.call_graph()
+
+
+def test_local_function_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "def helper():\n    return 1\n"
+        "def entry():\n    return helper()\n"
+    )})
+    assert graph.callees("mod:entry") == {"mod:helper"}
+
+
+def test_from_import_call_resolves_across_modules(tmp_path):
+    graph = _graph(tmp_path, {
+        "lib.py": "def compute():\n    return 2\n",
+        "app.py": (
+            "from lib import compute\n"
+            "def entry():\n    return compute()\n"
+        ),
+    })
+    assert graph.callees("app:entry") == {"lib:compute"}
+
+
+def test_module_import_dotted_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/lib.py": "def compute():\n    return 2\n",
+        "app.py": (
+            "import pkg.lib\n"
+            "def entry():\n    return pkg.lib.compute()\n"
+        ),
+    })
+    assert graph.callees("app:entry") == {"pkg.lib:compute"}
+
+
+def test_import_alias_resolves(tmp_path):
+    graph = _graph(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/lib.py": "def compute():\n    return 2\n",
+        "app.py": (
+            "import pkg.lib as impl\n"
+            "def entry():\n    return impl.compute()\n"
+        ),
+    })
+    assert graph.callees("app:entry") == {"pkg.lib:compute"}
+
+
+def test_self_method_call_resolves(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "class Engine:\n"
+        "    def step(self):\n        return self.solve()\n"
+        "    def solve(self):\n        return 0\n"
+    )})
+    assert graph.callees("mod:Engine.step") == {"mod:Engine.solve"}
+
+
+def test_constructor_call_maps_to_init(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "class Engine:\n"
+        "    def __init__(self):\n        self.x = 1\n"
+        "def build():\n    return Engine()\n"
+    )})
+    assert graph.callees("mod:build") == {"mod:Engine.__init__"}
+
+
+def test_unresolvable_call_stays_unresolved(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "def entry(thing):\n    return thing.run()\n"
+    )})
+    assert graph.callees("mod:entry") == set()
+
+
+def test_transitive_callees_walks_chains(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "def a():\n    return b()\n"
+        "def b():\n    return c()\n"
+        "def c():\n    return 1\n"
+        "def other():\n    return 9\n"
+    )})
+    assert graph.transitive_callees(["mod:a"]) == {"mod:a", "mod:b", "mod:c"}
+
+
+def test_call_sites_map_to_targets(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "def helper():\n    return 1\n"
+        "def entry():\n    return helper() + max(1, 2)\n"
+    )})
+    resolved = set(graph.call_targets.values())
+    assert resolved == {"mod:helper"}
+
+
+def test_nested_def_calls_attribute_to_outer_function(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "def helper():\n    return 1\n"
+        "def entry():\n"
+        "    def inner():\n        return helper()\n"
+        "    return inner\n"
+    )})
+    assert "mod:helper" in graph.callees("mod:entry")
+
+
+def test_public_and_private_classification(tmp_path):
+    graph = _graph(tmp_path, {"mod.py": (
+        "def api():\n    return 1\n"
+        "def _impl():\n    return 2\n"
+        "class _Hidden:\n"
+        "    def visible(self):\n        return 3\n"
+        "class Shown:\n"
+        "    def __init__(self):\n        pass\n"
+        "    def _helper(self):\n        return 4\n"
+    )})
+    flags = {
+        qual: node.is_public for qual, node in graph.functions.items()
+    }
+    assert flags["mod:api"] is True
+    assert flags["mod:_impl"] is False
+    assert flags["mod:_Hidden.visible"] is False
+    assert flags["mod:Shown.__init__"] is True
+    assert flags["mod:Shown._helper"] is False

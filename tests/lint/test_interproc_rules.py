@@ -1,0 +1,379 @@
+"""Fires-on-fixture / silent-on-clean coverage for REP007--REP012."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+
+# -- REP007: iteration order into deterministic sinks -------------------------
+
+
+def test_rep007_fires_on_dict_view_into_sink(lint_files):
+    diags = lint_files({"mod.py": (
+        "def export(metrics, path):\n"
+        "    write_jsonl(path, metrics.items())\n"
+    )})
+    assert "REP007" in rule_ids(diags)
+
+
+def test_rep007_fires_across_a_call_edge(lint_files):
+    """The tainted view is produced one function away from the sink."""
+    diags = lint_files({"mod.py": (
+        "def snapshot(metrics):\n"
+        "    return list(metrics.items())\n"
+        "def export(metrics, path):\n"
+        "    write_jsonl(path, snapshot(metrics))\n"
+    )})
+    assert "REP007" in rule_ids(diags)
+
+
+def test_rep007_fires_through_a_sink_reaching_parameter(lint_files):
+    """Cross-module: the callee's parameter reaches the sink."""
+    diags = lint_files({
+        "store.py": (
+            "def persist(path, rows):\n"
+            "    write_jsonl(path, rows)\n"
+        ),
+        "app.py": (
+            "from store import persist\n"
+            "def publish(metrics, path):\n"
+            "    persist(path, metrics.values())\n"
+        ),
+    })
+    found = [d for d in diags if d.rule_id == "REP007"]
+    assert found and any("app.py" in d.path for d in found)
+
+
+def test_rep007_fires_on_unsorted_json_dumps(lint_files):
+    diags = lint_files({"mod.py": (
+        "import json\n"
+        "def render(metrics):\n"
+        "    payload = {k: v for k, v in metrics.items()}\n"
+        "    return json.dumps(payload)\n"
+    )})
+    assert "REP007" in rule_ids(diags)
+
+
+def test_rep007_silent_when_sorted(lint_files):
+    diags = lint_files({"mod.py": (
+        "import json\n"
+        "def export(metrics, path):\n"
+        "    write_jsonl(path, sorted(metrics.items()))\n"
+        "def render(metrics):\n"
+        "    payload = {k: v for k, v in sorted(metrics.items())}\n"
+        "    return json.dumps(payload, sort_keys=True)\n"
+    )})
+    assert "REP007" not in rule_ids(diags)
+
+
+# -- REP008: ambient-state taint into deterministic exports -------------------
+
+
+def test_rep008_fires_on_wallclock_through_a_helper(lint_files):
+    diags = lint_files({"mod.py": (
+        "import time\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+        "def export(path):\n"
+        "    write_jsonl(path, [stamp()])\n"
+    )})
+    assert "REP008" in rule_ids(diags)
+
+
+def test_rep008_fires_on_env_lookup_into_snapshot(lint_files):
+    diags = lint_files({"mod.py": (
+        "import os\n"
+        "def export(runs):\n"
+        "    tag = os.getenv('RUN_TAG')\n"
+        "    return MetricsSnapshot(runs, tag)\n"
+    )})
+    assert "REP008" in rule_ids(diags)
+
+
+def test_rep008_fires_across_modules(lint_files):
+    diags = lint_files({
+        "clock.py": (
+            "import time\n"
+            "def now_s():\n"
+            "    return time.time()\n"
+        ),
+        "exporter.py": (
+            "from clock import now_s\n"
+            "def export(path, rows):\n"
+            "    write_jsonl(path, {'t': now_s(), 'rows': rows})\n"
+        ),
+    })
+    found = [d for d in diags if d.rule_id == "REP008"]
+    assert found and any("exporter.py" in d.path for d in found)
+
+
+def test_rep008_silent_on_sim_time(lint_files):
+    """Deterministic inputs through the same shape stay clean."""
+    diags = lint_files({"mod.py": (
+        "def export(path, sim_time_s, rows):\n"
+        "    write_jsonl(path, {'t': sim_time_s, 'rows': rows})\n"
+    )})
+    assert "REP008" not in rule_ids(diags)
+
+
+# -- REP009: order-dependent folds --------------------------------------------
+
+
+def test_rep009_fires_on_sum_over_dict_values(lint_files):
+    diags = lint_files({"mod.py": (
+        "def total(weights):\n"
+        "    return sum(weights.values())\n"
+    )})
+    assert "REP009" in rule_ids(diags)
+
+
+def test_rep009_fires_on_augmented_fold_in_order_loop(lint_files):
+    diags = lint_files({"mod.py": (
+        "def total(weights):\n"
+        "    acc = 0.0\n"
+        "    for name, w in weights.items():\n"
+        "        acc += w\n"
+        "    return acc\n"
+    )})
+    assert "REP009" in rule_ids(diags)
+
+
+def test_rep009_fires_on_max_over_order_tainted_dict(lint_files):
+    diags = lint_files({"mod.py": (
+        "def best(raw):\n"
+        "    scores = {k: v * 2.0 for k, v in raw.items()}\n"
+        "    return max(scores, key=scores.get)\n"
+    )})
+    assert "REP009" in rule_ids(diags)
+
+
+def test_rep009_silent_on_sorted_folds(lint_files):
+    diags = lint_files({"mod.py": (
+        "def total(weights):\n"
+        "    acc = 0.0\n"
+        "    for name, w in sorted(weights.items()):\n"
+        "        acc += w\n"
+        "    return acc + sum(sorted(weights.values()))\n"
+    )})
+    assert "REP009" not in rule_ids(diags)
+
+
+def test_rep009_silent_on_constant_counter(lint_files):
+    """`count += 1` commutes; no finding even in an unsorted loop."""
+    diags = lint_files({"mod.py": (
+        "def count_rows(table):\n"
+        "    count = 0\n"
+        "    for key in table.keys():\n"
+        "        count += 1\n"
+        "    return count\n"
+    )})
+    assert "REP009" not in rule_ids(diags)
+
+
+# -- REP010: pickle boundary --------------------------------------------------
+
+
+def test_rep010_fires_on_lambda_task(lint_files):
+    diags = lint_files({"mod.py": (
+        "def launch(items):\n"
+        "    return run_sharded(lambda x: x + 1, items)\n"
+    )})
+    assert "REP010" in rule_ids(diags)
+
+
+def test_rep010_fires_on_local_closure(lint_files):
+    diags = lint_files({"mod.py": (
+        "def launch(items, scale):\n"
+        "    def work(x):\n"
+        "        return x * scale\n"
+        "    return run_sharded(work, items)\n"
+    )})
+    assert "REP010" in rule_ids(diags)
+
+
+def test_rep010_fires_on_bound_method(lint_files):
+    diags = lint_files({"mod.py": (
+        "class Campaign:\n"
+        "    def work(self, item):\n"
+        "        return item\n"
+        "    def launch(self, items):\n"
+        "        return run_supervised(self.work, items)\n"
+    )})
+    assert "REP010" in rule_ids(diags)
+
+
+def test_rep010_silent_on_module_level_partial(lint_files):
+    diags = lint_files({"mod.py": (
+        "from functools import partial\n"
+        "def work(item, scale):\n"
+        "    return item * scale\n"
+        "def launch(items):\n"
+        "    return run_sharded(partial(work, scale=2.0), items)\n"
+    )})
+    assert "REP010" not in rule_ids(diags)
+
+
+def test_rep010_silent_on_imported_module_function(lint_files):
+    diags = lint_files({"mod.py": (
+        "import tasks\n"
+        "def launch(items):\n"
+        "    return run_sharded(tasks.work, items)\n"
+    )})
+    assert "REP010" not in rule_ids(diags)
+
+
+# -- REP011: swallowed exceptions in worker paths -----------------------------
+
+_EXECUTOR_STUB = {
+    "parallel/__init__.py": "",
+    "parallel/executor.py": (
+        "def run_sharded(task, items):\n"
+        "    return [task(item) for item in items]\n"
+    ),
+}
+
+
+def test_rep011_fires_on_broad_except_pass_in_worker_module(lint_files):
+    diags = lint_files({
+        **_EXECUTOR_STUB,
+        "worker.py": (
+            "from parallel.executor import run_sharded\n"
+            "def work(x):\n"
+            "    try:\n"
+            "        return 1.0 / x\n"
+            "    except Exception:\n"
+            "        pass\n"
+        ),
+    })
+    found = [d for d in diags if d.rule_id == "REP011"]
+    assert found and any("worker.py" in d.path for d in found)
+
+
+def test_rep011_fires_on_bare_except(lint_files):
+    diags = lint_files({
+        **_EXECUTOR_STUB,
+        "worker.py": (
+            "from parallel.executor import run_sharded\n"
+            "def work(x):\n"
+            "    try:\n"
+            "        return 1.0 / x\n"
+            "    except:\n"
+            "        pass\n"
+        ),
+    })
+    assert "REP011" in rule_ids(diags)
+
+
+def test_rep011_silent_on_narrow_handler(lint_files):
+    diags = lint_files({
+        **_EXECUTOR_STUB,
+        "worker.py": (
+            "from parallel.executor import run_sharded\n"
+            "def work(x):\n"
+            "    try:\n"
+            "        return 1.0 / x\n"
+            "    except ZeroDivisionError:\n"
+            "        pass\n"
+        ),
+    })
+    assert "REP011" not in rule_ids(diags)
+
+
+def test_rep011_silent_when_handler_records_the_failure(lint_files):
+    diags = lint_files({
+        **_EXECUTOR_STUB,
+        "worker.py": (
+            "from parallel.executor import run_sharded\n"
+            "def work(x):\n"
+            "    try:\n"
+            "        return 1.0 / x\n"
+            "    except Exception as err:\n"
+            "        return ('failed', str(err))\n"
+        ),
+    })
+    assert "REP011" not in rule_ids(diags)
+
+
+def test_rep011_silent_outside_worker_closure(lint_files):
+    """The same shape in a module no worker imports is not flagged."""
+    diags = lint_files({"tool.py": (
+        "def probe(x):\n"
+        "    try:\n"
+        "        return 1.0 / x\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )})
+    assert "REP011" not in rule_ids(diags)
+
+
+# -- REP012: interprocedural seed threading -----------------------------------
+
+
+def test_rep012_fires_on_hidden_rng_behind_a_private_helper(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def _make_rng():\n"
+        "    return np.random.default_rng(1234)\n"
+        "def simulate(steps):\n"
+        "    rng = _make_rng()\n"
+        "    return rng\n"
+    )})
+    assert "REP012" in rule_ids(diags)
+
+
+def test_rep012_fires_on_hidden_rng_two_edges_away(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def _make_rng():\n"
+        "    return np.random.default_rng(1234)\n"
+        "def _middle():\n"
+        "    return _make_rng()\n"
+        "def simulate(steps):\n"
+        "    return _middle()\n"
+    )})
+    assert "REP012" in rule_ids(diags)
+
+
+def test_rep012_fires_on_nonseed_value_into_seed_param(lint_files):
+    diags = lint_files({"mod.py": (
+        "def _simulate(seed):\n"
+        "    return seed\n"
+        "def run(config):\n"
+        "    return _simulate(seed=config.version)\n"
+    )})
+    assert "REP012" in rule_ids(diags)
+
+
+def test_rep012_silent_when_the_entry_threads_a_seed(lint_files):
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def _make_rng(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+        "def simulate(steps, seed):\n"
+        "    rng = _make_rng(seed)\n"
+        "    return rng\n"
+    )})
+    assert "REP012" not in rule_ids(diags)
+
+
+def test_rep012_silent_on_literal_seed_forwarding(lint_files):
+    """Pinned literals are reproducible; only opaque values fire."""
+    diags = lint_files({"mod.py": (
+        "def _simulate(seed):\n"
+        "    return seed\n"
+        "def run(config):\n"
+        "    return _simulate(seed=2024)\n"
+    )})
+    assert "REP012" not in rule_ids(diags)
+
+
+def test_rep012_does_not_double_report_rep006(lint_files):
+    """Direct public construction is REP006's finding, not REP012's."""
+    diags = lint_files({"mod.py": (
+        "import numpy as np\n"
+        "def simulate(steps):\n"
+        "    return np.random.default_rng(1234)\n"
+    )})
+    ids = rule_ids(diags)
+    assert "REP006" in ids
+    assert "REP012" not in ids

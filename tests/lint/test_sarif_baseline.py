@@ -1,0 +1,122 @@
+"""SARIF export and baseline-file behaviour."""
+
+from __future__ import annotations
+
+import json
+from io import StringIO
+
+from repro.lint import (
+    ALL_RULES,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.cli import run_lint
+
+_VIOLATION = (
+    "import numpy as np\n"
+    "def draw():\n"
+    "    return np.random.uniform(0.0, 1.0)\n"
+)
+
+
+# -- SARIF --------------------------------------------------------------------
+
+
+def test_sarif_document_shape(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    diags = lint_paths([tmp_path], ALL_RULES)
+    stream = StringIO()
+    render_sarif(diags, ALL_RULES, stream, root=tmp_path)
+    doc = json.loads(stream.getvalue())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert {"REP001", "REP007", "REP012"} <= set(rule_ids)
+    result = run["results"][0]
+    assert result["ruleId"] == "REP001"
+    assert result["level"] == "warning"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "mod.py"
+    assert location["region"]["startLine"] == 3
+
+
+def test_sarif_syntax_errors_are_level_error(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    diags = lint_paths([tmp_path], ALL_RULES)
+    stream = StringIO()
+    render_sarif(diags, ALL_RULES, stream, root=tmp_path)
+    doc = json.loads(stream.getvalue())
+    assert doc["runs"][0]["results"][0]["level"] == "error"
+
+
+def test_cli_sarif_format_emits_parseable_json(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    stream = StringIO()
+    code = run_lint([str(tmp_path)], output_format="sarif", stream=stream)
+    assert code == 1
+    doc = json.loads(stream.getvalue())
+    assert doc["runs"][0]["results"][0]["ruleId"] == "REP001"
+
+
+# -- baselines ----------------------------------------------------------------
+
+
+def test_baseline_roundtrip_silences_accepted_findings(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    diags = lint_paths([tmp_path], ALL_RULES)
+    assert diags
+    baseline_file = tmp_path / "baseline.json"
+    count = write_baseline(diags, baseline_file, root=tmp_path)
+    assert count == len(diags)
+    accepted = load_baseline(baseline_file)
+    assert apply_baseline(diags, accepted, root=tmp_path) == []
+
+
+def test_baseline_survives_unrelated_line_shifts(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(lint_paths([tmp_path], ALL_RULES), baseline_file,
+                   root=tmp_path)
+    # Prepend code: the finding moves down two lines but its text is
+    # unchanged, so the line-number-free fingerprint still matches.
+    (tmp_path / "mod.py").write_text("X = 1\nY = 2\n" + _VIOLATION)
+    diags = lint_paths([tmp_path], ALL_RULES)
+    assert diags and diags[0].line == 5
+    accepted = load_baseline(baseline_file)
+    assert apply_baseline(diags, accepted, root=tmp_path) == []
+
+
+def test_new_findings_still_fire_past_a_baseline(tmp_path):
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(lint_paths([tmp_path], ALL_RULES), baseline_file,
+                   root=tmp_path)
+    (tmp_path / "fresh.py").write_text(
+        "import numpy as np\n"
+        "def jitter():\n"
+        "    return np.random.normal(0.0, 1.0)\n"
+    )
+    diags = lint_paths([tmp_path], ALL_RULES)
+    kept = apply_baseline(diags, load_baseline(baseline_file), root=tmp_path)
+    assert kept and all(d.path.endswith("fresh.py") for d in kept)
+
+
+def test_missing_baseline_file_is_empty_not_fatal(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == set()
+
+
+def test_cli_write_then_apply_baseline(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(_VIOLATION)
+    assert lint_main(
+        [str(tmp_path), "--write-baseline", "baseline.json"]
+    ) == 0
+    capsys.readouterr()
+    assert lint_main([str(tmp_path), "--baseline", "baseline.json"]) == 0
+    out = capsys.readouterr().out
+    assert "0 issues found" in out

@@ -1,0 +1,79 @@
+"""Bit-identity regression for the iteration-order lint fixes.
+
+REP007/REP009 findings in the image pipeline were fixed by pinning
+iteration order (``sorted(...)`` over dict views in
+``NearestCentroidClassifier.fit``/``scores`` and
+``AccuracyReport.per_class_accuracy``/``most_confused_pair``).  Those
+edits must be *pure re-orderings*: every exported number has to stay
+byte-for-byte what it was before the fix.  The constants below were
+captured by running the probes on the pre-fix tree; exact ``==`` on
+floats is deliberate.
+"""
+
+from __future__ import annotations
+
+from repro.processor.image import FrameGenerator, ImageProcessor
+from repro.processor.image.evaluation import evaluate_accuracy
+
+#: recognise() scores captured before the sorted() fixes.
+_PRE_FIX_SCORES_FRAME0 = {
+    "blob": -0.9263242384777723,
+    "checker": -0.5867927962420163,
+    "cross": -0.8598803193282334,
+    "horizontal-bars": -0.04039049118106178,
+    "vertical-bars": -1.8504185684664283,
+}
+
+_PRE_FIX_SCORES_FRAME3 = {
+    "blob": -0.3043727612147703,
+    "checker": -0.669874599953175,
+    "cross": -0.6925568284173457,
+    "horizontal-bars": -1.0471339388047953,
+    "vertical-bars": -1.0453022378719374,
+}
+
+_PRE_FIX_CONFUSION = {
+    "horizontal-bars": {"blob": 7, "horizontal-bars": 1},
+    "vertical-bars": {"blob": 7, "vertical-bars": 1},
+    "cross": {"cross": 8},
+    "blob": {"blob": 8},
+    "checker": {"blob": 3, "checker": 5},
+}
+
+_PRE_FIX_PER_CLASS = {
+    "blob": 1.0,
+    "checker": 0.625,
+    "cross": 1.0,
+    "horizontal-bars": 0.125,
+    "vertical-bars": 0.125,
+}
+
+
+def _trained_processor() -> ImageProcessor:
+    proc = ImageProcessor()
+    proc.train_on_patterns()
+    return proc
+
+
+def test_recognise_scores_are_bit_identical_to_pre_fix_capture():
+    proc = _trained_processor()
+    generator = FrameGenerator(seed=77, size=64, noise=0.05)
+
+    frame0, _truth0 = generator.frame(0)
+    result0 = proc.recognise(frame0)
+    assert result0.label == "horizontal-bars"
+    assert result0.scores == _PRE_FIX_SCORES_FRAME0
+
+    frame3, _truth3 = generator.frame(3)
+    result3 = proc.recognise(frame3)
+    assert result3.label == "blob"
+    assert result3.scores == _PRE_FIX_SCORES_FRAME3
+
+
+def test_evaluation_report_is_bit_identical_to_pre_fix_capture():
+    proc = _trained_processor()
+    report = evaluate_accuracy(proc, frames=40, seed=1234, noise=0.5)
+    assert report.accuracy == 0.575
+    assert report.confusion == _PRE_FIX_CONFUSION
+    assert report.per_class_accuracy() == _PRE_FIX_PER_CLASS
+    assert report.most_confused_pair() == ("horizontal-bars", "blob", 7)
