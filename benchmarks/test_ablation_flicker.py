@@ -13,6 +13,7 @@ from repro.core.mppt import DischargeTimeMppTracker, MppTrackingController
 from repro.experiments.report import format_table
 from repro.pv.traces import IrradianceTrace, flicker_trace
 from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.units import micro_seconds
 
 
 def dimming_flicker_trace(duration_s=80e-3, dim_at_s=40e-3):
@@ -37,7 +38,8 @@ def run_flicker(system):
         controller=controller,
         comparators=system.new_comparator_bank(),
         config=SimulationConfig(
-            time_step_s=10e-6, record_every=8, stop_on_brownout=False
+            time_step_s=micro_seconds(10), record_every=8,
+            stop_on_brownout=False
         ),
     )
     result = simulator.run(dimming_flicker_trace())

@@ -15,6 +15,7 @@ from repro.experiments.report import format_table
 from repro.pv.traces import step_trace
 from repro.sim.engine import SimulationConfig, TransientSimulator
 from repro.sim.transitions import DISCRETE_TRANSITIONS, INTEGRATED_TRANSITIONS
+from repro.units import mega_hertz, micro_seconds
 
 
 def run_tracking(system, transitions):
@@ -28,7 +29,8 @@ def run_tracking(system, transitions):
         controller=controller,
         comparators=system.new_comparator_bank(),
         config=SimulationConfig(
-            time_step_s=10e-6, record_every=8, stop_on_brownout=False
+            time_step_s=micro_seconds(10), record_every=8,
+            stop_on_brownout=False
         ),
         transitions=transitions,
     )
@@ -46,7 +48,7 @@ def run_dithering(system, transitions):
             phase = int(view.time_s / 200e-6) % 2
             return ControlDecision(
                 mode="regulated",
-                frequency_hz=300e6,
+                frequency_hz=mega_hertz(300),
                 output_voltage_v=0.5 if phase == 0 else 0.6,
             )
 
@@ -56,7 +58,9 @@ def run_dithering(system, transitions):
         processor=system.processor,
         regulator=system.regulator("sc"),
         controller=Dither(),
-        config=SimulationConfig(time_step_s=5e-6, record_every=8),
+        config=SimulationConfig(
+            time_step_s=micro_seconds(5), record_every=8
+        ),
         transitions=transitions,
     )
     return simulator.run(constant_trace(1.0, 20e-3))

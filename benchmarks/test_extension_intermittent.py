@@ -23,6 +23,7 @@ from repro.intermittent.tasks import TaskChain
 from repro.processor.workloads import image_frame_workload
 from repro.pv.traces import constant_trace
 from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.units import micro_seconds
 
 #: A small node capacitor so neither approach can hide inside one burst.
 CAPACITANCE_F = 22e-6
@@ -48,7 +49,8 @@ def run_planned(system, workload):
         regulator=system.regulator("sc"),
         controller=controller,
         config=SimulationConfig(
-            time_step_s=50e-6, record_every=32, stop_on_brownout=False
+            time_step_s=micro_seconds(50), record_every=32,
+            stop_on_brownout=False
         ),
     )
     simulator.run(constant_trace(IRRADIANCE, DURATION_S))

@@ -68,6 +68,21 @@ from repro.fleet import (
     FleetSimulator,
     FleetState,
 )
+from repro.planner import (
+    EnergyForecast,
+    ForecastErrorModel,
+    Plan,
+    PlanController,
+    PlannerAction,
+    PlannerSpec,
+    RecedingHorizonController,
+    bin_trace,
+    build_actions,
+    execute_receding_horizon,
+    greedy_plan,
+    make_planner_controller,
+    solve_plan,
+)
 from repro.parallel import (
     ProgressReporter,
     campaign_run_id,
@@ -186,6 +201,20 @@ __all__ = [
     "IntermittentCampaignSummary",
     "run_transient_campaign",
     "run_intermittent_campaign",
+    # forecast-aware DP energy planning
+    "EnergyForecast",
+    "ForecastErrorModel",
+    "bin_trace",
+    "PlannerAction",
+    "PlannerSpec",
+    "Plan",
+    "build_actions",
+    "solve_plan",
+    "greedy_plan",
+    "execute_receding_horizon",
+    "make_planner_controller",
+    "PlanController",
+    "RecedingHorizonController",
     # batched fleet simulation
     "FleetNode",
     "FleetSimulator",

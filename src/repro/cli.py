@@ -438,6 +438,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    if args.planner:
+        return _cmd_bench_planner(args)
     if args.fleet:
         return _cmd_bench_fleet(args)
     from repro.perf.benchmark import run_hotpath_benchmark, write_report
@@ -510,10 +512,132 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     )
     if not report.batch1_bit_identical:
         print(
+            "error: fleet engine diverged from the scalar engine",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_planner(args: argparse.Namespace) -> int:
+    from repro.planner.bench import run_planner_benchmark, write_report
+
+    report = run_planner_benchmark(rounds=args.rounds, smoke=args.smoke)
+    out = args.out
+    if out == "BENCH_engine_hotpath.json":
+        out = "BENCH_planner.json"
+    path = write_report(report, out)
+    print(f"wrote {path}")
+    rows = []
+    for scenario in report.scenarios:
+        model = scenario.model
+        rows.append(
+            (
+                scenario.name,
+                f"{model.oracle_cycles / 1e6:.2f}M",
+                f"{model.receding_cycles / 1e6:.2f}M",
+                f"{model.greedy_cycles / 1e6:.2f}M",
+                str(model.bounds_hold),
+                str(sum(leg.deadline_missed for leg in scenario.legs)),
+            )
+        )
+    rows.append(
+        (
+            "bit-identical (batch 1)",
+            str(report.batch1_bit_identical),
+            "",
+            "",
+            "",
+            "",
+        )
+    )
+    rows.append(
+        (
+            "solver cells/s",
+            f"{report.solver_cells_per_s:,.0f}",
+            "",
+            "",
+            "",
+            "",
+        )
+    )
+    print(
+        format_table(
+            [
+                "scenario",
+                "oracle",
+                "receding",
+                "greedy",
+                "bounds",
+                "misses",
+            ],
+            rows,
+        )
+    )
+    if not report.all_bounds_hold:
+        print(
+            "error: oracle-bounds chain violated in the model world",
+            file=sys.stderr,
+        )
+        return 1
+    if not report.batch1_bit_identical:
+        print(
             "error: fleet batch-of-1 diverged from the scalar engine",
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _cmd_planner(args: argparse.Namespace) -> int:
+    from repro.core.system import paper_system
+    from repro.planner import PlannerSpec, bin_trace, build_actions, solve_plan
+    from repro.pv.traces import step_trace
+
+    system = paper_system()
+    duration_s = args.duration_ms * 1e-3
+    trace = step_trace(
+        args.bright, args.dim_to, args.dim_ms * 1e-3, duration_s
+    )
+    spec = PlannerSpec(slot_s=args.slot_ms * 1e-3, levels=args.levels)
+    actions, grid = build_actions(system, args.regulator, spec)
+    forecast = bin_trace(trace, system, spec.slot_s, duration_s=duration_s)
+    initial = 0.5 * system.node_capacitance_f * args.initial_v**2
+    plan = solve_plan(
+        forecast.income_j, actions, grid, initial, forecast.slot_s
+    )
+    # Print the schedule compressed into runs of identical actions.
+    rows = []
+    span_start = 0
+    for index in range(1, plan.slots + 1):
+        if (
+            index < plan.slots
+            and plan.steps[index].action is plan.steps[span_start].action
+        ):
+            continue
+        first = plan.steps[span_start]
+        rows.append(
+            (
+                f"{first.start_s * 1e3:.1f}",
+                str(index - span_start),
+                first.action.name,
+                f"{first.energy_before_j * 1e6:.1f}",
+                f"{plan.steps[index - 1].cumulative_cycles / 1e6:.2f}M",
+            )
+        )
+        span_start = index
+    print(
+        format_table(
+            ["t [ms]", "slots", "action", "E before [uJ]", "cycles"], rows
+        )
+    )
+    summary = [
+        ("expected cycles", f"{plan.expected_cycles / 1e6:.2f}M"),
+        ("final energy [uJ]", f"{plan.final_energy_j * 1e6:.1f}"),
+        ("grid step [uJ]", f"{grid.step_j * 1e6:.2f}"),
+        ("DP cells", f"{plan.cells:,}"),
+    ]
+    print(format_table(["quantity", "value"], summary))
     return 0
 
 
@@ -619,7 +743,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--seed", type=int, default=1)
     p_faults.add_argument(
         "--scheme", default="holistic",
-        choices=["holistic", "fixed", "both"],
+        choices=["holistic", "fixed", "planner", "oracle", "both"],
+        help="controller scheme ('both' compares holistic vs fixed; "
+        "'planner'/'oracle' run the DP energy planner)",
     )
     p_faults.add_argument("--duration-ms", type=float, default=80.0)
     p_faults.add_argument("--dim-to", type=float, default=0.35)
@@ -730,7 +856,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark the batched fleet engine against N scalar runs "
         "(aggregate steps/s at batch sizes 1/16/128/1024)",
     )
+    p_bench.add_argument(
+        "--planner", action="store_true",
+        help="benchmark the DP energy planner: planned vs paper "
+        "heuristic vs oracle across the scenario matrix "
+        "(writes BENCH_planner.json)",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_planner = sub.add_parser(
+        "planner",
+        help="solve and print a DP energy schedule for a dim-step scenario",
+    )
+    p_planner.add_argument(
+        "--bright", type=float, default=0.35,
+        help="irradiance before the dim step [suns]",
+    )
+    p_planner.add_argument(
+        "--dim-to", type=float, default=0.12,
+        help="irradiance after the dim step [suns]",
+    )
+    p_planner.add_argument(
+        "--dim-ms", type=float, default=24.0,
+        help="time of the dim step [ms]",
+    )
+    p_planner.add_argument("--duration-ms", type=float, default=80.0)
+    p_planner.add_argument(
+        "--slot-ms", type=float, default=2.0, help="DP slot width [ms]"
+    )
+    p_planner.add_argument(
+        "--levels", type=int, default=192,
+        help="stored-energy grid resolution",
+    )
+    p_planner.add_argument("--initial-v", type=float, default=1.2)
+    p_planner.add_argument("--regulator", default="sc")
+    p_planner.set_defaults(func=_cmd_planner)
 
     p_lint = sub.add_parser(
         "lint",

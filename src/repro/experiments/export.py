@@ -40,6 +40,7 @@ FIGURE_DRIVERS = {
     "fig9b": ("repro.experiments.fig9_sprint", "fig9b_sprint_gains"),
     "fig11a": ("repro.experiments.fig11_demo", "fig11a_chip_characteristics"),
     "fig11b": ("repro.experiments.fig11_demo", "fig11b_sprint_waveform"),
+    "planner": ("repro.experiments.planner_compare", "planner_comparison"),
 }
 
 #: Figures light enough for interactive use (no transient simulation).

@@ -72,7 +72,10 @@ from repro.telemetry.aggregate import (
 )
 from repro.telemetry.session import Telemetry, TelemetrySession
 
-SCHEMES = ("holistic", "fixed")
+SCHEMES = ("holistic", "fixed", "planner", "oracle")
+
+#: Slots the planner schemes divide the campaign window into.
+PLANNER_SLOTS = 40
 
 #: Campaign engine selectors: ``"auto"`` batches through the fleet
 #: engine whenever the execution mode allows it (see
@@ -239,14 +242,44 @@ def _make_controller(
     system: EnergyHarvestingSoC,
     lut: MppLookupTable,
     telemetry: "Telemetry | None" = None,
+    trace: "IrradianceTrace | None" = None,
+    workload: "Workload | None" = None,
 ) -> DvfsController:
-    """Build the scheme's controller against a (possibly faulted) system."""
+    """Build the scheme's controller against a (possibly faulted) system.
+
+    The planner schemes need the run's own trace (the planner bins it
+    into its forecast; the oracle solves the DP on it directly) and
+    the workload (for completion/deadline accounting), so campaign
+    call sites pass both; the classic schemes ignore them.
+    """
     if config.scheme == "holistic":
         tracker = DischargeTimeMppTracker(
             system, config.regulator_name, lut=lut
         )
         return MppTrackingController(
             tracker, config.bright, telemetry=telemetry
+        )
+    if config.scheme in ("planner", "oracle"):
+        from repro.planner.adapter import make_planner_controller
+        from repro.planner.dp import PlannerSpec
+
+        if trace is None:
+            raise ModelParameterError(
+                f"scheme {config.scheme!r} plans over the run's trace; "
+                "the campaign must pass it"
+            )
+        spec = PlannerSpec(slot_s=config.duration_s / PLANNER_SLOTS)
+        mode = "receding" if config.scheme == "planner" else "oracle"
+        return make_planner_controller(
+            system,
+            config.regulator_name,
+            trace,
+            mode=mode,
+            spec=spec,
+            duration_s=config.duration_s,
+            workload=workload,
+            initial_voltage_v=config.initial_voltage_v,
+            telemetry=telemetry,
         )
     # "fixed": the conventional design -- pick the bright-light optimum
     # at design time and hold it forever.
@@ -273,7 +306,10 @@ def _one_run(
         node_capacitor=capacitor,
         processor=system.processor,
         regulator=system.regulator(config.regulator_name),
-        controller=_make_controller(config, system, lut, telemetry=telemetry),
+        controller=_make_controller(
+            config, system, lut,
+            telemetry=telemetry, trace=trace, workload=workload,
+        ),
         comparators=bank,
         workload=workload,
         config=SimulationConfig(

@@ -75,6 +75,8 @@ def fleet_transient_batch_task(
         session = TelemetrySession() if with_metrics else None
         draw = draw_faults(spec, seed, comparator_count=comparator_count)
         system = faulted_system(draw)
+        trace = faulted_trace(config.base_trace(), draw)
+        workload = Workload(name="campaign", cycles=workload_cycles)
         nodes.append(
             FleetNode(
                 cell=system.cell,
@@ -84,15 +86,16 @@ def fleet_transient_batch_task(
                 processor=system.processor,
                 regulator=system.regulator(config.regulator_name),
                 controller=_make_controller(
-                    config, system, lut, telemetry=session
+                    config, system, lut,
+                    telemetry=session, trace=trace, workload=workload,
                 ),
                 comparators=faulted_comparator_bank(system, draw),
-                workload=Workload(name="campaign", cycles=workload_cycles),
+                workload=workload,
                 telemetry=session,
                 seed=seed,
             )
         )
-        traces.append(faulted_trace(config.base_trace(), draw))
+        traces.append(trace)
         sessions.append(session)
 
     simulator = FleetSimulator(nodes, config=sim_config)

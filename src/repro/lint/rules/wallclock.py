@@ -7,9 +7,12 @@ seeded re-runs), the hot-path layer (``perf/`` -- its surfaces and
 benchmark *results* feed bit-identity claims), the supervised
 runtime (``resilience/`` -- retry schedules, chaos decisions and
 journaled resume must replay exactly, or a recovered campaign could
-diverge from an uninterrupted one) and the batched fleet engine
+diverge from an uninterrupted one), the batched fleet engine
 (``fleet/`` -- its lane-for-lane bit-identity contract with the
-scalar simulator is the whole point) promise bit-identical outputs
+scalar simulator is the whole point) and the DP energy planner
+(``planner/`` -- its oracle-bounds chain and plan determinism are
+asserted exactly, and its forecast error injection must come from
+seeded generators only) promise bit-identical outputs
 for identical inputs.
 ``time.time()``, ``datetime.now()``,
 ``os.urandom()``, ``uuid.uuid1/uuid4`` and everything in ``secrets``
@@ -39,6 +42,7 @@ DETERMINISTIC_SEGMENTS: Tuple[str, ...] = (
     "perf",
     "resilience",
     "fleet",
+    "planner",
 )
 
 _DATETIME_METHODS = ("now", "utcnow", "today", "fromtimestamp")
@@ -48,9 +52,9 @@ class WallClockRule(Rule):
     rule_id = "REP002"
     title = "wall-clock / OS-entropy call in a deterministic package"
     rationale = (
-        "sim/, faults/, parallel/, telemetry/, perf/, resilience/ and "
-        "fleet/ promise bit-identical outputs; wall-clock and OS-entropy "
-        "reads break replay and golden fixtures"
+        "sim/, faults/, parallel/, telemetry/, perf/, resilience/, "
+        "fleet/ and planner/ promise bit-identical outputs; wall-clock "
+        "and OS-entropy reads break replay and golden fixtures"
     )
 
     def check(self, module: ModuleInfo, project: Project) -> Iterator[Diagnostic]:

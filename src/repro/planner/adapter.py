@@ -1,0 +1,307 @@
+"""Plan -> DVFS-controller adapters.
+
+A :class:`~repro.planner.dp.Plan` is slot-indexed; the transient
+simulator wants a per-step :class:`~repro.sim.dvfs.DvfsController`.
+The adapters here close that gap so a plan drives
+:class:`~repro.sim.engine.TransientSimulator` and
+:class:`~repro.fleet.engine.FleetSimulator` unchanged:
+
+* :class:`PlanController` follows a fixed plan (the *oracle* when the
+  plan was solved on the true trace);
+* :class:`RecedingHorizonController` re-solves the suffix DP at every
+  slot boundary from the **measured** node energy (``CV^2/2`` of the
+  observed node voltage) against its forecast -- the planner policy.
+
+Both are pure functions of the observable :class:`ControllerView`
+plus deterministic internal slot state, so scalar and fleet engines
+produce bit-identical runs (asserted in ``tests/planner/``).
+Telemetry instrumentation follows the sprint controller's idiom:
+``planner.replans``, ``planner.slot_advances``, ``planner.
+deadline_misses`` counters and plan-vs-actual ``planner.energy_gap_j``
+gauges ride the normal metrics pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.system import EnergyHarvestingSoC
+from repro.errors import ModelParameterError
+from repro.planner.dp import (
+    EnergyGrid,
+    Plan,
+    PlannerAction,
+    PlannerSpec,
+    build_actions,
+    solve_plan,
+)
+from repro.planner.forecast import (
+    EnergyForecast,
+    ForecastErrorModel,
+    bin_trace,
+)
+from repro.processor.workloads import Workload
+from repro.pv.traces import IrradianceTrace
+from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
+from repro.telemetry.session import NULL_TELEMETRY, Telemetry
+
+#: Planner policy names accepted by :func:`make_planner_controller`.
+PLANNER_MODES = ("receding", "oracle")
+
+_HALT = ControlDecision(mode="halt", frequency_hz=0.0)
+
+
+class _PlanFollower(DvfsController):
+    """Shared decision mapping, deadline accounting and telemetry."""
+
+    def __init__(
+        self,
+        capacitance_f: float,
+        total_cycles: "int | None",
+        deadline_s: "float | None",
+        telemetry: "Telemetry | None",
+    ) -> None:
+        if capacitance_f <= 0.0:
+            raise ModelParameterError(
+                f"capacitance must be positive, got {capacitance_f}"
+            )
+        self.capacitance_f = capacitance_f
+        self.total_cycles = total_cycles
+        self.deadline_s = deadline_s
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._miss_counted = False
+
+    def reset(self) -> None:
+        self._miss_counted = False
+
+    def _measured_energy_j(self, view: ControllerView) -> float:
+        return 0.5 * self.capacitance_f * view.node_voltage_v**2
+
+    def _check_deadline(self, view: ControllerView) -> None:
+        # Fires once, at the first decision past the deadline with
+        # work still outstanding (same semantics as the sprint
+        # controller's ``sprint.deadline_misses``).
+        if (
+            self.deadline_s is None
+            or self.total_cycles is None
+            or self._miss_counted
+            or view.time_s <= self.deadline_s
+            or view.cycles_done >= self.total_cycles
+        ):
+            return
+        self._miss_counted = True
+        self.telemetry.count("planner.deadline_misses")
+        self.telemetry.event(
+            "planner.deadline_miss", view.time_s, track="planner",
+            deadline_s=self.deadline_s,
+            overrun_s=view.time_s - self.deadline_s,
+            cycles_done=float(view.cycles_done),
+        )
+
+    def _work_done(self, view: ControllerView) -> bool:
+        return (
+            self.total_cycles is not None
+            and view.cycles_done >= self.total_cycles
+        )
+
+    def _decision_for(
+        self, action: PlannerAction, view: ControllerView
+    ) -> ControlDecision:
+        # Degrade to charge when the store cannot back the action --
+        # the same fallback the grid-world replay uses, and the reason
+        # "charge is always feasible" keeps every plan executable.
+        if self._measured_energy_j(view) < action.min_energy_j:
+            return _HALT
+        if action.mode == "halt":
+            return _HALT
+        if action.mode == "bypass":
+            return ControlDecision(
+                mode="bypass", frequency_hz=action.frequency_hz
+            )
+        return ControlDecision(
+            mode="regulated",
+            frequency_hz=action.frequency_hz,
+            output_voltage_v=action.processor_voltage_v,
+        )
+
+
+class PlanController(_PlanFollower):
+    """Follow a fixed :class:`Plan` slot by slot.
+
+    With a plan solved on the *true* trace this is the oracle policy;
+    with a plan solved on a distorted forecast it shows what blind
+    plan-following costs (the receding-horizon controller is the
+    fix).  At each slot boundary the plan-vs-actual stored-energy gap
+    is published as the ``planner.energy_gap_j`` gauge.
+    """
+
+    def __init__(
+        self,
+        plan: Plan,
+        capacitance_f: float,
+        total_cycles: "int | None" = None,
+        deadline_s: "float | None" = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        super().__init__(capacitance_f, total_cycles, deadline_s, telemetry)
+        if plan.slots == 0:
+            raise ModelParameterError("plan has no steps")
+        self.plan = plan
+        self._slot: "int | None" = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._slot = None
+
+    def _slot_of(self, view: ControllerView) -> int:
+        raw = int((view.time_s - self.plan.start_s) / self.plan.slot_s)
+        return min(max(raw, 0), self.plan.slots - 1)
+
+    def decide(self, view: ControllerView) -> ControlDecision:
+        self._check_deadline(view)
+        if self._work_done(view):
+            return _HALT
+        slot = self._slot_of(view)
+        if slot != self._slot:
+            self._slot = slot
+            step = self.plan.steps[slot]
+            self.telemetry.count("planner.slot_advances")
+            self.telemetry.gauge(
+                "planner.energy_gap_j",
+                self._measured_energy_j(view) - step.energy_before_j,
+            )
+        return self._decision_for(self.plan.steps[slot].action, view)
+
+
+class RecedingHorizonController(_PlanFollower):
+    """Re-solve the suffix DP at every slot boundary.
+
+    The controller holds a (possibly wrong) forecast; each time the
+    simulated clock crosses into a new slot it measures the node
+    energy from the observed voltage, solves the remaining-horizon DP
+    from that state, and executes the first planned action until the
+    next boundary.  ``planner.replans`` counts the re-solves.
+    """
+
+    def __init__(
+        self,
+        forecast: EnergyForecast,
+        actions: "tuple[PlannerAction, ...]",
+        grid: EnergyGrid,
+        capacitance_f: float,
+        total_cycles: "int | None" = None,
+        deadline_s: "float | None" = None,
+        telemetry: "Telemetry | None" = None,
+    ) -> None:
+        super().__init__(capacitance_f, total_cycles, deadline_s, telemetry)
+        self.forecast = forecast
+        self.actions = actions
+        self.grid = grid
+        self._slot: "int | None" = None
+        self._action: "PlannerAction | None" = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._slot = None
+        self._action = None
+
+    def _slot_of(self, view: ControllerView) -> int:
+        raw = int((view.time_s - self.forecast.start_s) / self.forecast.slot_s)
+        return min(max(raw, 0), self.forecast.slots - 1)
+
+    def _replan(self, slot: int, view: ControllerView) -> PlannerAction:
+        energy = self._measured_energy_j(view)
+        suffix = self.forecast.suffix(slot)
+        plan = solve_plan(
+            suffix.income_j,
+            self.actions,
+            self.grid,
+            energy,
+            suffix.slot_s,
+            start_s=suffix.start_s,
+        )
+        self.telemetry.count("planner.replans")
+        self.telemetry.gauge("planner.measured_energy_j", energy)
+        self.telemetry.gauge(
+            "planner.expected_cycles", plan.expected_cycles
+        )
+        return plan.steps[0].action
+
+    def decide(self, view: ControllerView) -> ControlDecision:
+        self._check_deadline(view)
+        if self._work_done(view):
+            return _HALT
+        slot = self._slot_of(view)
+        if slot != self._slot or self._action is None:
+            self._slot = slot
+            self._action = self._replan(slot, view)
+            self.telemetry.count("planner.slot_advances")
+        return self._decision_for(self._action, view)
+
+
+def make_planner_controller(
+    system: EnergyHarvestingSoC,
+    regulator_name: str,
+    trace: IrradianceTrace,
+    mode: str = "receding",
+    spec: "PlannerSpec | None" = None,
+    error: "ForecastErrorModel | None" = None,
+    duration_s: "float | None" = None,
+    workload: "Workload | None" = None,
+    initial_voltage_v: "float | None" = None,
+    telemetry: "Telemetry | None" = None,
+) -> DvfsController:
+    """Build a planner policy controller for a scenario.
+
+    ``mode="receding"`` returns the practical planner: a
+    :class:`RecedingHorizonController` planning on the (optionally
+    ``error``-distorted) forecast binned from ``trace``.
+    ``mode="oracle"`` solves one DP on the *undistorted* forecast from
+    the known ``initial_voltage_v`` and follows it -- the upper bound
+    every realizable policy is measured against.  The horizon is
+    ``duration_s``, else the workload deadline, else the trace length.
+    """
+    if mode not in PLANNER_MODES:
+        raise ModelParameterError(
+            f"mode must be one of {PLANNER_MODES}, got {mode!r}"
+        )
+    spec = spec or PlannerSpec()
+    actions, grid = build_actions(system, regulator_name, spec)
+    horizon = duration_s
+    if horizon is None and workload is not None:
+        horizon = workload.deadline_s
+    if horizon is None:
+        horizon = trace.duration_s
+    perfect = bin_trace(trace, system, spec.slot_s, duration_s=horizon)
+    total_cycles = workload.cycles if workload is not None else None
+    deadline_s = workload.deadline_s if workload is not None else None
+    capacitance = system.node_capacitance_f
+    if mode == "oracle":
+        if initial_voltage_v is None:
+            raise ModelParameterError(
+                "oracle mode plans from a known start state; pass "
+                "initial_voltage_v"
+            )
+        plan = solve_plan(
+            perfect.income_j,
+            actions,
+            grid,
+            0.5 * capacitance * initial_voltage_v**2,
+            perfect.slot_s,
+            start_s=perfect.start_s,
+        )
+        return PlanController(
+            plan,
+            capacitance_f=capacitance,
+            total_cycles=total_cycles,
+            deadline_s=deadline_s,
+            telemetry=telemetry,
+        )
+    belief = error.apply(perfect) if error is not None else perfect
+    return RecedingHorizonController(
+        belief,
+        actions,
+        grid,
+        capacitance_f=capacitance,
+        total_cycles=total_cycles,
+        deadline_s=deadline_s,
+        telemetry=telemetry,
+    )

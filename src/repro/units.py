@@ -73,8 +73,15 @@ def milli_seconds(value: float) -> float:
 
 
 def micro_seconds(value: float) -> float:
-    """Convert microseconds to seconds."""
-    return value * 1e-6
+    """Convert microseconds to seconds.
+
+    Divides by the exactly-representable ``1e6`` instead of
+    multiplying by ``1e-6``: IEEE-754 division is correctly rounded,
+    so ``micro_seconds(10) == 10e-6`` bit-exactly (the product
+    ``10 * 1e-6`` is one ULP off), which lets benchmark literals be
+    routed through this helper without perturbing golden results.
+    """
+    return value / 1e6
 
 
 def mega_hertz(value: float) -> float:

@@ -74,11 +74,12 @@ class TestExportFigure:
 
     def test_registry_covers_every_paper_figure(self):
         """Figs. 2-9 and 11 all have export drivers (Fig. 10 is the
-        die photo -- nothing to export)."""
+        die photo -- nothing to export), plus the planner comparison
+        extension."""
         expected = {
             "fig2", "fig3", "fig4", "fig5", "fig6a", "fig6b",
             "fig7a", "fig7b", "fig8", "fig9a", "fig9b",
-            "fig11a", "fig11b",
+            "fig11a", "fig11b", "planner",
         }
         assert set(FIGURE_DRIVERS) == expected
 

@@ -1,0 +1,1 @@
+"""Tests for the forecast-aware DP energy planner."""

@@ -1,0 +1,63 @@
+"""Planner campaign schemes: engine and worker-shard bit-identity."""
+
+import math
+from dataclasses import asdict
+
+import pytest
+
+from repro.faults.campaign import (
+    SCHEMES,
+    CampaignConfig,
+    run_transient_campaign,
+)
+from repro.faults.models import FaultSpec
+from repro.units import micro_seconds
+
+CONFIG = CampaignConfig(
+    runs=2,
+    scheme="planner",
+    duration_s=10e-3,
+    dim_time_s=4e-3,
+    time_step_s=micro_seconds(50),
+)
+
+
+def _records_equal(a, b):
+    left, right = asdict(a), asdict(b)
+    for key in left:
+        va, vb = left[key], right[key]
+        if isinstance(va, float) and isinstance(vb, float):
+            if va != vb and not (math.isnan(va) and math.isnan(vb)):
+                return False
+        elif va != vb:
+            return False
+    return True
+
+
+def test_planner_schemes_are_registered():
+    assert "planner" in SCHEMES
+    assert "oracle" in SCHEMES
+
+
+@pytest.mark.parametrize("scheme", ["planner", "oracle"])
+def test_campaign_engines_and_workers_bit_identical(scheme):
+    config = CampaignConfig(
+        runs=CONFIG.runs,
+        scheme=scheme,
+        duration_s=CONFIG.duration_s,
+        dim_time_s=CONFIG.dim_time_s,
+        time_step_s=CONFIG.time_step_s,
+    )
+    spec = FaultSpec()
+    scalar = run_transient_campaign(spec, config, workers=1, engine="scalar")
+    fleet = run_transient_campaign(spec, config, workers=1, engine="fleet")
+    sharded = run_transient_campaign(spec, config, workers=2, engine="scalar")
+    assert len(scalar.records) == config.runs
+    assert all(
+        _records_equal(a, b)
+        for a, b in zip(scalar.records, fleet.records)
+    )
+    assert all(
+        _records_equal(a, b)
+        for a, b in zip(scalar.records, sharded.records)
+    )

@@ -1,0 +1,200 @@
+"""DP solver invariants: monotonicity, exactness, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.system import paper_system
+from repro.errors import ModelParameterError
+from repro.planner.dp import (
+    CHARGE_ACTION,
+    EnergyGrid,
+    PlannerAction,
+    PlannerSpec,
+    build_actions,
+    greedy_plan,
+    realized_cycles,
+    solve_plan,
+)
+from tests.planner.strategies import (
+    GRID,
+    income_series,
+    initial_energies,
+    planner_actions,
+)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return paper_system()
+
+
+@pytest.fixture(scope="module")
+def paper_table(system):
+    return build_actions(system, "sc")
+
+
+class TestActionValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ModelParameterError):
+            PlannerAction("x", "sprint", 0.5, 1e6, 0.0, 0.0, 0.0)
+
+    def test_rejects_negative_draw(self):
+        with pytest.raises(ModelParameterError):
+            PlannerAction("x", "halt", 0.0, 0.0, -1e-6, 0.0, 0.0)
+
+    def test_rejects_fractional_cycles(self):
+        # Integer-valued rewards are what make value sums exact.
+        with pytest.raises(ModelParameterError):
+            PlannerAction("x", "bypass", 0.5, 1e6, 1e-6, 10.5, 1e-6)
+
+    def test_rejects_threshold_below_draw(self):
+        with pytest.raises(ModelParameterError):
+            PlannerAction("x", "bypass", 0.5, 1e6, 2e-6, 10.0, 1e-6)
+
+
+class TestEnergyGrid:
+    def test_validation(self):
+        with pytest.raises(ModelParameterError):
+            EnergyGrid(capacity_j=0.0, levels=8)
+        with pytest.raises(ModelParameterError):
+            EnergyGrid(capacity_j=1.0, levels=1)
+
+    def test_floor_quantization_never_credits_energy(self):
+        grid = EnergyGrid(capacity_j=1.0, levels=11)
+        for energy in np.linspace(0.0, 1.0, 97):
+            level = grid.index_of(float(energy))
+            assert grid.energy_at(level) <= energy + 1e-12
+
+    def test_indices_of_matches_index_of(self):
+        grid = EnergyGrid(capacity_j=1.0, levels=17)
+        energies = np.linspace(-0.2, 1.3, 61)
+        vector = grid.indices_of(energies)
+        for energy, level in zip(energies, vector):
+            assert grid.index_of(float(energy)) == int(level)
+
+    def test_energy_at_rejects_out_of_range(self):
+        grid = EnergyGrid(capacity_j=1.0, levels=4)
+        with pytest.raises(ModelParameterError):
+            grid.energy_at(4)
+
+
+class TestBuildActions:
+    def test_canonical_order(self, paper_table):
+        actions, _ = paper_table
+        assert actions[0] is CHARGE_ACTION
+        assert actions[-1].mode == "bypass"
+        run_voltages = [
+            a.processor_voltage_v for a in actions if a.mode == "regulated"
+        ]
+        assert run_voltages == sorted(run_voltages)
+
+    def test_grid_capacity_is_node_energy(self, system, paper_table):
+        _, grid = paper_table
+        spec = PlannerSpec()
+        expected = 0.5 * system.node_capacitance_f * spec.grid_voltage_v**2
+        assert grid.capacity_j == expected
+
+    def test_bypass_beats_top_rung_on_cycles_per_joule(self, paper_table):
+        # The planner's whole discriminating axis in dim scenarios.
+        actions, _ = paper_table
+        bypass = actions[-1]
+        top = [a for a in actions if a.mode == "regulated"][-1]
+        assert bypass.cycles / bypass.draw_j > top.cycles / top.draw_j
+
+    def test_single_dvfs_point_uses_top_voltage(self, system):
+        actions, _ = build_actions(
+            system, "sc", PlannerSpec(dvfs_points=1)
+        )
+        runs = [a for a in actions if a.mode == "regulated"]
+        assert len(runs) == 1
+
+
+class TestSolveValidation:
+    def test_rejects_empty_income(self, paper_table):
+        actions, grid = paper_table
+        with pytest.raises(ModelParameterError):
+            solve_plan(np.array([]), actions, grid, 0.0, 2e-3)
+
+    def test_rejects_negative_income(self, paper_table):
+        actions, grid = paper_table
+        with pytest.raises(ModelParameterError):
+            solve_plan(np.array([-1e-9]), actions, grid, 0.0, 2e-3)
+
+    def test_rejects_table_without_charge(self, paper_table):
+        actions, grid = paper_table
+        with pytest.raises(ModelParameterError):
+            solve_plan(
+                np.array([1e-6]), actions[1:], grid, 0.0, 2e-3
+            )
+
+    def test_rejects_negative_initial_energy(self, paper_table):
+        actions, grid = paper_table
+        with pytest.raises(ModelParameterError):
+            solve_plan(np.array([1e-6]), actions, grid, -1e-9, 2e-3)
+
+
+class TestDeterminism:
+    def test_same_inputs_solve_bit_identically(self, paper_table):
+        actions, grid = paper_table
+        income = np.linspace(0.0, grid.capacity_j / 8, 20)
+        first = solve_plan(income, actions, grid, grid.capacity_j / 2, 2e-3)
+        second = solve_plan(income, actions, grid, grid.capacity_j / 2, 2e-3)
+        assert np.array_equal(first.value, second.value)
+        assert np.array_equal(first.policy, second.policy)
+        assert first.expected_cycles == second.expected_cycles
+        assert [s.action.name for s in first.steps] == [
+            s.action.name for s in second.steps
+        ]
+
+    def test_work_first_tie_break(self):
+        # Zero income, enough energy for exactly one unit of work in
+        # either of two slots: deferring ties with acting now, and the
+        # work-first order must pick acting now.
+        work = PlannerAction("work", "bypass", 0.5, 1e6, 0.5, 100.0, 0.5)
+        plan = solve_plan(
+            np.zeros(2), (CHARGE_ACTION, work), GRID, 0.6, 1.0
+        )
+        assert plan.steps[0].action.name == "work"
+        assert plan.expected_cycles == 100.0
+
+
+class TestInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(planner_actions(), income_series(), initial_energies)
+    def test_value_monotone_in_stored_energy(self, actions, income, e0):
+        plan = solve_plan(income, actions, GRID, e0, 1.0)
+        diffs = np.diff(plan.value, axis=1)
+        assert np.all(diffs >= 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(planner_actions(), income_series(), initial_energies)
+    def test_forward_pass_realizes_the_value_function(
+        self, actions, income, e0
+    ):
+        plan = solve_plan(income, actions, GRID, e0, 1.0)
+        realized, final = realized_cycles(
+            [s.action for s in plan.steps], income, GRID, e0
+        )
+        assert realized == plan.expected_cycles
+        assert final == plan.final_energy_j
+
+    @settings(max_examples=60, deadline=None)
+    @given(planner_actions(), income_series(), initial_energies)
+    def test_oracle_bounds_greedy(self, actions, income, e0):
+        plan = solve_plan(income, actions, GRID, e0, 1.0)
+        greedy = greedy_plan(income, actions, GRID, e0, 1.0)
+        realized, _ = realized_cycles(
+            [s.action for s in greedy.steps], income, GRID, e0
+        )
+        assert plan.expected_cycles >= realized
+
+    @settings(max_examples=40, deadline=None)
+    @given(planner_actions(), income_series(), initial_energies)
+    def test_values_are_exact_integers(self, actions, income, e0):
+        # Integer rewards + exact double sums: every finite value-
+        # function entry is an integer, which is why the bounds chain
+        # can be asserted with == and >= rather than approx.
+        plan = solve_plan(income, actions, GRID, e0, 1.0)
+        finite = plan.value[np.isfinite(plan.value)]
+        assert np.array_equal(finite, np.floor(finite))

@@ -53,6 +53,7 @@ class TestSubpackagesImport:
             "repro.telemetry",
             "repro.perf",
             "repro.fleet",
+            "repro.planner",
             "repro.cli",
         ],
     )
@@ -75,6 +76,7 @@ class TestSubpackagesImport:
             "repro.telemetry",
             "repro.perf",
             "repro.fleet",
+            "repro.planner",
         ],
     )
     def test_subpackage_all_resolves(self, module):

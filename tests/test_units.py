@@ -63,6 +63,24 @@ class TestUnitConstructors:
     def test_round_trip(self, forward, backward):
         assert backward(forward(7.25)) == pytest.approx(7.25)
 
+    @pytest.mark.parametrize("value", [1.0, 5, 10, 20, 50, 200, 7.25])
+    def test_micro_seconds_bit_exact(self, value):
+        # micro_seconds divides by the exact 1e6 (correctly-rounded
+        # division), so routing a scientific literal through it is a
+        # bit-exact rewrite: micro_seconds(10) == 10e-6 even though
+        # 10 * 1e-6 != 10e-6.  Benchmark files rely on this.
+        assert units.micro_seconds(value) == float(f"{value}e-6")
+
+    def test_micro_seconds_rewrites_are_value_identical(self):
+        # The exact literals replaced in benchmarks/ (flicker,
+        # transitions, intermittent): old spelling == new spelling.
+        assert units.micro_seconds(10) == 10e-6
+        assert units.micro_seconds(5) == 5e-6
+        assert units.micro_seconds(50) == 50e-6
+        assert units.mega_hertz(300) == 300e6
+        # The one pre-existing production call site keeps its value.
+        assert units.micro_seconds(1.0) == 1.0 * 1e-6
+
 
 class TestClamp:
     def test_inside_interval_unchanged(self):
