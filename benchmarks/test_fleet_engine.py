@@ -67,7 +67,11 @@ BATCH_SCHEMA = {
     "fleet_steps_per_s": (int, float),
     "scalar_steps_per_s": (int, float),
     "speedup": (int, float),
+    "fleet_phase_wall_s": dict,
 }
+
+#: Phases the fleet engine's step loop must account for.
+PHASES = ("capacitor", "control", "pv", "record")
 
 
 #: One timed round after the warm-up: the committed full-size file
@@ -85,6 +89,11 @@ def test_fleet_engine_bench_and_bit_identity():
     )
     for entry in payload["batches"].values():
         assert_bench_schema(entry, BATCH_SCHEMA)
+        breakdown = entry["fleet_phase_wall_s"]
+        assert sorted(breakdown) == sorted(PHASES), breakdown
+        # The phases bracket only the step loop, so they sum to less
+        # than (but a meaningful share of) the total wall.
+        assert 0.0 < sum(breakdown.values()) <= entry["fleet_best_wall_s"]
     write_report(report, BENCH_PATH)
     # The file on disk must parse back to the schema-checked payload.
     assert_bench_schema(json.loads(BENCH_PATH.read_text()), BENCH_SCHEMA)

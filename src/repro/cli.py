@@ -510,6 +510,16 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
             ["batch", "fleet steps/s", "scalar steps/s", "speedup"], rows
         )
     )
+    top = report.timings[-1]
+    print(
+        format_table(
+            ["step-loop phase", f"wall s (batch {top.batch})"],
+            [
+                (phase, f"{wall:.3f}")
+                for phase, wall in sorted(top.fleet_phase_wall_s.items())
+            ],
+        )
+    )
     if not report.batch1_bit_identical:
         print(
             "error: fleet engine diverged from the scalar engine",

@@ -21,6 +21,7 @@ controller for the Fig. 8 waveform reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar, Optional
 
 from repro.core.operating_point import OperatingPoint, OperatingPointOptimizer
 from repro.core.system import EnergyHarvestingSoC
@@ -73,6 +74,7 @@ class DischargeTimeMppTracker:
         self.estimator = DischargeTimePowerEstimator(
             Capacitor(system.node_capacitance_f)
         )
+        self._point_memo: "dict[float, OperatingPoint]" = {}
 
     def operating_point_for(self, irradiance: float) -> OperatingPoint:
         """The holistic operating point for an (estimated) irradiance.
@@ -81,12 +83,21 @@ class DischargeTimeMppTracker:
         (deep darkness: leakage alone exceeds the harvest), returns a
         *survival point* -- clock gated, zero draw -- so the controller
         parks the system instead of browning it out.
+
+        The result is a pure function of the irradiance (the system
+        and regulator are fixed at construction) and the returned
+        :class:`OperatingPoint` is frozen, so calls memoize: controller
+        resets and fleet lanes sharing one tracker pay the optimizer
+        scan once per distinct irradiance, not once per lane.
         """
+        memoized = self._point_memo.get(irradiance)
+        if memoized is not None:
+            return memoized
         try:
-            return self.optimizer.best_point(self.regulator_name, irradiance)
+            point = self.optimizer.best_point(self.regulator_name, irradiance)
         except InfeasibleOperatingPointError:
             floor_v = self.system.processor.min_operating_v
-            return OperatingPoint(
+            point = OperatingPoint(
                 processor_voltage_v=floor_v,
                 frequency_hz=0.0,
                 delivered_power_w=0.0,
@@ -95,6 +106,8 @@ class DischargeTimeMppTracker:
                 regulator_name="bypass",
                 bypassed=True,
             )
+        self._point_memo[irradiance] = point
+        return point
 
     def track(
         self,
@@ -118,6 +131,35 @@ class DischargeTimeMppTracker:
         )
 
 
+@dataclass(frozen=True)
+class MpptTriggerSnapshot:
+    """Everything that decides whether the next ``decide`` call matters.
+
+    Taken by the fleet control plane after every real call.  Between
+    calls the controller's output is constant and its state only
+    changes when one of these triggers fires, so the plane can skip
+    calls whose scalar-engine counterpart would have been a no-op:
+
+    * a comparator event is pending (must always be ingested);
+    * ``brownout_count`` moved past ``brownouts_seen``;
+    * the settle window has expired *and* either a qualifying crossing
+      pair is already banked (``pair_ready``; the pair conditions are
+      time-independent between calls), or the node voltage crossed the
+      probe-up/probe-down thresholds.
+
+    The probe thresholds fold in the LUT-saturation early-outs:
+    ``probe_up_threshold_v`` is ``+inf`` when the irradiance estimate
+    is already at the table maximum, ``probe_down_threshold_v`` is
+    ``-inf`` at the table minimum.
+    """
+
+    last_retune_s: float
+    probe_up_threshold_v: float
+    probe_down_threshold_v: float
+    pair_ready: bool
+    brownouts_seen: int
+
+
 class MppTrackingController(DvfsController):
     """Closed-loop discharge-time MPP tracking for the simulator.
 
@@ -136,6 +178,8 @@ class MppTrackingController(DvfsController):
     period until the load again parks the node inside the threshold
     window -- a comparator-driven hill climb for brightening light.
     """
+
+    VECTOR_FAMILY: ClassVar[Optional[str]] = "mppt"
 
     def __init__(
         self,
@@ -357,6 +401,74 @@ class MppTrackingController(DvfsController):
             new_point=self.tracker.operating_point_for(conservative),
         )
         self._apply(record, view.time_s, kind="recovery")
+
+    def _pair_ready(self) -> bool:
+        """Whether a banked crossing pair would retune right now.
+
+        Replicates the two pair-search loops of :meth:`_maybe_retune`
+        exactly (same dict lookups, same comparisons) without applying
+        the retune.  All inputs are timestamps and ``_last_retune_s``,
+        none of which move between real ``decide`` calls, so the answer
+        stays valid until the next call.
+        """
+        thresholds = self.tracker.system.comparator_thresholds_v
+        for upper, lower in zip(thresholds, thresholds[1:]):
+            t_upper = self._crossings.get((upper, "falling"))
+            t_lower = self._crossings.get((lower, "falling"))
+            if (
+                t_upper is not None
+                and t_lower is not None
+                and t_lower > t_upper
+                and t_lower > self._last_retune_s
+                and t_lower - t_upper <= self.max_interval_s
+            ):
+                return True
+        for upper, lower in zip(thresholds, thresholds[1:]):
+            t_lower = self._crossings.get((lower, "rising"))
+            t_upper = self._crossings.get((upper, "rising"))
+            if (
+                t_lower is not None
+                and t_upper is not None
+                and t_upper > t_lower
+                and t_upper > self._last_retune_s
+                and t_upper - t_lower <= self.max_interval_s
+            ):
+                return True
+        return False
+
+    def sync_last_node_v(self, node_voltage_v: float) -> None:
+        """Set ``_last_node_v`` as a per-step scalar call would have.
+
+        The scalar engine calls :meth:`decide` every step, so
+        ``_last_node_v`` always holds the previous step's node voltage.
+        The fleet control plane skips no-op calls and instead syncs the
+        mirror it keeps (the previous step's voltage array) through
+        this seam immediately before each real call.
+        """
+        self._last_node_v = node_voltage_v
+
+    def vector_triggers(self) -> MpptTriggerSnapshot:
+        """Snapshot the call-skip triggers (see the snapshot docstring)."""
+        entries = self.tracker.lut.entries
+        lut_max = max(e.irradiance for e in entries)
+        lut_min = min(e.irradiance for e in entries)
+        thresholds = self.tracker.system.comparator_thresholds_v
+        if self._irradiance_estimate >= lut_max:
+            up = float("inf")
+        else:
+            expected = max(thresholds[0], self._point.node_voltage_v)
+            up = expected + self.probe_margin_v
+        if self._irradiance_estimate <= lut_min:
+            down = -float("inf")
+        else:
+            down = thresholds[-1] - self.probe_margin_v
+        return MpptTriggerSnapshot(
+            last_retune_s=self._last_retune_s,
+            probe_up_threshold_v=up,
+            probe_down_threshold_v=down,
+            pair_ready=self._pair_ready(),
+            brownouts_seen=self._brownouts_seen,
+        )
 
     def decide(self, view: ControllerView) -> ControlDecision:
         if view.recovering:

@@ -9,6 +9,7 @@ brownout-recovery and throughput-degradation statistics.
 """
 
 from repro.faults.campaign import (
+    FLEET_AUTO_MIN_BATCH,
     SCHEMES,
     CampaignConfig,
     CampaignSummary,
@@ -16,6 +17,7 @@ from repro.faults.campaign import (
     IntermittentCampaignSummary,
     IntermittentRunRecord,
     RunRecord,
+    resolve_engine,
     run_intermittent_campaign,
     run_transient_campaign,
 )
@@ -33,6 +35,7 @@ from repro.faults.models import (
 )
 
 __all__ = [
+    "FLEET_AUTO_MIN_BATCH",
     "SCHEMES",
     "CampaignConfig",
     "CampaignSummary",
@@ -50,6 +53,7 @@ __all__ = [
     "faulted_system",
     "faulted_trace",
     "ideal_draw",
+    "resolve_engine",
     "run_intermittent_campaign",
     "run_transient_campaign",
 ]

@@ -83,6 +83,46 @@ PLANNER_SLOTS = 40
 #: one-run-at-a-time path, ``"fleet"`` requires batching.
 ENGINES = ("auto", "scalar", "fleet")
 
+#: Crossover shard size below which ``engine="auto"`` routes to the
+#: scalar path: per ``BENCH_fleet_engine.json`` the fleet engine's
+#: fixed per-step array overhead makes it *slower* than the scalar
+#: loop at tiny batches (well under 1x at batch 1, roughly break-even
+#: at batch 16) and the win only compounds beyond that.  Explicit
+#: ``engine="fleet"`` always batches regardless (the differential
+#: harness runs batch 1 on purpose); ``auto`` is a throughput policy.
+FLEET_AUTO_MIN_BATCH = 16
+
+
+def resolve_engine(
+    engine: str,
+    runs: int,
+    batch_size: int,
+    resilience_active: bool = False,
+    min_batch: "int | None" = None,
+) -> str:
+    """The concrete engine (``"fleet"``/``"scalar"``) ``auto`` picks.
+
+    Pure dispatch policy, exposed so tests can pin it: ``auto``
+    batches through the fleet engine only when no resilience policy
+    forces per-run tasks *and* the effective shard size
+    (``min(runs, batch_size)``) reaches the measured crossover
+    (``min_batch``, default :data:`FLEET_AUTO_MIN_BATCH`).
+    """
+    if engine not in ENGINES:
+        raise ModelParameterError(
+            f"engine must be one of {ENGINES}, got {engine!r}"
+        )
+    if engine != "auto":
+        return engine
+    if resilience_active:
+        return "scalar"
+    threshold = FLEET_AUTO_MIN_BATCH if min_batch is None else min_batch
+    if threshold < 1:
+        raise ModelParameterError(
+            f"fleet_auto_min_batch must be >= 1, got {threshold}"
+        )
+    return "fleet" if min(runs, batch_size) >= threshold else "scalar"
+
 
 @dataclass(frozen=True)
 class CampaignConfig:
@@ -518,6 +558,7 @@ def run_transient_campaign(
     resilience: "ResilienceConfig | None" = None,
     engine: str = "auto",
     batch_size: int = 64,
+    fleet_auto_min_batch: "int | None" = None,
 ) -> CampaignSummary:
     """Fan ``config.runs`` seeded fault draws across the simulator.
 
@@ -556,10 +597,13 @@ def run_transient_campaign(
     (:mod:`repro.fleet`) in shards of ``batch_size``, falling back to
     the scalar path under ``resilience`` (the supervised runtime
     retries and quarantines *individual* seeds, which requires per-run
-    tasks).  ``"fleet"`` requires batching and raises when combined
-    with ``resilience``; ``"scalar"`` forces the historical path.  The
-    two engines are bit-identical run for run (``tests/fleet/``), so
-    the summary does not depend on the choice.
+    tasks) or when the effective shard size sits below the measured
+    fleet/scalar crossover (``fleet_auto_min_batch``, default
+    :data:`FLEET_AUTO_MIN_BATCH` -- see :func:`resolve_engine`).
+    ``"fleet"`` requires batching and raises when combined with
+    ``resilience``; ``"scalar"`` forces the historical path.  The two
+    engines are bit-identical run for run (``tests/fleet/``), so the
+    summary does not depend on the choice.
     """
     config = config or CampaignConfig()
     if engine not in ENGINES:
@@ -576,8 +620,15 @@ def run_transient_campaign(
             "supervised runtime retries/quarantines individual seeds; "
             "use engine='auto' (scalar fallback) or engine='scalar'"
         )
-    use_fleet = engine == "fleet" or (
-        engine == "auto" and resilience is None
+    use_fleet = (
+        resolve_engine(
+            engine,
+            config.runs,
+            batch_size,
+            resilience_active=resilience is not None,
+            min_batch=fleet_auto_min_batch,
+        )
+        == "fleet"
     )
     with_metrics = telemetry is not None and telemetry.enabled
     workload, ideal_result, ideal_cycles = _campaign_reference(config)

@@ -10,18 +10,30 @@ dispatch homogeneous-config shards here automatically; see
 
 from repro.fleet.bench import FleetReport, run_fleet_benchmark
 from repro.fleet.campaign import fleet_transient_batch_task
+from repro.fleet.control import (
+    FALLBACK_FAMILY,
+    FAMILY_CODES,
+    ControlPlane,
+    classify_controller,
+    shared_decision_caches,
+)
 from repro.fleet.engine import FleetNode, FleetSimulator
 from repro.fleet.pv import CellParams, batched_current
 from repro.fleet.state import NO_MODE, FleetState
 
 __all__ = [
     "CellParams",
+    "ControlPlane",
+    "FALLBACK_FAMILY",
+    "FAMILY_CODES",
     "FleetNode",
     "FleetReport",
     "FleetSimulator",
     "FleetState",
     "NO_MODE",
     "batched_current",
+    "classify_controller",
     "fleet_transient_batch_task",
     "run_fleet_benchmark",
+    "shared_decision_caches",
 ]

@@ -3,20 +3,24 @@
 :class:`FleetSimulator` advances ``B`` *independent* harvest-store-
 compute nodes through one shared time grid.  The expensive physics --
 the implicit single-diode PV solve and the capacitor integration -- run
-as masked array updates across all live lanes per step; the per-node
-control flow (controller decisions, DVFS transitions, brownout entry/
-recovery, completion detection) stays per-lane Python because the
-controllers are stateful policy objects, exactly as in the scalar
-engine.
+as masked array updates across all live lanes per step.  The per-lane
+decision path is split by the control plane
+(:mod:`repro.fleet.control`): lanes whose controllers classify into a
+vectorizable family advance through batched skip predicates and masked
+array resolution (real ``decide`` calls only when the controller's own
+trigger conditions fire); unknown controller subclasses and lanes with
+DVFS transition models fall back to the scalar per-lane body, exactly
+as in the scalar engine.
 
 **The equivalence guarantee.**  Lane ``i`` of a fleet run is
 bit-identical to a scalar :class:`~repro.sim.engine.TransientSimulator`
 run of the same node: every float operation happens in the same order
 on the same doubles (the batched Newton freezes each lane exactly where
-the scalar iteration would return -- see :mod:`repro.fleet.pv` -- and
-the vectorised capacitor update preserves the scalar expression order),
-and decisions resolve through the *same*
-:func:`repro.sim.engine.resolve_decision` code path.  ``tests/fleet/``
+the scalar iteration would return -- see :mod:`repro.fleet.pv` -- the
+vectorised capacitor update preserves the scalar expression order, and
+the control plane's vector resolution replays
+:func:`repro.sim.engine.resolve_decision` expression by expression),
+and skipped controller calls are provably no-ops.  ``tests/fleet/``
 asserts this across the full scenario matrix; the differential harness
 is the contract.
 
@@ -29,7 +33,7 @@ death never perturbs a neighbour (also a tested property).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple, cast
 
 import numpy as np
 
@@ -37,6 +41,17 @@ from repro.errors import (
     ModelParameterError,
     OperatingRangeError,
     SimulationError,
+)
+from repro.core.mppt import MppTrackingController
+from repro.fleet.control import (
+    FALLBACK_FAMILY,
+    FAMILY_CODES,
+    M_HALT,
+    MODE_NAMES,
+    ComparatorLens,
+    ControlPlane,
+    classify_controller,
+    shared_decision_caches,
 )
 from repro.fleet.pv import CellParams, batched_current
 from repro.fleet.state import NO_MODE, FleetState
@@ -55,7 +70,7 @@ from repro.sim.engine import (
 from repro.sim.result import SimulationResult
 from repro.sim.transitions import DvfsTransitionModel
 from repro.storage.capacitor import Capacitor
-from repro.telemetry.profiling import Stopwatch
+from repro.telemetry.profiling import PhaseTimer, Stopwatch
 from repro.telemetry.session import NULL_TELEMETRY, Telemetry
 
 
@@ -94,12 +109,19 @@ class FleetSimulator:
         ``pv_reference`` are rejected: the fleet always runs the exact
         batched solver (the approximate surface and the historical
         reference loop are scalar-engine benchmarking tools).
+    telemetry:
+        Optional *fleet-level* session for control-plane counters
+        (``fleet.lanes``, ``fleet.lanes.vectorized``, ``fleet.lanes.
+        fallback``, ``fleet.lanes.family.<name>``).  Per-lane sessions
+        stay on the nodes so lane metrics remain bit-identical to
+        scalar runs.
     """
 
     def __init__(
         self,
         nodes: Sequence[FleetNode],
         config: "SimulationConfig | None" = None,
+        telemetry: "Telemetry | None" = None,
     ) -> None:
         if not nodes:
             raise ModelParameterError("a fleet needs at least one node")
@@ -110,8 +132,15 @@ class FleetSimulator:
                 "the fleet engine always runs the exact batched solver; "
                 "fast_pv/pv_reference are scalar-engine options"
             )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         #: Populated by :meth:`run`; the end-of-run SoA snapshot.
         self.state: "FleetState | None" = None
+        #: Populated by :meth:`run`; lane classification counts
+        #: (``{"lanes", "vectorized", "fallback", "families"}``).
+        self.control_summary: "Dict[str, object] | None" = None
+        #: Optional per-phase wall profiler installed by benchmarks
+        #: (see :class:`~repro.telemetry.profiling.PhaseTimer`).
+        self.phase_timer: "PhaseTimer | None" = None
 
     # -- the run -------------------------------------------------------------
 
@@ -179,9 +208,12 @@ class FleetSimulator:
             node.workload.cycles if node.workload is not None else None
             for node in nodes
         ]
-        caches: "List[Dict[Tuple[float, float], Tuple[float, float]]]" = [
-            {} for _ in range(lanes)
-        ]
+        # Fleet-level decision memo: lanes with fingerprint-identical
+        # processors share one (v_eval, commanded_hz) cache (value-
+        # transparent -- sharing changes hit rates, never values).
+        caches: "List[Dict[Tuple[float, float], Tuple[float, float]]]" = (
+            shared_decision_caches(processors)
+        )
 
         # Batched PV when every lane is a plain SingleDiodeCell;
         # otherwise exact per-lane scalar solves (same fallback ladder
@@ -205,6 +237,47 @@ class FleetSimulator:
         if all(row is not None for row in irr_rows):
             irr_mat = np.stack([row for row in irr_rows if row is not None])
 
+        # -- control-plane classification -----------------------------
+        # A lane vectorizes only when the batched PV solve and the
+        # precomputed irradiance grid are available (the plane's step
+        # arrays come from them) and the lane's controller/regulator
+        # pass every classify_controller guard.
+        vector_ready = params is not None and irr_mat is not None
+        families: "List[str | None]" = []
+        for i in range(lanes):
+            family: "str | None" = None
+            if vector_ready:
+                family = classify_controller(
+                    controllers[i],
+                    processors[i],
+                    regulators[i],
+                    transitions[i] is not None,
+                )
+                if family is not None:
+                    target = targets[i]
+                    if target is not None and float(target) != target:
+                        family = None  # float mirror would round
+            families.append(family)
+        fast_idx = [i for i, fam in enumerate(families) if fam is not None]
+        slow_idx = [i for i, fam in enumerate(families) if fam is None]
+        nf = len(fast_idx)
+        family_counts: "Dict[str, int]" = {}
+        for fam in families:
+            if fam is not None:
+                family_counts[fam] = family_counts.get(fam, 0) + 1
+        self.control_summary = {
+            "lanes": lanes,
+            "vectorized": nf,
+            "fallback": lanes - nf,
+            "families": dict(sorted(family_counts.items())),
+        }
+        fleet_tel = self.telemetry
+        fleet_tel.count("fleet.lanes", float(lanes))
+        fleet_tel.count("fleet.lanes.vectorized", float(nf))
+        fleet_tel.count("fleet.lanes.fallback", float(lanes - nf))
+        for fam, fam_count in sorted(family_counts.items()):
+            fleet_tel.count(f"fleet.lanes.family.{fam}", float(fam_count))
+
         # -- SoA electrical state and per-lane scratch ----------------
         v = np.array([node.capacitor.voltage_v for node in nodes])
         cap_c = np.array([node.capacitor.capacitance_f for node in nodes])
@@ -215,11 +288,12 @@ class FleetSimulator:
         )
         live = np.ones(lanes, dtype=bool)
         irr_col = np.zeros(lanes)
+        i_net_arr = np.zeros(lanes)
         # Python-float mirrors of the hot per-lane reads: one tolist()
         # per step costs far less than per-lane numpy scalar indexing,
-        # and float64 -> Python float is exact.
+        # and float64 -> Python float is exact.  Only needed while
+        # scalar-fallback lanes are alive.
         v_list: "list" = v.tolist()
-        i_net_list: "list" = [0.0] * lanes
         irr_pylists: "List[list | None]" = [
             row.tolist() if row is not None else None for row in irr_rows
         ]
@@ -242,6 +316,9 @@ class FleetSimulator:
         mode_codes = SimulationResult.MODE_CODES
 
         # Per-lane loop state, exactly the scalar engine's locals.
+        # Fast lanes keep the continuously-updated fields in the fleet
+        # arrays below and sync these master lists at lane death and at
+        # run end; fallback lanes use them directly every step.
         cycles = [0.0] * lanes
         prev_v_proc = [0.0] * lanes
         prev_mode: "List[str | None]" = [None] * lanes
@@ -263,6 +340,60 @@ class FleetSimulator:
         events: "List[list]" = [[] for _ in range(lanes)]
         end_step = [-1] * lanes
         end_time = [float("nan")] * lanes
+
+        # -- control plane and fast-lane state arrays -----------------
+        plane: "ControlPlane | None" = None
+        lens: "ComparatorLens | None" = None
+        noisy_banks: "List[Tuple[int, int, ComparatorBank]]" = []
+        if nf:
+            plane = ControlPlane(
+                fast_idx,
+                cast("List[str]", [families[i] for i in fast_idx]),
+                [controllers[i] for i in fast_idx],
+                [processors[i] for i in fast_idx],
+                [regulators[i] for i in fast_idx],
+                [caches[i] for i in fast_idx],
+            )
+            fidx = np.array(fast_idx, dtype=np.intp)
+            faliveF = np.ones(nf, dtype=bool)
+            cyclesF = np.zeros(nf)
+            prev_vprocF = np.zeros(nf)
+            tmodeF = np.full(nf, NO_MODE, dtype=np.int8)
+            recoveringF = np.zeros(nf, dtype=bool)
+            in_boF = np.zeros(nf, dtype=bool)
+            completedF = np.zeros(nf, dtype=bool)
+            collapsedF = np.zeros(nf, dtype=bool)
+            downtimeF = np.zeros(nf)
+            bocountF = np.zeros(nf, dtype=np.int64)
+            v_prevF = v[fidx]
+            pendF = np.zeros(nf, dtype=bool)
+            targetF = np.array(
+                [
+                    np.nan if targets[i] is None else float(targets[i])
+                    for i in fast_idx
+                ]
+            )
+            has_targetF = ~np.isnan(targetF)
+            comp_powF = np.array([comparator_power[i] for i in fast_idx])
+            posF_alive = np.arange(nf)
+            fidx_alive = fidx
+            pend_rows: "List[int]" = []
+            # Comparator service split: noiseless banks go through the
+            # skip-predicate lens; noisy banks must observe every step
+            # (their noise stream advances per sample).
+            served_pos: "List[int]" = []
+            served_banks: "List[ComparatorBank]" = []
+            for pos_k, i in enumerate(fast_idx):
+                bank = comparators[i]
+                if bank is None:
+                    continue
+                if bank.noiseless:
+                    served_pos.append(pos_k)
+                    served_banks.append(bank)
+                else:
+                    noisy_banks.append((pos_k, i, bank))
+            if served_pos:
+                lens = ComparatorLens(served_pos, served_banks)
 
         watch = Stopwatch()
         for i in range(lanes):
@@ -287,18 +418,23 @@ class FleetSimulator:
             end_step[i] = lane_step
             end_time[i] = lane_t
 
-        alive = list(range(lanes))
-        alive_count = lanes
+        timer = self.phase_timer
+        slow_alive = list(slow_idx)
+        all_alive = True
         t = 0.0
         step = 0
+        t_mark = 0.0
         for step in range(steps + 1):
+            if timer is not None:
+                t_mark = timer.mark()
             # One batched PV solve across all live lanes.
             i_pv_list: "list | None" = None
+            i_pv_arr: "np.ndarray | None" = None
             if params is not None:
                 if irr_steps is not None:
                     irr_arr = irr_steps[step]
                 else:
-                    for i in alive:
+                    for i in slow_alive:
                         pylist = irr_pylists[i]
                         irr_col[i] = (
                             pylist[step]
@@ -306,12 +442,262 @@ class FleetSimulator:
                             else traces[i](t)
                         )
                     irr_arr = irr_col
-                i_pv_list = batched_current(
-                    params, v, irr_arr, live
-                ).tolist()
+                i_pv_arr = batched_current(params, v, irr_arr, live)
+                if slow_alive:
+                    i_pv_list = i_pv_arr.tolist()
+            if timer is not None:
+                t_mark = timer.add("pv", t_mark)
 
             any_died = False
-            for i in alive:
+
+            # ---- vectorized control plane (classified lanes) --------
+            if nf:
+                assert plane is not None
+                assert i_pv_arr is not None and irr_steps is not None
+                vF = v[fidx]
+                ipvF = i_pv_arr[fidx]
+                ppvF = vF * ipvF
+                irrF = irr_steps[step][fidx]
+
+                # Power-good release (see the scalar engine).
+                if recoveringF.any():
+                    release = (
+                        faliveF
+                        & recoveringF
+                        & (vF >= cfg.recovery_voltage_v)
+                    )
+                    for k in np.nonzero(release)[0]:
+                        kk = int(k)
+                        i = fast_idx[kk]
+                        tel = tels[i]
+                        recoveringF[kk] = False
+                        v_node = float(vF[kk])
+                        events[i].append(("recovered", t))
+                        tel.event(
+                            "recovered", t, track="engine", node_v=v_node
+                        )
+                        outage_start = outage_started_s[i]
+                        if outage_start is not None:
+                            tel.end_span(t)
+                            tel.observe(
+                                "brownout.outage_s", t - outage_start
+                            )
+                            outage_started_s[i] = None
+
+                # Real decide calls only where the skip predicates fire.
+                need = plane.decision_flags(
+                    step, t, vF, v_prevF, cyclesF, recoveringF, bocountF,
+                    pendF,
+                )
+                need &= faliveF
+                if need.any():
+                    for k in np.nonzero(need)[0]:
+                        kk = int(k)
+                        i = fast_idx[kk]
+                        controller = controllers[i]
+                        if step > 0 and families[i] == "mppt":
+                            cast(
+                                MppTrackingController, controller
+                            ).sync_last_node_v(float(v_prevF[kk]))
+                        v_node = float(vF[kk])
+                        view = ControllerView(
+                            time_s=t,
+                            node_voltage_v=v_node,
+                            processor_voltage_v=float(prev_vprocF[kk]),
+                            cycles_done=float(cyclesF[kk]),
+                            comparator_events=pending_events[i],
+                            recovering=bool(recoveringF[kk]),
+                            brownout_count=int(bocountF[kk]),
+                        )
+                        plane.refresh(kk, controller.decide(view), v_node)
+                plane.bypass_commands(vF, faliveF)
+
+                (
+                    v_procF, fF, p_procF, p_drawF, modeF, dec_fF, dec_modeF,
+                ) = plane.resolve(vF, faliveF)
+                if recoveringF.any():
+                    gate = recoveringF & faliveF
+                    v_procF = np.where(gate, 0.0, v_procF)
+                    fF = np.where(gate, 0.0, fF)
+                    p_procF = np.where(gate, 0.0, p_procF)
+                    p_drawF = np.where(gate, 0.0, p_drawF)
+                    modeF = np.where(gate, M_HALT, modeF).astype(np.int8)
+                prev_vprocF = np.where(faliveF, v_procF, prev_vprocF)
+
+                # Converter-path mode switch telemetry.
+                changed = faliveF & (modeF != tmodeF)
+                if changed.any():
+                    for k in np.nonzero(changed)[0]:
+                        kk = int(k)
+                        old_code = int(tmodeF[kk])
+                        if old_code != NO_MODE:
+                            i = fast_idx[kk]
+                            tels[i].count("regulator.mode_switches")
+                            tels[i].event(
+                                "regulator.mode_switch", t, track="engine",
+                                previous=MODE_NAMES[old_code],
+                                new=MODE_NAMES[int(modeF[kk])],
+                                node_v=float(vF[kk]),
+                            )
+                    tmodeF[changed] = modeF[changed]
+
+                # Brownout: commanded work the supply cannot run.
+                stalled = (
+                    (dec_fF > 0.0)
+                    & (fF == 0.0)
+                    & (modeF == M_HALT)
+                    & (dec_modeF != M_HALT)
+                    & ~completedF
+                    & ~recoveringF
+                    & faliveF
+                )
+                entering = stalled & ~in_boF
+                if entering.any():
+                    for k in np.nonzero(entering)[0]:
+                        kk = int(k)
+                        i = fast_idx[kk]
+                        tel = tels[i]
+                        in_boF[kk] = True
+                        browned_out[i] = True
+                        bocountF[kk] += 1
+                        brownout_count[i] += 1
+                        if brownout_time[i] is None:
+                            brownout_time[i] = t
+                        events[i].append(("brownout", t))
+                        tel.count("brownout.count")
+                        tel.event(
+                            "brownout", t, track="engine",
+                            node_v=float(vF[kk]),
+                        )
+                        if cfg.stop_on_brownout:
+                            if step % cfg.record_every == 0:
+                                col = step // cfg.record_every
+                                rec_t[i, col] = t
+                                rec_vnode[i, col] = vF[kk]
+                                rec_vproc[i, col] = v_procF[kk]
+                                rec_f[i, col] = 0.0
+                                rec_ppv[i, col] = ppvF[kk]
+                                rec_pproc[i, col] = 0.0
+                                rec_pdraw[i, col] = 0.0
+                                rec_irr[i, col] = irrF[kk]
+                                rec_mode[i, col] = mode_codes["halt"]
+                                recorded[i] = col + 1
+                            else:
+                                recorded[i] = (
+                                    (step - 1) // cfg.record_every + 1
+                                )
+                            cycles[i] = float(cyclesF[kk])
+                            downtime_s[i] = float(downtimeF[kk])
+                            finish_lane(i, step, t)
+                            faliveF[kk] = False
+                            any_died = True
+                        elif cfg.recover_from_brownout:
+                            recoveringF[kk] = True
+                            if outage_started_s[i] is None:
+                                tel.begin_span(
+                                    "brownout.outage", t, track="engine"
+                                )
+                                outage_started_s[i] = t
+                            v_procF[kk] = 0.0
+                            fF[kk] = 0.0
+                            p_procF[kk] = 0.0
+                            p_drawF[kk] = 0.0
+                            modeF[kk] = M_HALT
+                            prev_vprocF[kk] = 0.0
+                in_boF[(fF > 0.0) & faliveF] = False
+
+                if step % cfg.record_every == 0:
+                    if timer is not None:
+                        t_mark = timer.add("control", t_mark)
+                    col = step // cfg.record_every
+                    if any_died:
+                        sel = np.nonzero(faliveF)[0]
+                        rows = fidx[sel]
+                    else:
+                        sel = posF_alive
+                        rows = fidx_alive
+                    rec_t[rows, col] = t
+                    rec_vnode[rows, col] = vF[sel]
+                    rec_vproc[rows, col] = v_procF[sel]
+                    rec_f[rows, col] = fF[sel]
+                    rec_ppv[rows, col] = ppvF[sel]
+                    rec_pproc[rows, col] = p_procF[sel]
+                    rec_pdraw[rows, col] = p_drawF[sel]
+                    rec_irr[rows, col] = irrF[sel]
+                    rec_mode[rows, col] = modeF[sel]
+                    if timer is not None:
+                        t_mark = timer.add("record", t_mark)
+
+                if step < steps:
+                    # Cycle bookkeeping and completion detection.
+                    updatable = faliveF.copy()
+                    new_cyclesF = cyclesF + fF * dt
+                    completing = (
+                        faliveF
+                        & has_targetF
+                        & ~completedF
+                        & (new_cyclesF >= targetF)
+                    )
+                    if completing.any():
+                        for k in np.nonzero(completing)[0]:
+                            kk = int(k)
+                            i = fast_idx[kk]
+                            tel = tels[i]
+                            completedF[kk] = True
+                            completed[i] = True
+                            target = targets[i]
+                            f_py = float(fF[kk])
+                            if f_py > 0.0:
+                                crossed_t = (
+                                    t + (target - float(cyclesF[kk])) / f_py
+                                )
+                            else:
+                                crossed_t = t
+                            completion_time[i] = crossed_t
+                            events[i].append(("completed", crossed_t))
+                            tel.event(
+                                "workload.completed", crossed_t,
+                                track="engine", cycles=float(target),
+                            )
+                            if cfg.stop_on_completion:
+                                cycles[i] = float(new_cyclesF[kk])
+                                downtime_s[i] = float(downtimeF[kk])
+                                recorded[i] = step // cfg.record_every + 1
+                                finish_lane(i, step, t)
+                                faliveF[kk] = False
+                                any_died = True
+                    cyclesF = np.where(updatable, new_cyclesF, cyclesF)
+
+                    idle = faliveF & (
+                        recoveringF | (in_boF & (fF == 0.0))
+                    )
+                    downtimeF = np.where(idle, downtimeF + dt, downtimeF)
+
+                    # Node demand; the capacitor integration is batched.
+                    demandF = p_drawF + comp_powF
+                    ok_v = vF > 1e-6
+                    i_drawF = np.where(
+                        ok_v, demandF / np.where(ok_v, vF, 1.0), 0.0
+                    )
+                    collapsedF = np.where(faliveF & ok_v, False, collapsedF)
+                    collapsing = (
+                        faliveF & ~ok_v & (demandF > 0.0) & ~collapsedF
+                    )
+                    if collapsing.any():
+                        for k in np.nonzero(collapsing)[0]:
+                            kk = int(k)
+                            i = fast_idx[kk]
+                            collapsedF[kk] = True
+                            events[i].append(("node_collapse", t))
+                            tels[i].event("node.collapse", t, track="engine")
+                    # Dead lanes get don't-care values; the capacitor
+                    # update never applies them (live mask).
+                    i_net_arr[fidx] = ipvF - i_drawF
+                if timer is not None:
+                    t_mark = timer.add("control", t_mark)
+
+            # ---- scalar fallback lanes ------------------------------
+            for i in slow_alive:
                 tel = tels[i]
                 v_node = v_list[i]
                 pylist = irr_pylists[i]
@@ -413,7 +799,7 @@ class FleetSimulator:
                     telemetry_mode[i] = mode
 
                 # Brownout: commanded work the supply cannot run.
-                stalled = (
+                stalled_lane = (
                     decision.frequency_hz > 0.0
                     and f == 0.0
                     and mode == "halt"
@@ -421,7 +807,7 @@ class FleetSimulator:
                     and not completed[i]
                     and not recovering[i]
                 )
-                if stalled and not in_brownout[i]:
+                if stalled_lane and not in_brownout[i]:
                     in_brownout[i] = True
                     browned_out[i] = True
                     brownout_count[i] += 1
@@ -525,28 +911,33 @@ class FleetSimulator:
                         node_collapsed[i] = True
                         events[i].append(("node_collapse", t))
                         tel.event("node.collapse", t, track="engine")
-                i_net_list[i] = i_pv - i_draw
+                i_net_arr[i] = i_pv - i_draw
+
+            if timer is not None and slow_alive:
+                t_mark = timer.add("control", t_mark)
 
             if step == steps:
                 break
             if any_died:
-                alive = [i for i in alive if live[i]]
-                alive_count = len(alive)
-                if not alive:
+                slow_alive = [i for i in slow_alive if live[i]]
+                if nf:
+                    posF_alive = np.nonzero(faliveF)[0]
+                    fidx_alive = fidx[posF_alive]
+                all_alive = False
+                if not live.any():
                     break
 
             # Masked capacitor update across all live lanes, preserving
             # the scalar expression order (leak subtraction only when
             # leaking and charged; left-associative V + (I*dt)/C; clamp
             # to [0, rating]).
-            i_net = np.asarray(i_net_list)
             adj = np.where(
-                (cap_leak > 0.0) & (v > 0.0), i_net - cap_leak, i_net
+                (cap_leak > 0.0) & (v > 0.0), i_net_arr - cap_leak, i_net_arr
             )
             v_next = np.minimum(
                 np.maximum(v + adj * dt / cap_c, 0.0), cap_vmax
             )
-            if alive_count == lanes:
+            if all_alive:
                 if not np.all(np.isfinite(v_next)):
                     raise SimulationError(
                         f"node voltage became non-finite at t={t}"
@@ -558,10 +949,11 @@ class FleetSimulator:
                         f"node voltage became non-finite at t={t}"
                     )
                 v[live] = v_next[live]
-            v_list = v.tolist()
+            if slow_alive:
+                v_list = v.tolist()
 
             # Comparator observations feed the next step's views.
-            for i in alive:
+            for i in slow_alive:
                 bank = comparators[i]
                 if bank is not None:
                     pending_events[i] = tuple(
@@ -569,8 +961,63 @@ class FleetSimulator:
                     )
                 else:
                     pending_events[i] = ()
+            if nf:
+                v_prevF = vF
+                if pend_rows:
+                    for kk in pend_rows:
+                        pending_events[fast_idx[kk]] = ()
+                    pendF[pend_rows] = False
+                    pend_rows = []
+                if lens is not None or noisy_banks:
+                    vF_next = v[fidx]
+                    if lens is not None:
+                        for row in lens.rows_to_observe(vF_next, faliveF):
+                            rr = int(row)
+                            kk = int(lens.positions[rr])
+                            i = fast_idx[kk]
+                            bank = comparators[i]
+                            assert bank is not None
+                            new_events = bank.observe(
+                                t + dt, float(vF_next[kk])
+                            )
+                            lens.refresh(rr)
+                            if new_events:
+                                pending_events[i] = tuple(new_events)
+                                pendF[kk] = True
+                                pend_rows.append(kk)
+                    for kk, i, bank in noisy_banks:
+                        if faliveF[kk]:
+                            new_events = bank.observe(
+                                t + dt, float(vF_next[kk])
+                            )
+                            if new_events:
+                                pending_events[i] = tuple(new_events)
+                                pendF[kk] = True
+                                pend_rows.append(kk)
+            if timer is not None:
+                t_mark = timer.add("capacitor", t_mark)
 
             t += dt
+
+        # Sync the fast lanes' continuously-updated state back into the
+        # master per-lane lists (dead lanes were synced at death; their
+        # arrays are frozen, so re-syncing is a no-op).
+        if nf:
+            for kk in range(nf):
+                i = fast_idx[kk]
+                cycles[i] = float(cyclesF[kk])
+                prev_v_proc[i] = float(prev_vprocF[kk])
+                downtime_s[i] = float(downtimeF[kk])
+                recovering[i] = bool(recoveringF[kk])
+                in_brownout[i] = bool(in_boF[kk])
+                node_collapsed[i] = bool(collapsedF[kk])
+                brownout_count[i] = int(bocountF[kk])
+                tmode_code = int(tmodeF[kk])
+                telemetry_mode[i] = (
+                    None if tmode_code == NO_MODE else MODE_NAMES[tmode_code]
+                )
+                if live[i]:
+                    recorded[i] = step // cfg.record_every + 1
 
         # Lanes that reached the end of the grid finish here, exactly
         # like the scalar engine's after-loop block.
@@ -634,6 +1081,13 @@ class FleetSimulator:
             in_brownout=np.array(in_brownout, dtype=bool),
             node_collapsed=np.array(node_collapsed, dtype=bool),
             live=live.copy(),
+            control_family=np.array(
+                [
+                    FALLBACK_FAMILY if fam is None else FAMILY_CODES[fam]
+                    for fam in families
+                ],
+                dtype=np.int8,
+            ),
             capacitance_f=cap_c.copy(),
             esr_ohm=cap_esr.copy(),
             max_voltage_v=cap_vmax.copy(),

@@ -69,6 +69,13 @@ class FleetState:
     node_collapsed: np.ndarray
     live: np.ndarray
 
+    # -- control-plane classification (int8, one per lane) --
+    #: :data:`repro.fleet.control.FAMILY_CODES` code of the lane's
+    #: vectorized controller family, or
+    #: :data:`~repro.fleet.control.FALLBACK_FAMILY` (-1) for lanes that
+    #: ran the scalar per-lane fallback path.
+    control_family: np.ndarray
+
     # -- materialized per-node fault draws (float64, one per lane) --
     capacitance_f: np.ndarray
     esr_ohm: np.ndarray

@@ -35,6 +35,38 @@ class Stopwatch:
         return time.perf_counter() - self._started
 
 
+class PhaseTimer:
+    """Accumulate wall time into named phases (bench-only hook).
+
+    The fleet engine exposes an optional ``phase_timer`` attribute;
+    when a benchmark installs one, the engine brackets its per-step
+    phases (PV solve, control plane, record, capacitor) with
+    :meth:`mark`/:meth:`add` pairs.  Like every profiling helper the
+    accumulated walls are observability only -- they never feed
+    simulated physics or deterministic exports.
+    """
+
+    def __init__(self) -> None:
+        #: Accumulated wall seconds per phase name.
+        self.phase_wall_s: "dict[str, float]" = {}
+
+    def mark(self) -> float:
+        """An opaque reference instant for a following :meth:`add`."""
+        return time.perf_counter()
+
+    def add(self, phase: str, started: float) -> float:
+        """Accrue now-minus-``started`` to ``phase``; return now.
+
+        Returning the new instant lets back-to-back phases chain:
+        ``mark = timer.add("pv", mark)``.
+        """
+        now = time.perf_counter()
+        self.phase_wall_s[phase] = (
+            self.phase_wall_s.get(phase, 0.0) + (now - started)
+        )
+        return now
+
+
 @contextmanager
 def profiled(telemetry: Telemetry, name: str) -> "Iterator[None]":
     """Time a block and accumulate it under ``name``.

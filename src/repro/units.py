@@ -93,6 +93,18 @@ def giga_hertz(value: float) -> float:
     return value * 1e9
 
 
+def nano_farads(value: float) -> float:
+    """Convert nanofarads to farads.
+
+    Divides by the exactly-representable ``1e9`` (correctly-rounded
+    IEEE-754 division), so ``nano_farads(1) == 1e-9`` bit-exactly --
+    the same trick :func:`micro_seconds` uses, which lets raw
+    capacitance literals be routed through this helper without
+    perturbing golden results.
+    """
+    return value / 1e9
+
+
 def pico_farads(value: float) -> float:
     """Convert picofarads to farads."""
     return value * 1e-12

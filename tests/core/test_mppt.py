@@ -9,6 +9,7 @@ from repro.monitor.comparator import CrossingEvent
 from repro.pv.traces import step_trace
 from repro.sim.dvfs import ControllerView
 from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.units import micro_seconds, milli_seconds
 
 
 @pytest.fixture(scope="module")
@@ -114,7 +115,7 @@ class TestClosedLoop:
             controller=controller,
             comparators=system.new_comparator_bank(),
             config=SimulationConfig(
-                time_step_s=10e-6, record_every=8, stop_on_brownout=False
+                time_step_s=micro_seconds(10), record_every=8, stop_on_brownout=False
             ),
         )
         result = simulator.run(step_trace(1.0, 0.3, 5e-3, 60e-3))
@@ -143,7 +144,7 @@ class TestClosedLoop:
             controller=controller,
             comparators=system.new_comparator_bank(),
             config=SimulationConfig(
-                time_step_s=10e-6, record_every=8, stop_on_brownout=False
+                time_step_s=micro_seconds(10), record_every=8, stop_on_brownout=False
             ),
         )
         simulator.run(step_trace(0.1, 1.0, 5e-3, 60e-3))
@@ -160,7 +161,7 @@ class TestProbing:
         )
         bottom = system.comparator_thresholds_v[-1]
         view = ControllerView(
-            time_s=1e-3,
+            time_s=milli_seconds(1),
             node_voltage_v=bottom - 0.1,
             processor_voltage_v=0.5,
             cycles_done=0.0,
@@ -194,7 +195,7 @@ class TestProbing:
             tracker, initial_irradiance=1.2, settle_time_s=0.0
         )
         view = ControllerView(
-            time_s=1e-3, node_voltage_v=1.5, processor_voltage_v=0.5,
+            time_s=milli_seconds(1), node_voltage_v=1.5, processor_voltage_v=0.5,
             cycles_done=0.0, comparator_events=(),
         )
         controller.decide(view)

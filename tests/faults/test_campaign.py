@@ -11,9 +11,11 @@ import pytest
 
 from repro.errors import ModelParameterError
 from repro.faults import (
+    FLEET_AUTO_MIN_BATCH,
     CampaignConfig,
     FaultSpec,
     IntermittentCampaignConfig,
+    resolve_engine,
     run_intermittent_campaign,
     run_transient_campaign,
 )
@@ -51,6 +53,95 @@ class TestCampaignConfig:
         trace = config.base_trace()
         assert trace(0.0) == pytest.approx(config.bright)
         assert trace(config.duration_s) == pytest.approx(config.dim_to)
+
+
+class TestEngineDispatch:
+    """Pin the ``engine="auto"`` fleet/scalar crossover policy."""
+
+    def test_auto_routes_small_batches_to_scalar(self):
+        assert resolve_engine("auto", runs=1, batch_size=64) == "scalar"
+        assert (
+            resolve_engine(
+                "auto", runs=FLEET_AUTO_MIN_BATCH - 1, batch_size=64
+            )
+            == "scalar"
+        )
+
+    def test_auto_routes_large_batches_to_fleet(self):
+        assert (
+            resolve_engine(
+                "auto", runs=FLEET_AUTO_MIN_BATCH, batch_size=64
+            )
+            == "fleet"
+        )
+        assert resolve_engine("auto", runs=1024, batch_size=64) == "fleet"
+
+    def test_batch_size_caps_the_effective_shard(self):
+        # Plenty of runs, but shards of 4 never amortize the fleet's
+        # per-step array overhead.
+        assert resolve_engine("auto", runs=1024, batch_size=4) == "scalar"
+
+    def test_resilience_forces_scalar(self):
+        assert (
+            resolve_engine(
+                "auto", runs=1024, batch_size=64, resilience_active=True
+            )
+            == "scalar"
+        )
+
+    def test_explicit_engines_pass_through(self):
+        # Explicit selection is never second-guessed: the differential
+        # harness runs engine="fleet" at batch 1 on purpose.
+        assert resolve_engine("fleet", runs=1, batch_size=1) == "fleet"
+        assert resolve_engine("scalar", runs=1024, batch_size=64) == "scalar"
+
+    def test_crossover_is_overridable(self):
+        assert (
+            resolve_engine("auto", runs=2, batch_size=64, min_batch=2)
+            == "fleet"
+        )
+        assert (
+            resolve_engine("auto", runs=64, batch_size=64, min_batch=128)
+            == "scalar"
+        )
+        with pytest.raises(ModelParameterError):
+            resolve_engine("auto", runs=2, batch_size=64, min_batch=0)
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ModelParameterError):
+            resolve_engine("warp", runs=1, batch_size=1)
+
+    def test_campaign_auto_small_run_never_touches_fleet(self, monkeypatch):
+        # A 3-run campaign sits below the crossover: auto must take the
+        # scalar path, so poisoning the fleet batch task proves the
+        # dispatch rather than trusting the (bit-identical) outputs.
+        import repro.fleet.campaign as fleet_campaign
+
+        def _poisoned(*args, **kwargs):
+            raise AssertionError("auto dispatched a tiny batch to the fleet")
+
+        monkeypatch.setattr(
+            fleet_campaign, "fleet_transient_batch_task", _poisoned
+        )
+        summary = run_transient_campaign(FaultSpec(), SMALL, engine="auto")
+        assert summary.runs == SMALL.runs
+
+    def test_campaign_fleet_override_still_batches(self, monkeypatch):
+        import repro.fleet.campaign as fleet_campaign
+
+        calls = {"count": 0}
+        original = fleet_campaign.fleet_transient_batch_task
+
+        def _spying(*args, **kwargs):
+            calls["count"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(
+            fleet_campaign, "fleet_transient_batch_task", _spying
+        )
+        summary = run_transient_campaign(FaultSpec(), SMALL, engine="fleet")
+        assert summary.runs == SMALL.runs
+        assert calls["count"] >= 1
 
 
 class TestTransientCampaign:

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.core.duty_cycle import DutyCycleController
 from repro.core.mppt import DischargeTimeMppTracker, MppTrackingController
 from repro.core.operating_point import OperatingPointOptimizer
 from repro.core.sprint import SprintController, SprintScheduler
@@ -36,13 +37,21 @@ from repro.faults.models import (
 from repro.fleet.engine import FleetNode, FleetSimulator
 from repro.parallel.cache import characterized_system
 from repro.perf.benchmark import results_bit_identical
+from repro.planner.adapter import PlanController, RecedingHorizonController
+from repro.planner.dp import PlannerSpec, build_actions, solve_plan
+from repro.planner.forecast import ForecastErrorModel, bin_trace
 from repro.processor.workloads import Workload, image_frame_workload
 from repro.pv.traces import IrradianceTrace, cloud_trace, step_trace
-from repro.sim.dvfs import FixedOperatingPointController
+from repro.sim.dvfs import (
+    BypassController,
+    ConstantSpeedController,
+    FixedOperatingPointController,
+)
 from repro.sim.engine import SimulationConfig, TransientSimulator
 from repro.sim.result import SimulationResult
 from repro.sim.transitions import DvfsTransitionModel
 from repro.telemetry.session import Telemetry, TelemetrySession
+from repro.units import milli_seconds
 
 SYSTEM, LUT = characterized_system()
 
@@ -226,6 +235,122 @@ MATRIX_SCENARIOS: "Tuple[Scenario, ...]" = (
     ),
     Scenario("fig9_sprint", MATRIX_CONFIG, MATRIX_TRACE, _sprint_parts),
 )
+
+
+# -- control-plane family lanes ----------------------------------------------
+#
+# One lane per vectorizable controller family, all sharing
+# MATRIX_CONFIG / MATRIX_TRACE so the whole set (plus the sprint lane
+# as the unknown-subclass fallback) mixes in a single heterogeneous
+# batch.  The planner artifacts (action set, value grid, forecast,
+# oracle plan) are immutable and shared across lanes exactly like the
+# MPP tracker; the controllers built from them are fresh per lane.
+
+PLANNER_SPEC = PlannerSpec(slot_s=milli_seconds(1))
+PLANNER_ACTIONS, PLANNER_GRID = build_actions(SYSTEM, "sc", PLANNER_SPEC)
+PLANNER_FORECAST = bin_trace(
+    MATRIX_TRACE, SYSTEM, PLANNER_SPEC.slot_s, duration_s=12e-3
+)
+ORACLE_PLAN = solve_plan(
+    PLANNER_FORECAST.income_j,
+    PLANNER_ACTIONS,
+    PLANNER_GRID,
+    0.5 * SYSTEM.node_capacitance_f * 1.2**2,
+    PLANNER_FORECAST.slot_s,
+)
+
+#: Mid-light optimum for the duty-cycle lane (distinct from the
+#: bright-light FIXED_POINT so the lanes are distinguishable).
+DUTY_POINT = OperatingPointOptimizer(SYSTEM).best_point("sc", 0.5)
+
+#: Cycle budget of the planner family lanes.
+PLANNER_CYCLES = 400_000
+
+
+def _bypass_law(v_node: float) -> float:
+    """Voltage-proportional clock: exercises the per-step law calls."""
+    return v_node * 2e7
+
+
+def _constant_speed_parts(
+    telemetry: "Optional[Telemetry]",
+) -> Dict[str, Any]:
+    parts = _fig6_fixed_parts(telemetry)
+    parts["controller"] = ConstantSpeedController(
+        output_voltage_v=FIXED_POINT.processor_voltage_v,
+        frequency_hz=FIXED_POINT.frequency_hz,
+        total_cycles=250_000,
+    )
+    return parts
+
+
+def _bypass_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    parts = _fig6_fixed_parts(telemetry)
+    parts["controller"] = BypassController(_bypass_law)
+    return parts
+
+
+def _duty_cycle_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    parts = _fig6_fixed_parts(telemetry)
+    parts["controller"] = DutyCycleController(DUTY_POINT, 20_000, 1.1, 0.9)
+    return parts
+
+
+def _plan_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    parts = _fig6_fixed_parts(telemetry)
+    parts["controller"] = PlanController(
+        ORACLE_PLAN,
+        capacitance_f=SYSTEM.node_capacitance_f,
+        total_cycles=PLANNER_CYCLES,
+        deadline_s=10e-3,
+        telemetry=telemetry,
+    )
+    return parts
+
+
+def _receding_parts(telemetry: "Optional[Telemetry]") -> Dict[str, Any]:
+    parts = _fig6_fixed_parts(telemetry)
+    belief = ForecastErrorModel(bias=-0.1, noise_sigma=0.15, seed=7).apply(
+        PLANNER_FORECAST
+    )
+    parts["controller"] = RecedingHorizonController(
+        belief,
+        PLANNER_ACTIONS,
+        PLANNER_GRID,
+        capacitance_f=SYSTEM.node_capacitance_f,
+        total_cycles=PLANNER_CYCLES,
+        deadline_s=10e-3,
+        telemetry=telemetry,
+    )
+    return parts
+
+
+#: One lane per vectorizable family (scenario name = family name).
+FAMILY_SCENARIOS: "Tuple[Scenario, ...]" = (
+    Scenario("fixed", MATRIX_CONFIG, MATRIX_TRACE, _fig6_fixed_parts),
+    Scenario(
+        "constant_speed", MATRIX_CONFIG, MATRIX_TRACE, _constant_speed_parts
+    ),
+    Scenario("bypass", MATRIX_CONFIG, MATRIX_TRACE, _bypass_parts),
+    Scenario("duty_cycle", MATRIX_CONFIG, MATRIX_TRACE, _duty_cycle_parts),
+    Scenario("mppt", MATRIX_CONFIG, MATRIX_TRACE, _fig8_mppt_parts),
+    Scenario("plan", MATRIX_CONFIG, MATRIX_TRACE, _plan_parts),
+    Scenario("receding", MATRIX_CONFIG, MATRIX_TRACE, _receding_parts),
+)
+
+#: Every vectorizable family plus one unknown-subclass fallback lane
+#: (the sprint controller has no VECTOR_FAMILY tag).
+HETERO_SCENARIOS: "Tuple[Scenario, ...]" = FAMILY_SCENARIOS + (
+    Scenario(
+        "sprint_fallback", MATRIX_CONFIG, MATRIX_TRACE, _sprint_parts
+    ),
+)
+
+#: Expected classification per heterogeneous lane (None = fallback).
+EXPECTED_FAMILY: "Dict[str, Optional[str]]" = {
+    scenario.name: scenario.name for scenario in FAMILY_SCENARIOS
+}
+EXPECTED_FAMILY["sprint_fallback"] = None
 
 
 def _stop_scenario(name: str, **overrides: Any) -> Scenario:

@@ -8,6 +8,7 @@ from repro.errors import ModelParameterError
 from repro.pv.traces import constant_trace, step_trace
 from repro.sim.dvfs import FixedOperatingPointController
 from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.units import micro_seconds
 
 
 @pytest.fixture(scope="module")
@@ -38,7 +39,7 @@ def recovered_result(system):
     sim = make_sim(
         system,
         controller,
-        time_step_s=20e-6,
+        time_step_s=micro_seconds(20),
         stop_on_brownout=False,
         recover_from_brownout=True,
         recovery_voltage_v=1.05,
@@ -129,7 +130,7 @@ class TestTerminalSemanticsUnchanged:
         sim = make_sim(
             system,
             controller,
-            time_step_s=20e-6,
+            time_step_s=micro_seconds(20),
             stop_on_brownout=True,
         )
         result = sim.run(stress_trace())
@@ -145,7 +146,7 @@ class TestTerminalSemanticsUnchanged:
         sim = make_sim(
             system,
             controller,
-            time_step_s=20e-6,
+            time_step_s=micro_seconds(20),
             stop_on_brownout=False,
         )
         result = sim.run(stress_trace())
@@ -157,7 +158,7 @@ class TestTerminalSemanticsUnchanged:
         sim = make_sim(
             system,
             controller,
-            time_step_s=20e-6,
+            time_step_s=micro_seconds(20),
             stop_on_brownout=False,
             recover_from_brownout=True,
         )
@@ -181,7 +182,7 @@ class TestNodeCollapseAccounting:
             controller=controller,
             comparators=system.new_comparator_bank(),
             config=SimulationConfig(
-                time_step_s=20e-6, stop_on_brownout=False
+                time_step_s=micro_seconds(20), stop_on_brownout=False
             ),
         )
         result = sim.run(constant_trace(0.0, 1e-3))
@@ -191,7 +192,7 @@ class TestNodeCollapseAccounting:
     def test_healthy_run_never_collapses(self, system):
         controller = FixedOperatingPointController(0.5, 50e6)
         sim = make_sim(
-            system, controller, time_step_s=20e-6, stop_on_brownout=False
+            system, controller, time_step_s=micro_seconds(20), stop_on_brownout=False
         )
         result = sim.run(constant_trace(1.0, 0.02))
         assert not any(e[0] == "node_collapse" for e in result.events)

@@ -8,6 +8,7 @@ from repro.processor.workloads import Workload
 from repro.pv.traces import constant_trace
 from repro.sim.dvfs import ControlDecision, ControllerView, DvfsController
 from repro.sim.engine import SimulationConfig, TransientSimulator
+from repro.units import mega_hertz, micro_seconds, nano_farads
 from repro.sim.transitions import (
     DISCRETE_TRANSITIONS,
     INTEGRATED_TRANSITIONS,
@@ -41,7 +42,7 @@ class TestModel:
         assert model.is_transition("regulated", 0.55, "regulated", 0.60)
 
     def test_transition_energy_asymmetric(self):
-        model = DvfsTransitionModel(output_capacitance_f=1e-9)
+        model = DvfsTransitionModel(output_capacitance_f=nano_farads(1))
         up = model.transition_energy_j(0.5, 0.7)
         assert up == pytest.approx(0.5e-9 * (0.49 - 0.25))
         assert model.transition_energy_j(0.7, 0.5) == 0.0
@@ -63,7 +64,7 @@ class ToggleController(DvfsController):
         phase = int(view.time_s / self.period_s) % 2
         return ControlDecision(
             mode="regulated",
-            frequency_hz=200e6,
+            frequency_hz=mega_hertz(200),
             output_voltage_v=0.5 if phase == 0 else 0.6,
         )
 
@@ -80,7 +81,7 @@ class TestEngineIntegration:
             processor=system.processor,
             regulator=system.regulator("sc"),
             controller=ToggleController(period_s),
-            config=SimulationConfig(time_step_s=5e-6, record_every=4),
+            config=SimulationConfig(time_step_s=micro_seconds(5), record_every=4),
             transitions=transitions,
         )
         return simulator.run(constant_trace(1.0, 20e-3))
@@ -100,8 +101,8 @@ class TestEngineIntegration:
     def test_slow_settling_costs_cycles(self, system):
         """A discrete-regulator settle time eats visible compute: the
         integrated case completes more cycles on the same schedule."""
-        fast = self.run_with(system, INTEGRATED_TRANSITIONS, period_s=0.5e-3)
-        slow = self.run_with(system, DISCRETE_TRANSITIONS, period_s=0.5e-3)
+        fast = self.run_with(system, INTEGRATED_TRANSITIONS, period_s=micro_seconds(500))
+        slow = self.run_with(system, DISCRETE_TRANSITIONS, period_s=micro_seconds(500))
         assert slow.final_cycles < fast.final_cycles * 0.95
 
     def test_steady_controller_pays_nothing(self, system):
@@ -116,7 +117,7 @@ class TestEngineIntegration:
                 processor=system.processor,
                 regulator=system.regulator("sc"),
                 controller=FixedOperatingPointController(0.55, 300e6),
-                config=SimulationConfig(time_step_s=10e-6, record_every=8),
+                config=SimulationConfig(time_step_s=micro_seconds(10), record_every=8),
                 transitions=transitions,
             )
             return simulator.run(constant_trace(1.0, 10e-3))
@@ -136,7 +137,7 @@ class TestEngineIntegration:
             regulator=system.regulator("sc"),
             controller=ToggleController(1e-3),
             workload=workload,
-            config=SimulationConfig(time_step_s=5e-6, record_every=4),
+            config=SimulationConfig(time_step_s=micro_seconds(5), record_every=4),
             transitions=INTEGRATED_TRANSITIONS,
         )
         result = simulator.run(constant_trace(1.0, 20e-3))

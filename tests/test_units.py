@@ -38,6 +38,7 @@ class TestUnitConstructors:
             (units.micro_seconds, 1e-6),
             (units.mega_hertz, 1e6),
             (units.giga_hertz, 1e9),
+            (units.nano_farads, 1e-9),
             (units.pico_farads, 1e-12),
             (units.micro_farads, 1e-6),
             (units.pico_joules, 1e-12),
@@ -80,6 +81,26 @@ class TestUnitConstructors:
         assert units.mega_hertz(300) == 300e6
         # The one pre-existing production call site keeps its value.
         assert units.micro_seconds(1.0) == 1.0 * 1e-6
+
+    @pytest.mark.parametrize("value", [1.0, 30, 470, 1000])
+    def test_nano_farads_bit_exact(self, value):
+        # Same correctly-rounded-division construction as
+        # micro_seconds: nano_farads(1) == 1e-9 bit-exactly (for
+        # exactly-representable arguments, as with all these proofs).
+        assert units.nano_farads(value) == float(f"{value}e-9")
+
+    def test_rep003_rewrites_are_value_identical(self):
+        # Every unit-literal rewrite routed through repro.units for the
+        # REP003 baseline burn-down: old spelling == new spelling,
+        # bit for bit, so no golden result can move.
+        assert units.micro_seconds(20) == 2e-5  # sim/test_recovery
+        assert units.micro_seconds(5) == 5e-6  # sim/test_transitions
+        assert units.micro_seconds(10) == 1e-5  # transitions, core/test_mppt
+        assert units.micro_seconds(500) == 0.5e-3  # toggle period
+        assert units.mega_hertz(200) == 200e6  # toggle frequency
+        assert units.nano_farads(1) == 1e-9  # transition capacitance
+        assert units.milli_seconds(1) == 1e-3  # mppt views, planner slot
+        assert units.milli_seconds(0.5) == 0.5e-3  # cloud edge
 
 
 class TestClamp:
